@@ -1,0 +1,316 @@
+//! The resource-dependency state `(I, W)` of Definition 4.1, maintained at
+//! run time as a registry of blocked tasks.
+//!
+//! Each blocked task publishes a [`BlockedInfo`]: the events it *waits* on
+//! (`W(t)`) and, for every phaser it is registered with, its local phase —
+//! a finite representation of the (infinite) set of events it *impedes*
+//! (`{r | t ∈ I(r)}`). Crucially this is **local** information: no global
+//! membership bookkeeping is needed (paper §2.1, §5.2).
+//!
+//! The paper notes that "maintaining the blocked status is more frequent
+//! than checking for deadlocks, so the resource-dependencies are rearranged
+//! per task to optimise updates" (§5.1). We follow that design: the registry
+//! is sharded by task id so that concurrent block/unblock operations from
+//! different tasks rarely contend, and checkers take a point-in-time copy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::TaskId;
+use crate::resource::{Registration, Resource};
+
+/// The blocked status of one task, produced by the application layer when
+/// the task is about to block (paper §5.1: "whenever a task of the program
+/// blocks the application layer invokes the verification library by
+/// producing its blocked status").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockedInfo {
+    /// The blocked task.
+    pub task: TaskId,
+    /// `W(t)`: the events the task is waiting for. In PL this is a singleton
+    /// (a task awaits one phaser at a time); richer runtimes may block on
+    /// several events at once (e.g. a multi-clock `advance-all`).
+    pub waits: Vec<Resource>,
+    /// For each phaser the task is registered with, its local phase. The
+    /// task impedes every event `(q, n)` with `n >` its local phase on `q`.
+    pub registered: Vec<Registration>,
+    /// Blocking epoch, used by detection to confirm that a task observed in
+    /// a cycle is still in the *same* blocking operation when the deadlock
+    /// is reported. Assigned by the registry.
+    pub epoch: u64,
+}
+
+impl BlockedInfo {
+    /// Builds a blocked status (epoch is assigned when inserted into a
+    /// [`Registry`]).
+    pub fn new(task: TaskId, waits: Vec<Resource>, registered: Vec<Registration>) -> Self {
+        BlockedInfo { task, waits, registered, epoch: 0 }
+    }
+
+    /// Does this task impede event `r`? (Is `self.task ∈ I(r)`?)
+    pub fn impedes(&self, r: Resource) -> bool {
+        self.registered.iter().any(|reg| reg.impedes(r))
+    }
+}
+
+/// A point-in-time copy of the registry: the input to a deadlock check.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Blocked statuses, one per blocked task.
+    pub tasks: Vec<BlockedInfo>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Snapshot {
+        Snapshot { tasks: Vec::new() }
+    }
+
+    /// Builds a snapshot directly from blocked statuses (used by tests, the
+    /// PL `ϕ` function and the distributed store).
+    pub fn from_tasks(tasks: Vec<BlockedInfo>) -> Snapshot {
+        Snapshot { tasks }
+    }
+
+    /// Number of blocked tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no task is blocked.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Sorts tasks by id for deterministic iteration (tests, goldens).
+    pub fn sorted(mut self) -> Snapshot {
+        self.tasks.sort_by_key(|b| b.task);
+        self
+    }
+
+    /// The blocked status of `task`, if present.
+    pub fn get(&self, task: TaskId) -> Option<&BlockedInfo> {
+        self.tasks.iter().find(|b| b.task == task)
+    }
+}
+
+/// Number of shards. A modest power of two: enough to keep unrelated tasks
+/// off each other's locks without bloating the snapshot pass.
+const SHARDS: usize = 32;
+
+/// Sharded registry of blocked tasks: the run-time materialisation of the
+/// resource-dependency state.
+///
+/// Updates (`block`/`unblock`) touch one shard; checks copy all shards.
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<TaskId, BlockedInfo>>>,
+    len: AtomicUsize,
+    next_epoch: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            len: AtomicUsize::new(0),
+            next_epoch: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, task: TaskId) -> &Mutex<HashMap<TaskId, BlockedInfo>> {
+        &self.shards[(task.0 as usize) % SHARDS]
+    }
+
+    /// Records `info.task` as blocked, assigning a fresh epoch which is
+    /// returned (and stored in the registry copy).
+    pub fn block(&self, mut info: BlockedInfo) -> u64 {
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        info.epoch = epoch;
+        let prev = self.shard(info.task).lock().insert(info.task, info);
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        epoch
+    }
+
+    /// Removes the blocked record of `task` (the task resumed, was
+    /// deregistered, or its avoidance check failed).
+    pub fn unblock(&self, task: TaskId) {
+        if self.shard(task).lock().remove(&task).is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of currently blocked tasks (racy but monotonic per shard;
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when no task is recorded blocked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a point-in-time copy of every blocked status. Each status is
+    /// internally consistent (tasks publish their own status atomically);
+    /// cross-task consistency is not required by the event-based analysis
+    /// (paper §2.2 point 2) — the confirmation pass handles sampling races.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut tasks = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            tasks.extend(guard.values().cloned());
+        }
+        Snapshot { tasks }
+    }
+
+    /// Is `task` still blocked in the same blocking operation (`epoch`) as
+    /// when a snapshot observed it? Used to confirm detected cycles.
+    pub fn confirm(&self, task: TaskId, epoch: u64) -> bool {
+        self.shard(task)
+            .lock()
+            .get(&task)
+            .map(|b| b.epoch == epoch)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PhaserId;
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+
+    fn info(task: u64) -> BlockedInfo {
+        BlockedInfo::new(
+            t(task),
+            vec![Resource::new(p(1), 1)],
+            vec![Registration::new(p(1), 0)],
+        )
+    }
+
+    #[test]
+    fn block_unblock_roundtrip() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.block(info(1));
+        reg.block(info(2));
+        assert_eq!(reg.len(), 2);
+        reg.unblock(t(1));
+        assert_eq!(reg.len(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.tasks[0].task, t(2));
+    }
+
+    #[test]
+    fn reblocking_same_task_replaces_record() {
+        let reg = Registry::new();
+        reg.block(info(1));
+        let mut second = info(1);
+        second.waits = vec![Resource::new(p(2), 5)];
+        reg.block(second);
+        assert_eq!(reg.len(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.tasks[0].waits, vec![Resource::new(p(2), 5)]);
+    }
+
+    #[test]
+    fn epochs_are_strictly_increasing() {
+        let reg = Registry::new();
+        let e1 = reg.block(info(1));
+        reg.unblock(t(1));
+        let e2 = reg.block(info(1));
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn confirm_detects_stale_epochs() {
+        let reg = Registry::new();
+        let e1 = reg.block(info(1));
+        assert!(reg.confirm(t(1), e1));
+        reg.unblock(t(1));
+        assert!(!reg.confirm(t(1), e1));
+        let e2 = reg.block(info(1));
+        assert!(!reg.confirm(t(1), e1));
+        assert!(reg.confirm(t(1), e2));
+    }
+
+    #[test]
+    fn unblock_of_unknown_task_is_noop() {
+        let reg = Registry::new();
+        reg.unblock(t(42));
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let reg = Registry::new();
+        reg.block(info(1));
+        let snap = reg.snapshot();
+        reg.unblock(t(1));
+        assert_eq!(snap.len(), 1, "snapshot must not alias the registry");
+    }
+
+    #[test]
+    fn impedes_respects_registrations() {
+        let b = BlockedInfo::new(
+            t(1),
+            vec![Resource::new(p(1), 2)],
+            vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+        );
+        assert!(b.impedes(Resource::new(p(1), 2)));
+        assert!(!b.impedes(Resource::new(p(1), 1)));
+        assert!(b.impedes(Resource::new(p(2), 1)));
+        assert!(!b.impedes(Resource::new(p(3), 1)));
+    }
+
+    #[test]
+    fn concurrent_block_unblock_is_consistent() {
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for base in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let id = base * 1000 + i;
+                    reg.block(info(id));
+                    if i % 2 == 0 {
+                        reg.unblock(t(id));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 threads × 500 blocks, half unblocked.
+        assert_eq!(reg.len(), 4 * 250);
+        assert_eq!(reg.snapshot().len(), 4 * 250);
+    }
+
+    #[test]
+    fn snapshot_sorted_orders_by_task() {
+        let snap = Snapshot::from_tasks(vec![info(3), info(1), info(2)]).sorted();
+        let ids: Vec<_> = snap.tasks.iter().map(|b| b.task).collect();
+        assert_eq!(ids, vec![t(1), t(2), t(3)]);
+    }
+}

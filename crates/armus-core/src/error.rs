@@ -1,0 +1,47 @@
+//! The deadlock error raised by avoidance mode.
+
+use crate::checker::DeadlockReport;
+
+/// Raised (instead of blocking) when an avoidance check finds that the
+/// blocking operation would complete a deadlock cycle. The paper:
+/// "Armus checks for deadlocks before the task blocks and interrupts the
+/// blocking operation with an exception if the deadlock is found. The
+/// programmer can treat the exceptional situation to develop applications
+/// resilient to deadlocks."
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlockError {
+    /// The deadlock that would have formed.
+    pub report: DeadlockReport,
+}
+
+impl std::fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blocking would deadlock: {}", self.report)
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::GraphModel;
+    use crate::checker::CycleWitness;
+    use crate::ids::TaskId;
+
+    #[test]
+    fn error_displays_report() {
+        let report = DeadlockReport {
+            tasks: vec![TaskId(1), TaskId(2)],
+            resources: vec![],
+            model: GraphModel::Wfg,
+            witness: CycleWitness::Tasks(vec![TaskId(1), TaskId(2), TaskId(1)]),
+            task_epochs: vec![],
+        };
+        let err = DeadlockError { report };
+        let text = err.to_string();
+        assert!(text.contains("would deadlock"));
+        assert!(text.contains("t1"));
+        let _: &dyn std::error::Error = &err;
+    }
+}

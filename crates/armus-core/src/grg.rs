@@ -1,0 +1,173 @@
+//! General Resource Graph construction (Definition 4.4, after Holt).
+//!
+//! The GRG is *bipartite*: task vertices and resource vertices, with an
+//! edge `(t, r)` for every `r ∈ W(t)` (waits) and `(r, t)` for every
+//! `t ∈ I(r)` (impedes). It bridges the WFG and the SG: contracting
+//! resource vertices yields the WFG, contracting task vertices yields the
+//! SG (Lemmas 4.5/4.6), which is how the equivalence theorem (4.8) is
+//! proved — and how it is property-tested here.
+
+use std::fmt;
+
+use crate::deps::Snapshot;
+use crate::graph::DiGraph;
+use crate::ids::TaskId;
+use crate::index::SnapshotIndex;
+use crate::resource::Resource;
+
+/// A GRG vertex: either a task or a resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GrgNode {
+    /// A task vertex.
+    Task(TaskId),
+    /// A resource (synchronisation event) vertex.
+    Res(Resource),
+}
+
+impl fmt::Debug for GrgNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrgNode::Task(t) => write!(f, "{t}"),
+            GrgNode::Res(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Builds the GRG of a snapshot: `grg(I, W)`.
+pub fn grg(snapshot: &Snapshot) -> DiGraph<GrgNode> {
+    let idx = SnapshotIndex::new(snapshot);
+    grg_indexed(snapshot, &idx)
+}
+
+/// GRG construction reusing a prebuilt [`SnapshotIndex`].
+pub fn grg_indexed(snapshot: &Snapshot, idx: &SnapshotIndex) -> DiGraph<GrgNode> {
+    let mut g = DiGraph::with_capacity(snapshot.len() + idx.wait_resources.len());
+    for info in &snapshot.tasks {
+        g.add_node(GrgNode::Task(info.task));
+    }
+    for &r in &idx.wait_resources {
+        g.add_node(GrgNode::Res(r));
+    }
+    for info in &snapshot.tasks {
+        // Wait edges (t, r).
+        for &w in &info.waits {
+            g.add_edge(GrgNode::Task(info.task), GrgNode::Res(w));
+        }
+        // Impede edges (r, t): r ranges over awaited events this task lags.
+        for reg in &info.registered {
+            for &r in idx.impeded_waits(reg.phaser, reg.local_phase) {
+                g.add_edge(GrgNode::Res(r), GrgNode::Task(info.task));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::BlockedInfo;
+    use crate::ids::PhaserId;
+    use crate::resource::Registration;
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+    fn r(ph: u64, n: u64) -> Resource {
+        Resource::new(p(ph), n)
+    }
+
+    /// Paper Example 4.1 / Figure 5b.
+    fn example_4_1() -> Snapshot {
+        let worker = |task: u64| {
+            BlockedInfo::new(
+                t(task),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+        };
+        let driver = BlockedInfo::new(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+        Snapshot::from_tasks(vec![worker(1), worker(2), worker(3), driver])
+    }
+
+    #[test]
+    fn figure_5b_edges() {
+        let g = grg(&example_4_1());
+        // Wait edges: (t1,r1) (t2,r1) (t3,r1) (t4,r2)
+        for i in 1..=3 {
+            assert!(g.has_edge(GrgNode::Task(t(i)), GrgNode::Res(r(1, 1))));
+        }
+        assert!(g.has_edge(GrgNode::Task(t(4)), GrgNode::Res(r(2, 1))));
+        // Impede edges: (r1,t4) and (r2,t1) (r2,t2) (r2,t3)
+        assert!(g.has_edge(GrgNode::Res(r(1, 1)), GrgNode::Task(t(4))));
+        for i in 1..=3 {
+            assert!(g.has_edge(GrgNode::Res(r(2, 1)), GrgNode::Task(t(i))));
+        }
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.find_cycle().is_some());
+    }
+
+    #[test]
+    fn lemma_4_5_wfg_walk_iff_grg_walk() {
+        // t1t2 is a WFG walk iff t1 r t2 is a GRG walk for some r.
+        let snap = example_4_1();
+        let wfg_g = crate::wfg::wfg(&snap);
+        let grg_g = grg(&snap);
+        for &t1 in wfg_g.nodes() {
+            for &t2 in wfg_g.nodes() {
+                let wfg_edge = wfg_g.has_edge(t1, t2);
+                let via_resource = grg_g.nodes().iter().any(|&n| match n {
+                    GrgNode::Res(r) => {
+                        grg_g.has_edge(GrgNode::Task(t1), GrgNode::Res(r))
+                            && grg_g.has_edge(GrgNode::Res(r), GrgNode::Task(t2))
+                    }
+                    _ => false,
+                });
+                assert_eq!(wfg_edge, via_resource, "mismatch for {t1}→{t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_6_sg_walk_iff_grg_walk() {
+        // r1r2 is an SG walk iff r1 t r2 is a GRG walk for some t.
+        let snap = example_4_1();
+        let sg_g = crate::sg::sg(&snap);
+        let grg_g = grg(&snap);
+        for &r1 in sg_g.nodes() {
+            for &r2 in sg_g.nodes() {
+                let sg_edge = sg_g.has_edge(r1, r2);
+                let via_task = grg_g.nodes().iter().any(|&n| match n {
+                    GrgNode::Task(tk) => {
+                        grg_g.has_edge(GrgNode::Res(r1), GrgNode::Task(tk))
+                            && grg_g.has_edge(GrgNode::Task(tk), GrgNode::Res(r2))
+                    }
+                    _ => false,
+                });
+                assert_eq!(sg_edge, via_task, "mismatch for {r1}→{r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn grg_is_bipartite() {
+        let g = grg(&example_4_1());
+        for &n1 in g.nodes() {
+            for &n2 in g.nodes() {
+                if g.has_edge(n1, n2) {
+                    match (n1, n2) {
+                        (GrgNode::Task(_), GrgNode::Res(_)) | (GrgNode::Res(_), GrgNode::Task(_)) => {}
+                        _ => panic!("non-bipartite edge {n1:?} → {n2:?}"),
+                    }
+                }
+            }
+        }
+    }
+}

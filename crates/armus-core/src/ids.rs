@@ -1,0 +1,116 @@
+//! Identifier newtypes for tasks and phasers.
+//!
+//! Tasks and phasers are referred to throughout the verifier by small opaque
+//! ids rather than by reference, mirroring the paper's task names `t ∈ T` and
+//! phaser names `p ∈ P`. Fresh ids are drawn from process-wide atomic
+//! counters so that ids are unique across runtimes, sites and tests.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Name of a task (`t` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// Name of a phaser (`p` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhaserId(pub u64);
+
+/// A phase number (`n` in the paper): the timestamp of the logical clock
+/// associated with a phaser.
+pub type Phase = u64;
+
+static NEXT_TASK: AtomicU64 = AtomicU64::new(1);
+static NEXT_PHASER: AtomicU64 = AtomicU64::new(1);
+
+impl TaskId {
+    /// Returns a process-wide fresh task id.
+    pub fn fresh() -> TaskId {
+        TaskId(NEXT_TASK.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw numeric value; useful for dense indexing in workloads.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl PhaserId {
+    /// Returns a process-wide fresh phaser id.
+    pub fn fresh() -> PhaserId {
+        PhaserId(NEXT_PHASER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw numeric value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for PhaserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PhaserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fresh_task_ids_are_unique() {
+        let ids: HashSet<TaskId> = (0..1000).map(|_| TaskId::fresh()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn fresh_phaser_ids_are_unique() {
+        let ids: HashSet<PhaserId> = (0..1000).map(|_| PhaserId::fresh()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn fresh_ids_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| (0..250).map(|_| TaskId::fresh()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(PhaserId(9).to_string(), "p9");
+        assert_eq!(format!("{:?}", TaskId(7)), "t7");
+        assert_eq!(format!("{:?}", PhaserId(9)), "p9");
+    }
+}

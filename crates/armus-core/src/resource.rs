@@ -1,0 +1,131 @@
+//! Synchronisation events (the paper's *resources*).
+//!
+//! A resource `res(p, n)` is the event "phase `n` of phaser `p` is
+//! observed" — a timestamp `n` of the logical clock associated with phaser
+//! `p` (paper §2.2, §4.1). `res` is a bijection between resources and
+//! `(phaser, phase)` pairs, which is exactly what this struct encodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Phase, PhaserId};
+
+/// A synchronisation event `res(p, n)`: phase `n` of phaser `p`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Resource {
+    /// The phaser (logical clock) the event belongs to.
+    pub phaser: PhaserId,
+    /// The phase (timestamp) of the event.
+    pub phase: Phase,
+}
+
+impl Resource {
+    /// Constructs the resource `res(p, n)`.
+    pub fn new(phaser: PhaserId, phase: Phase) -> Resource {
+        Resource { phaser, phase }
+    }
+
+    /// The event one phase later on the same phaser.
+    pub fn next(self) -> Resource {
+        Resource { phaser: self.phaser, phase: self.phase + 1 }
+    }
+}
+
+impl fmt::Debug for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.phaser, self.phase)
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.phaser, self.phase)
+    }
+}
+
+/// A registration record published by a blocked task: "my local phase on
+/// phaser `q` is `m`". Under the event-based representation this single pair
+/// finitely describes the *infinite* set of events the task impedes: every
+/// `res(q, n)` with `n > m` (Definition 4.1's map `I`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Registration {
+    /// Phaser the task is registered with.
+    pub phaser: PhaserId,
+    /// The task's local phase on that phaser.
+    pub local_phase: Phase,
+}
+
+impl Registration {
+    /// Constructs a registration record.
+    pub fn new(phaser: PhaserId, local_phase: Phase) -> Registration {
+        Registration { phaser, local_phase }
+    }
+
+    /// Does this registration impede the given event? True iff the event is
+    /// on the same phaser at a strictly later phase than our local phase
+    /// (the task has not yet arrived at that event).
+    pub fn impedes(&self, r: Resource) -> bool {
+        self.phaser == r.phaser && self.local_phase < r.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+
+    #[test]
+    fn resource_identity_is_pair_identity() {
+        assert_eq!(Resource::new(p(1), 3), Resource::new(p(1), 3));
+        assert_ne!(Resource::new(p(1), 3), Resource::new(p(1), 4));
+        assert_ne!(Resource::new(p(1), 3), Resource::new(p(2), 3));
+    }
+
+    #[test]
+    fn next_advances_phase_only() {
+        let r = Resource::new(p(5), 7).next();
+        assert_eq!(r, Resource::new(p(5), 8));
+    }
+
+    #[test]
+    fn registration_impedes_strictly_later_phases() {
+        let reg = Registration::new(p(1), 4);
+        assert!(!reg.impedes(Resource::new(p(1), 3)));
+        assert!(!reg.impedes(Resource::new(p(1), 4)));
+        assert!(reg.impedes(Resource::new(p(1), 5)));
+        assert!(reg.impedes(Resource::new(p(1), 1000)));
+    }
+
+    #[test]
+    fn registration_never_impedes_other_phasers() {
+        let reg = Registration::new(p(1), 0);
+        assert!(!reg.impedes(Resource::new(p(2), 100)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Resource::new(p(3), 2).to_string(), "p3@2");
+    }
+
+    #[test]
+    fn resources_order_by_phaser_then_phase() {
+        let mut v = vec![
+            Resource::new(p(2), 0),
+            Resource::new(p(1), 9),
+            Resource::new(p(1), 2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Resource::new(p(1), 2),
+                Resource::new(p(1), 9),
+                Resource::new(p(2), 0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Verification statistics: per-check graph sizes and model choices.
+//!
+//! Table 3 of the paper reports, per benchmark and per graph mode, the
+//! *average number of edges used in verification*; this collector gathers
+//! exactly that, lock-free, so the workloads can report it.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::GraphModel;
+use crate::checker::CheckStats;
+
+/// Lock-free accumulator of check statistics.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    checks: AtomicU64,
+    checks_wfg: AtomicU64,
+    checks_sg: AtomicU64,
+    edges_sum: AtomicU64,
+    edges_max: AtomicUsize,
+    nodes_sum: AtomicU64,
+    deadlocks: AtomicU64,
+    sg_aborts: AtomicU64,
+    blocks: AtomicU64,
+    unblocks: AtomicU64,
+}
+
+impl StatsCollector {
+    /// Creates a zeroed collector.
+    pub fn new() -> StatsCollector {
+        StatsCollector::default()
+    }
+
+    /// Records the sizes of one completed check.
+    pub fn record_check(&self, stats: &CheckStats) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        match stats.model {
+            GraphModel::Wfg => self.checks_wfg.fetch_add(1, Ordering::Relaxed),
+            GraphModel::Sg => self.checks_sg.fetch_add(1, Ordering::Relaxed),
+        };
+        self.edges_sum.fetch_add(stats.edges as u64, Ordering::Relaxed);
+        self.nodes_sum.fetch_add(stats.nodes as u64, Ordering::Relaxed);
+        self.edges_max.fetch_max(stats.edges, Ordering::Relaxed);
+        if stats.sg_aborted {
+            self.sg_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a deadlock report.
+    pub fn record_deadlock(&self) {
+        self.deadlocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a blocked-status publication.
+    pub fn record_block(&self) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an unblock.
+    pub fn record_unblock(&self) {
+        self.unblocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            checks: self.checks.load(Ordering::Relaxed),
+            checks_wfg: self.checks_wfg.load(Ordering::Relaxed),
+            checks_sg: self.checks_sg.load(Ordering::Relaxed),
+            edges_sum: self.edges_sum.load(Ordering::Relaxed),
+            edges_max: self.edges_max.load(Ordering::Relaxed),
+            nodes_sum: self.nodes_sum.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            sg_aborts: self.sg_aborts.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            unblocks: self.unblocks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Total deadlock checks run.
+    pub checks: u64,
+    /// Checks that analysed a WFG.
+    pub checks_wfg: u64,
+    /// Checks that analysed an SG.
+    pub checks_sg: u64,
+    /// Sum of analysed edge counts (for the Table 3 average).
+    pub edges_sum: u64,
+    /// Largest graph analysed.
+    pub edges_max: usize,
+    /// Sum of analysed node counts.
+    pub nodes_sum: u64,
+    /// Deadlocks reported.
+    pub deadlocks: u64,
+    /// Auto-mode SG builds abandoned for a WFG.
+    pub sg_aborts: u64,
+    /// Blocked-status publications.
+    pub blocks: u64,
+    /// Unblocks.
+    pub unblocks: u64,
+}
+
+impl StatsSnapshot {
+    /// Average edges per check (Table 3's "Edges" row), 0 when no checks ran.
+    pub fn avg_edges(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.edges_sum as f64 / self.checks as f64
+        }
+    }
+
+    /// Average nodes per check.
+    pub fn avg_nodes(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.nodes_sum as f64 / self.checks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(model: GraphModel, edges: usize, aborted: bool) -> CheckStats {
+        CheckStats { model, nodes: edges / 2 + 1, edges, blocked_tasks: 4, sg_aborted: aborted }
+    }
+
+    #[test]
+    fn averages_over_checks() {
+        let c = StatsCollector::new();
+        c.record_check(&check(GraphModel::Wfg, 10, false));
+        c.record_check(&check(GraphModel::Sg, 2, false));
+        c.record_check(&check(GraphModel::Wfg, 30, true));
+        let s = c.snapshot();
+        assert_eq!(s.checks, 3);
+        assert_eq!(s.checks_wfg, 2);
+        assert_eq!(s.checks_sg, 1);
+        assert!((s.avg_edges() - 14.0).abs() < 1e-9);
+        assert_eq!(s.edges_max, 30);
+        assert_eq!(s.sg_aborts, 1);
+    }
+
+    #[test]
+    fn empty_collector_has_zero_average() {
+        let s = StatsCollector::new().snapshot();
+        assert_eq!(s.avg_edges(), 0.0);
+        assert_eq!(s.avg_nodes(), 0.0);
+    }
+
+    #[test]
+    fn block_unblock_deadlock_counters() {
+        let c = StatsCollector::new();
+        c.record_block();
+        c.record_block();
+        c.record_unblock();
+        c.record_deadlock();
+        let s = c.snapshot();
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.unblocks, 1);
+        assert_eq!(s.deadlocks, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let c = Arc::new(StatsCollector::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_check(&check(GraphModel::Sg, 3, false));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.checks, 4000);
+        assert_eq!(s.edges_sum, 12000);
+    }
+}

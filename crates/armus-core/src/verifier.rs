@@ -1,0 +1,529 @@
+//! The Armus verification engine (paper §5.1): a blocked-task registry, a
+//! deadlock checker, and the two verification modes.
+//!
+//! * **Avoidance**: each blocking operation first publishes its blocked
+//!   status and runs a check; if the block would complete a cycle the
+//!   operation is interrupted with a [`DeadlockError`] instead of blocking.
+//! * **Detection**: blocking operations only publish their status; a
+//!   dedicated monitor thread samples the registry periodically, runs the
+//!   check, and *confirms* any cycle against per-task blocking epochs
+//!   before reporting (sampling is racy; a task may have unblocked since
+//!   the snapshot was taken).
+//!
+//! Reports are retained for inspection and forwarded to subscribers (the
+//! runtime layer uses a subscriber to implement deadlock *recovery*).
+
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::adaptive::{ModelChoice, DEFAULT_SG_THRESHOLD};
+use crate::checker::{self, DeadlockReport};
+use crate::deps::{BlockedInfo, Registry, Snapshot};
+use crate::error::DeadlockError;
+use crate::ids::TaskId;
+use crate::resource::{Registration, Resource};
+use crate::stats::{StatsCollector, StatsSnapshot};
+
+/// Verification mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// No verification: blocking operations pay nothing.
+    Disabled,
+    /// Check before every block; raise [`DeadlockError`] instead of
+    /// deadlocking.
+    Avoidance,
+    /// Publish blocked status; a monitor thread checks every `period`.
+    Detection {
+        /// Sampling period of the monitor thread (paper: 100 ms locally,
+        /// 200 ms distributed).
+        period: Duration,
+    },
+    /// Maintain the blocked-status registry but run no checks: the
+    /// distributed layer periodically pulls [`Verifier::local_snapshot`]
+    /// as this site's partition of the global resource-dependency
+    /// (paper §5.2) and checks the merged view itself.
+    PublishOnly,
+}
+
+/// Verifier configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifierConfig {
+    /// Verification mode.
+    pub mode: VerifyMode,
+    /// Graph-model selection.
+    pub model: ModelChoice,
+    /// SG-abort multiplier for `Auto` (paper default: 2).
+    pub sg_threshold: usize,
+}
+
+impl VerifierConfig {
+    /// Disabled verification.
+    pub fn disabled() -> Self {
+        VerifierConfig {
+            mode: VerifyMode::Disabled,
+            model: ModelChoice::Auto,
+            sg_threshold: DEFAULT_SG_THRESHOLD,
+        }
+    }
+
+    /// Avoidance with the adaptive model.
+    pub fn avoidance() -> Self {
+        VerifierConfig {
+            mode: VerifyMode::Avoidance,
+            model: ModelChoice::Auto,
+            sg_threshold: DEFAULT_SG_THRESHOLD,
+        }
+    }
+
+    /// Detection with the paper's local default period (100 ms).
+    pub fn detection() -> Self {
+        Self::detection_every(Duration::from_millis(100))
+    }
+
+    /// Detection with an explicit period.
+    pub fn detection_every(period: Duration) -> Self {
+        VerifierConfig {
+            mode: VerifyMode::Detection { period },
+            model: ModelChoice::Auto,
+            sg_threshold: DEFAULT_SG_THRESHOLD,
+        }
+    }
+
+    /// Publish-only: maintain the registry for an external (distributed)
+    /// checker.
+    pub fn publish_only() -> Self {
+        VerifierConfig {
+            mode: VerifyMode::PublishOnly,
+            model: ModelChoice::Auto,
+            sg_threshold: DEFAULT_SG_THRESHOLD,
+        }
+    }
+
+    /// Overrides the graph model.
+    pub fn with_model(mut self, model: ModelChoice) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the SG-abort threshold.
+    pub fn with_sg_threshold(mut self, threshold: usize) -> Self {
+        self.sg_threshold = threshold;
+        self
+    }
+}
+
+type Subscriber = Box<dyn Fn(&DeadlockReport) + Send + Sync>;
+
+/// Stop flag + wake-up for the monitor thread: shared separately from the
+/// `Verifier` so (a) `shutdown` can interrupt a sleeping monitor no matter
+/// how long its period is, and (b) the monitor holds no strong reference
+/// to the verifier while sleeping (dropping the last user `Arc` stops it).
+struct MonitorSignal {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl MonitorSignal {
+    fn stop_and_wake(&self) {
+        *self.stop.lock() = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The verification engine. Cheap to share (`Arc`); one per runtime or per
+/// distributed site.
+pub struct Verifier {
+    cfg: VerifierConfig,
+    registry: Registry,
+    stats: StatsCollector,
+    reports: Mutex<Vec<DeadlockReport>>,
+    reported_sets: Mutex<Vec<Vec<TaskId>>>,
+    subscribers: Mutex<Vec<Subscriber>>,
+    signal: Arc<MonitorSignal>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Verifier {
+    /// Creates a verifier; in detection mode this spawns the monitor
+    /// thread, which stops when the last user `Arc` is dropped or
+    /// [`Verifier::shutdown`] is called.
+    pub fn new(cfg: VerifierConfig) -> Arc<Verifier> {
+        let v = Arc::new(Verifier {
+            cfg,
+            registry: Registry::new(),
+            stats: StatsCollector::new(),
+            reports: Mutex::new(Vec::new()),
+            reported_sets: Mutex::new(Vec::new()),
+            subscribers: Mutex::new(Vec::new()),
+            signal: Arc::new(MonitorSignal { stop: Mutex::new(false), wake: Condvar::new() }),
+            monitor: Mutex::new(None),
+        });
+        if let VerifyMode::Detection { period } = cfg.mode {
+            let weak: Weak<Verifier> = Arc::downgrade(&v);
+            let signal = Arc::clone(&v.signal);
+            let handle = std::thread::Builder::new()
+                .name("armus-monitor".into())
+                .spawn(move || monitor_loop(weak, signal, period))
+                .expect("spawn armus monitor");
+            *v.monitor.lock() = Some(handle);
+        }
+        v
+    }
+
+    /// The configuration this verifier runs with.
+    pub fn config(&self) -> &VerifierConfig {
+        &self.cfg
+    }
+
+    /// Is verification enabled at all?
+    pub fn is_enabled(&self) -> bool {
+        self.cfg.mode != VerifyMode::Disabled
+    }
+
+    /// Publishes the blocked status of a task that is about to block on
+    /// `waits`, being registered at the given local phases.
+    ///
+    /// In avoidance mode this runs the pre-block check: on a deadlock the
+    /// status is withdrawn and `Err` returned — the caller must *not*
+    /// block and should deregister the task from the phaser it targeted.
+    pub fn block(
+        &self,
+        task: TaskId,
+        waits: Vec<Resource>,
+        registered: Vec<Registration>,
+    ) -> Result<(), DeadlockError> {
+        match self.cfg.mode {
+            VerifyMode::Disabled => Ok(()),
+            VerifyMode::Detection { .. } | VerifyMode::PublishOnly => {
+                self.stats.record_block();
+                self.registry.block(BlockedInfo::new(task, waits, registered));
+                Ok(())
+            }
+            VerifyMode::Avoidance => {
+                self.stats.record_block();
+                self.registry.block(BlockedInfo::new(task, waits, registered));
+                let snapshot = self.registry.snapshot();
+                let outcome =
+                    checker::check_task(&snapshot, task, self.cfg.model, self.cfg.sg_threshold);
+                self.stats.record_check(&outcome.stats);
+                match outcome.report {
+                    None => Ok(()),
+                    Some(report) => {
+                        self.registry.unblock(task);
+                        self.deliver(report.clone());
+                        Err(DeadlockError { report })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Withdraws the blocked status of `task` (it resumed or aborted).
+    pub fn unblock(&self, task: TaskId) {
+        if self.cfg.mode != VerifyMode::Disabled {
+            self.stats.record_unblock();
+            self.registry.unblock(task);
+        }
+    }
+
+    /// Runs a detection check right now (also used by the monitor thread).
+    /// Returns the confirmed report, if any.
+    pub fn check_now(&self) -> Option<DeadlockReport> {
+        let snapshot = self.registry.snapshot();
+        if snapshot.is_empty() {
+            return None;
+        }
+        let outcome = checker::check(&snapshot, self.cfg.model, self.cfg.sg_threshold);
+        self.stats.record_check(&outcome.stats);
+        let report = outcome.report?;
+        // Confirmation pass: every task in the cycle must still be in the
+        // blocking operation (same epoch) we observed. Tasks in a real
+        // deadlock can never unblock, so re-reading is conclusive.
+        let confirmed = report
+            .task_epochs
+            .iter()
+            .all(|&(task, epoch)| self.registry.confirm(task, epoch));
+        if !confirmed {
+            return None;
+        }
+        if self.mark_reported(&report.tasks) {
+            self.deliver(report.clone());
+            Some(report)
+        } else {
+            None
+        }
+    }
+
+    /// Runs a full (non-avoidance) check over the current state regardless
+    /// of mode; does not record or deliver reports. Useful for tests and
+    /// for final "post-mortem" checks.
+    pub fn probe(&self) -> Option<DeadlockReport> {
+        let snapshot = self.registry.snapshot();
+        checker::check(&snapshot, self.cfg.model, self.cfg.sg_threshold).report
+    }
+
+    /// A copy of the current blocked-task snapshot (used by distributed
+    /// sites to publish their partition).
+    pub fn local_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Registers a subscriber invoked on every delivered report.
+    pub fn subscribe(&self, f: impl Fn(&DeadlockReport) + Send + Sync + 'static) {
+        self.subscribers.lock().push(Box::new(f));
+    }
+
+    /// Drains the retained reports.
+    pub fn take_reports(&self) -> Vec<DeadlockReport> {
+        std::mem::take(&mut *self.reports.lock())
+    }
+
+    /// Has any deadlock been reported so far?
+    pub fn found_deadlock(&self) -> bool {
+        !self.reports.lock().is_empty()
+    }
+
+    /// Verification statistics so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the monitor thread (idempotent). Dropping every user `Arc`
+    /// has the same effect.
+    pub fn shutdown(&self) {
+        self.signal.stop_and_wake();
+        if let Some(handle) = self.monitor.lock().take() {
+            if std::thread::current().id() != handle.thread().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn deliver(&self, report: DeadlockReport) {
+        self.stats.record_deadlock();
+        for sub in self.subscribers.lock().iter() {
+            sub(&report);
+        }
+        self.reports.lock().push(report);
+    }
+
+    /// Deduplicates detection reports by participating task set. Returns
+    /// true when this task set has not been reported before.
+    fn mark_reported(&self, tasks: &[TaskId]) -> bool {
+        let mut sets = self.reported_sets.lock();
+        if sets.iter().any(|s| s == tasks) {
+            return false;
+        }
+        sets.push(tasks.to_vec());
+        true
+    }
+}
+
+impl Drop for Verifier {
+    fn drop(&mut self) {
+        self.signal.stop_and_wake();
+    }
+}
+
+fn monitor_loop(weak: Weak<Verifier>, signal: Arc<MonitorSignal>, period: Duration) {
+    loop {
+        // Interruptible sleep: shutdown/drop wakes us early.
+        {
+            let mut stop = signal.stop.lock();
+            if !*stop {
+                signal.wake.wait_for(&mut stop, period);
+            }
+            if *stop {
+                break;
+            }
+        }
+        let Some(v) = weak.upgrade() else { break };
+        let _ = v.check_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PhaserId;
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+    fn r(ph: u64, n: u64) -> Resource {
+        Resource::new(p(ph), n)
+    }
+
+    /// The paper's running-example dependency shape, published by hand:
+    /// three workers stuck on pc@1 (impeded by the driver), driver stuck on
+    /// pb@1 (impeded by the workers).
+    fn publish_example_deadlock(v: &Verifier) {
+        for i in 1..=3 {
+            v.block(
+                t(i),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+            .unwrap();
+        }
+        // Driver: this one closes the cycle.
+        let _ = v.block(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+    }
+
+    #[test]
+    fn disabled_mode_costs_and_stores_nothing() {
+        let v = Verifier::new(VerifierConfig::disabled());
+        publish_example_deadlock(&v);
+        assert_eq!(v.local_snapshot().len(), 0);
+        assert!(v.check_now().is_none());
+        assert_eq!(v.stats().blocks, 0);
+    }
+
+    #[test]
+    fn avoidance_raises_on_the_closing_block() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        for i in 1..=3 {
+            v.block(
+                t(i),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+            .expect("workers alone do not deadlock");
+        }
+        let err = v
+            .block(
+                t(4),
+                vec![r(2, 1)],
+                vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+            )
+            .expect_err("the driver's block completes the cycle");
+        assert!(err.report.tasks.contains(&t(4)));
+        // The failed block was withdrawn from the registry.
+        assert_eq!(v.local_snapshot().len(), 3);
+        assert!(v.found_deadlock());
+    }
+
+    #[test]
+    fn detection_finds_and_confirms() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_millis(5)));
+        publish_example_deadlock(&v);
+        // Wait for the monitor to fire.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !v.found_deadlock() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let reports = v.take_reports();
+        assert_eq!(reports.len(), 1, "deduplicated to one report");
+        assert_eq!(reports[0].tasks, vec![t(1), t(2), t(3), t(4)]);
+        v.shutdown();
+    }
+
+    #[test]
+    fn detection_deduplicates_reports() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        publish_example_deadlock(&v);
+        assert!(v.check_now().is_some());
+        assert!(v.check_now().is_none(), "same task set must not re-report");
+        assert_eq!(v.take_reports().len(), 1);
+        v.shutdown();
+    }
+
+    #[test]
+    fn confirmation_rejects_stale_cycles() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        publish_example_deadlock(&v);
+        // Simulate the race: a participant unblocks between snapshot and
+        // confirmation by unblocking *after* the snapshot inside check_now
+        // cannot be interleaved from a test, so emulate with a manual
+        // sequence: snapshot happens inside check_now; we instead unblock
+        // first and re-block with a new epoch — any cycle found against old
+        // epochs must be discarded. Here we unblock t4 entirely: no cycle.
+        v.unblock(t(4));
+        assert!(v.check_now().is_none());
+        // Re-publish the driver: cycle is real again and epochs fresh.
+        let _ = v.block(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+        assert!(v.check_now().is_some());
+        v.shutdown();
+    }
+
+    #[test]
+    fn subscribers_receive_reports() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        v.subscribe(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        publish_example_deadlock(&v);
+        v.check_now();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        v.shutdown();
+    }
+
+    #[test]
+    fn avoidance_stats_count_checks_per_block() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        for i in 0..5 {
+            v.block(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+        }
+        let s = v.stats();
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.checks, 5, "avoidance checks on every block");
+        v.shutdown();
+    }
+
+    #[test]
+    fn detection_mode_blocks_do_not_check_inline() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        for i in 0..5 {
+            v.block(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+        }
+        let s = v.stats();
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.checks, 0, "checks only happen on the monitor");
+        v.shutdown();
+    }
+
+    #[test]
+    fn unblock_clears_status() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        v.block(t(1), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+        assert_eq!(v.local_snapshot().len(), 1);
+        v.unblock(t(1));
+        assert_eq!(v.local_snapshot().len(), 0);
+    }
+
+    #[test]
+    fn monitor_stops_when_verifier_dropped() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_millis(1)));
+        let handle = v.monitor.lock().take().expect("monitor running");
+        drop(v);
+        // The loop must observe the dead Weak and exit promptly.
+        let start = std::time::Instant::now();
+        handle.join().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn probe_reports_without_recording() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        publish_example_deadlock(&v);
+        assert!(v.probe().is_some());
+        assert!(!v.found_deadlock(), "probe must not record");
+        v.shutdown();
+    }
+}

@@ -1,0 +1,151 @@
+//! Wait-For Graph construction (Definition 4.2).
+//!
+//! The WFG is *task-centric*: an edge `t1 → t2` states that task `t1` waits
+//! for task `t2` to synchronise — i.e. there exists a resource `r` with
+//! `r ∈ W(t1)` and `t2 ∈ I(r)` (Lemma 4.9: `t1` awaits `res(p, n)` and
+//! `M(p)(t2) < n`).
+
+use crate::deps::Snapshot;
+use crate::graph::DiGraph;
+use crate::ids::TaskId;
+use crate::index::SnapshotIndex;
+
+/// Builds the WFG of a snapshot: `wfg(I, W)`.
+pub fn wfg(snapshot: &Snapshot) -> DiGraph<TaskId> {
+    let idx = SnapshotIndex::new(snapshot);
+    wfg_indexed(snapshot, &idx)
+}
+
+/// WFG construction reusing a prebuilt [`SnapshotIndex`].
+pub fn wfg_indexed(snapshot: &Snapshot, idx: &SnapshotIndex) -> DiGraph<TaskId> {
+    let mut g = DiGraph::with_capacity(snapshot.len());
+    // Every blocked task is a vertex even if isolated: Definition 4.2 takes
+    // the vertex set to be the tasks.
+    for info in &snapshot.tasks {
+        g.add_node(info.task);
+    }
+    for info in &snapshot.tasks {
+        for &w in &info.waits {
+            for t2 in idx.impeders(w) {
+                g.add_edge(info.task, t2);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::BlockedInfo;
+    use crate::ids::PhaserId;
+    use crate::resource::{Registration, Resource};
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+    fn r(ph: u64, n: u64) -> Resource {
+        Resource::new(p(ph), n)
+    }
+
+    /// Paper Example 4.1 / Figure 5a.
+    fn example_4_1() -> Snapshot {
+        let worker = |task: u64| {
+            BlockedInfo::new(
+                t(task),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+        };
+        let driver = BlockedInfo::new(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+        Snapshot::from_tasks(vec![worker(1), worker(2), worker(3), driver])
+    }
+
+    #[test]
+    fn figure_5a_edges() {
+        let g = wfg(&example_4_1());
+        // {(t1,t4),(t2,t4),(t3,t4),(t4,t1),(t4,t2),(t4,t3)}
+        assert_eq!(g.edge_count(), 6);
+        for i in 1..=3 {
+            assert!(g.has_edge(t(i), t(4)));
+            assert!(g.has_edge(t(4), t(i)));
+        }
+        assert!(!g.has_edge(t(1), t(2)));
+        assert!(g.find_cycle().is_some());
+    }
+
+    #[test]
+    fn vertex_set_is_all_blocked_tasks() {
+        let snap = Snapshot::from_tasks(vec![BlockedInfo::new(
+            t(1),
+            vec![r(1, 1)],
+            vec![Registration::new(p(1), 1)],
+        )]);
+        let g = wfg(&snap);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn lemma_4_9_edge_characterisation() {
+        // (t1, t2) ∈ E iff t1 awaits res(p, n) and M(p)(t2) < n.
+        let snap = Snapshot::from_tasks(vec![
+            BlockedInfo::new(t(1), vec![r(1, 3)], vec![Registration::new(p(1), 3)]),
+            BlockedInfo::new(t(2), vec![r(2, 1)], vec![
+                Registration::new(p(1), 2), // behind t1's wait ⇒ edge t1→t2
+                Registration::new(p(2), 1),
+            ]),
+            BlockedInfo::new(t(3), vec![r(2, 1)], vec![
+                Registration::new(p(1), 3), // NOT behind ⇒ no edge t1→t3
+                Registration::new(p(2), 0), // behind t2's wait ⇒ t2→t3 and t3→t3? no:
+            ]),
+        ]);
+        let g = wfg(&snap);
+        assert!(g.has_edge(t(1), t(2)));
+        assert!(!g.has_edge(t(1), t(3)));
+        assert!(g.has_edge(t(2), t(3)));
+        // t3 waits p2@1 and itself lags on p2 (phase 0 < 1): self-edge.
+        assert!(g.has_edge(t(3), t(3)));
+    }
+
+    #[test]
+    fn self_wait_on_own_unarrived_phase_is_self_deadlock() {
+        // A task waiting for a phase it has itself not arrived at impedes
+        // its own wait: the WFG has a self-loop and a cycle is reported.
+        let snap = Snapshot::from_tasks(vec![BlockedInfo::new(
+            t(1),
+            vec![r(1, 5)],
+            vec![Registration::new(p(1), 2)],
+        )]);
+        let g = wfg(&snap);
+        assert!(g.has_edge(t(1), t(1)));
+        assert_eq!(g.find_cycle(), Some(vec![t(1), t(1)]));
+    }
+
+    #[test]
+    fn empty_snapshot_yields_empty_graph() {
+        let g = wfg(&Snapshot::empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn non_lagging_members_produce_no_edges() {
+        // Two tasks both arrived at phase 1 waiting for each other's phaser:
+        // no one lags, no edges (they are actually releasable).
+        let snap = Snapshot::from_tasks(vec![
+            BlockedInfo::new(t(1), vec![r(1, 1)], vec![Registration::new(p(1), 1)]),
+            BlockedInfo::new(t(2), vec![r(1, 1)], vec![Registration::new(p(1), 1)]),
+        ]);
+        let g = wfg(&snap);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

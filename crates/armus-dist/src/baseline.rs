@@ -1,0 +1,151 @@
+//! The membership-tracking baseline Armus argues against (paper §2.1/§7).
+//!
+//! State-of-the-art distributed barrier-deadlock detectors (Umpire/MUST
+//! style) aggregate the *arrival status of each participant per barrier* —
+//! a global structure that must be kept consistent across sites. This
+//! module implements that representation so the benches can quantify the
+//! difference against the event-based one: the ledger's update payload
+//! grows with total membership (every member of every phaser), whereas the
+//! event-based partition only carries *blocked* tasks.
+
+use std::collections::BTreeMap;
+
+use armus_core::graph::DiGraph;
+use armus_core::{Phase, PhaserId, TaskId};
+
+use crate::store::SiteId;
+
+/// One site's full membership report: for every phaser it hosts members
+/// of, every member and its arrival status.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MembershipReport {
+    /// `phaser → member → (local phase, blocked-waiting-on-this-phaser)`.
+    pub members: BTreeMap<PhaserId, BTreeMap<TaskId, (Phase, bool)>>,
+}
+
+impl MembershipReport {
+    /// Number of `(phaser, member)` entries — the payload-size proxy the
+    /// ablation bench reports.
+    pub fn entries(&self) -> usize {
+        self.members.values().map(|m| m.len()).sum()
+    }
+}
+
+/// The aggregated global ledger.
+#[derive(Default)]
+pub struct MembershipLedger {
+    sites: BTreeMap<SiteId, MembershipReport>,
+}
+
+impl MembershipLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> MembershipLedger {
+        MembershipLedger::default()
+    }
+
+    /// Replaces a site's report (the per-round global synchronisation the
+    /// event-based representation avoids).
+    pub fn apply(&mut self, site: SiteId, report: MembershipReport) {
+        self.sites.insert(site, report);
+    }
+
+    /// Total `(phaser, member)` entries currently held.
+    pub fn entries(&self) -> usize {
+        self.sites.values().map(|r| r.entries()).sum()
+    }
+
+    /// Builds the WFG from the aggregated membership: `t1 → t2` iff `t1`
+    /// is blocked on a phaser where `t2` lags behind `t1`'s phase. This is
+    /// the classical construction — note it needs the *entire* membership,
+    /// not just blocked tasks.
+    pub fn wfg(&self) -> DiGraph<TaskId> {
+        // Merge per-phaser membership across sites.
+        let mut merged: BTreeMap<PhaserId, BTreeMap<TaskId, (Phase, bool)>> = BTreeMap::new();
+        for report in self.sites.values() {
+            for (&ph, members) in &report.members {
+                let entry = merged.entry(ph).or_default();
+                for (&t, &st) in members {
+                    entry.insert(t, st);
+                }
+            }
+        }
+        let mut g = DiGraph::new();
+        for members in merged.values() {
+            for (&t1, &(n1, blocked)) in members {
+                if !blocked {
+                    continue;
+                }
+                g.add_node(t1);
+                for (&t2, &(n2, _)) in members {
+                    if n2 < n1 {
+                        g.add_edge(t1, t2);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+
+    fn report(entries: &[(u64, u64, u64, bool)]) -> MembershipReport {
+        let mut r = MembershipReport::default();
+        for &(ph, task, phase, blocked) in entries {
+            r.members.entry(p(ph)).or_default().insert(t(task), (phase, blocked));
+        }
+        r
+    }
+
+    #[test]
+    fn ledger_finds_the_running_example_deadlock() {
+        let mut ledger = MembershipLedger::new();
+        // Site 0: workers on pc (arrived 1, blocked) and pb (at 0).
+        ledger.apply(
+            SiteId(0),
+            report(&[
+                (1, 1, 1, true),
+                (1, 2, 1, true),
+                (1, 3, 1, true),
+                (2, 1, 0, false),
+                (2, 2, 0, false),
+                (2, 3, 0, false),
+            ]),
+        );
+        // Site 1: driver lags pc at 0, blocked on pb at 1.
+        ledger.apply(SiteId(1), report(&[(1, 4, 0, false), (2, 4, 1, true)]));
+        let g = ledger.wfg();
+        assert!(g.find_cycle().is_some());
+    }
+
+    #[test]
+    fn payload_grows_with_total_membership_not_blocked_count() {
+        // 1 blocked task among 100 members: the ledger still ships 100
+        // entries, the event-based snapshot ships 1 record.
+        let mut r = MembershipReport::default();
+        for i in 0..100 {
+            r.members.entry(p(1)).or_default().insert(t(i), (1, i == 0));
+        }
+        assert_eq!(r.entries(), 100);
+        let mut ledger = MembershipLedger::new();
+        ledger.apply(SiteId(0), r);
+        assert_eq!(ledger.entries(), 100);
+    }
+
+    #[test]
+    fn apply_replaces_a_sites_report() {
+        let mut ledger = MembershipLedger::new();
+        ledger.apply(SiteId(0), report(&[(1, 1, 0, false)]));
+        ledger.apply(SiteId(0), report(&[(1, 1, 1, false), (1, 2, 0, false)]));
+        assert_eq!(ledger.entries(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! The distributed deadlock check: merge partitions, analyse, confirm.
+//!
+//! Armus adapts the one-phase detection algorithm of Kshemkalyani–Singhal:
+//! every site independently pulls the global view and checks it — there is
+//! no designated control site (fault tolerance), and thanks to the
+//! event-based representation the partitions need no cross-site
+//! consistency: each blocked task's status is internally consistent, and
+//! phases only grow. A found cycle is *confirmed* by re-fetching the view
+//! and requiring every `(task, epoch)` pair of the cycle to still be
+//! present — deadlocked tasks can never unblock, so confirmation is
+//! conclusive, while in-flight unblockings disappear.
+
+use armus_core::{checker, CheckStats, DeadlockReport, ModelChoice, Snapshot, TaskId};
+
+use crate::store::{SiteId, Store, StoreError};
+
+/// Merges per-site partitions into one global snapshot. Task ids are
+/// process-unique in this embedding, so a plain concatenation is the
+/// correct join (in a networked deployment ids would be namespaced by
+/// site, which is an injective renaming — nothing else changes).
+pub fn merge(partitions: &[(SiteId, Snapshot)]) -> Snapshot {
+    let mut tasks = Vec::with_capacity(partitions.iter().map(|(_, s)| s.len()).sum());
+    for (_, snap) in partitions {
+        tasks.extend(snap.tasks.iter().cloned());
+    }
+    Snapshot::from_tasks(tasks)
+}
+
+/// Outcome of one distributed check round.
+pub struct DistCheck {
+    /// A *confirmed* deadlock, if any.
+    pub report: Option<DeadlockReport>,
+    /// Statistics of the (first) analysis pass.
+    pub stats: Option<CheckStats>,
+}
+
+/// Runs one check round against the store: fetch, analyse, and on a hit
+/// re-fetch to confirm. Store errors surface as `Err` — callers skip the
+/// round (resilience) rather than fail.
+pub fn check_store(
+    store: &dyn Store,
+    model: ModelChoice,
+    sg_threshold: usize,
+) -> Result<DistCheck, StoreError> {
+    let view = store.fetch_all()?;
+    let merged = merge(&view);
+    if merged.is_empty() {
+        return Ok(DistCheck { report: None, stats: None });
+    }
+    let outcome = checker::check(&merged, model, sg_threshold);
+    let stats = Some(outcome.stats);
+    let Some(report) = outcome.report else {
+        return Ok(DistCheck { report: None, stats });
+    };
+    // Confirmation pass: one more fetch; every participant must still be
+    // in the same blocking operation.
+    let view2 = store.fetch_all()?;
+    let merged2 = merge(&view2);
+    let confirmed = report.task_epochs.iter().all(|&(task, epoch)| {
+        merged2.get(task).map(|info| info.epoch == epoch).unwrap_or(false)
+    });
+    Ok(DistCheck { report: confirmed.then_some(report), stats })
+}
+
+/// Tracks already-reported deadlocks (by participating task set) so each
+/// site reports a given deadlock once.
+#[derive(Default)]
+pub struct ReportDedup {
+    seen: Vec<Vec<TaskId>>,
+}
+
+impl ReportDedup {
+    /// Creates an empty dedup set.
+    pub fn new() -> ReportDedup {
+        ReportDedup::default()
+    }
+
+    /// Returns true when `report` is new (and records it).
+    pub fn is_new(&mut self, report: &DeadlockReport) -> bool {
+        if self.seen.iter().any(|s| *s == report.tasks) {
+            return false;
+        }
+        self.seen.push(report.tasks.clone());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use armus_core::{BlockedInfo, PhaserId, Registration, Resource, DEFAULT_SG_THRESHOLD};
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+    fn p(n: u64) -> PhaserId {
+        PhaserId(n)
+    }
+    fn r(ph: u64, n: u64) -> Resource {
+        Resource::new(p(ph), n)
+    }
+
+    /// The running example split across two sites: workers on site 0,
+    /// driver on site 1 (a distributed clock, as in `at (p) async`).
+    fn split_example(store: &MemStore) {
+        let workers = (1..=3)
+            .map(|i| {
+                BlockedInfo::new(
+                    t(i),
+                    vec![r(1, 1)],
+                    vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+                )
+            })
+            .collect();
+        store.publish(SiteId(0), Snapshot::from_tasks(workers)).unwrap();
+        let driver = BlockedInfo::new(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+        store.publish(SiteId(1), Snapshot::from_tasks(vec![driver])).unwrap();
+    }
+
+    #[test]
+    fn merge_concatenates_partitions() {
+        let store = MemStore::new();
+        split_example(&store);
+        let merged = merge(&store.fetch_all().unwrap());
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn cross_site_deadlock_is_found_and_confirmed() {
+        let store = MemStore::new();
+        split_example(&store);
+        let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        let report = out.report.expect("cross-site cycle");
+        assert!(report.tasks.contains(&t(4)));
+        assert!(out.stats.is_some());
+    }
+
+    #[test]
+    fn unconfirmed_cycles_are_discarded() {
+        // Manually stale: after the first fetch the driver's partition is
+        // replaced with a *newer epoch* for the same task — the confirm
+        // pass must reject. We emulate by wrapping the store so the second
+        // fetch sees different data.
+        struct TwoPhase {
+            inner: MemStore,
+            flips: std::sync::atomic::AtomicU32,
+        }
+        impl Store for TwoPhase {
+            fn publish(&self, s: SiteId, p: Snapshot) -> Result<(), StoreError> {
+                self.inner.publish(s, p)
+            }
+            fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+                let n = self.flips.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if n == 1 {
+                    // Second fetch: the driver unblocked (partition empty).
+                    self.inner.remove(SiteId(1)).unwrap();
+                }
+                self.inner.fetch_all()
+            }
+            fn remove(&self, s: SiteId) -> Result<(), StoreError> {
+                self.inner.remove(s)
+            }
+        }
+        let store = TwoPhase { inner: MemStore::new(), flips: 0.into() };
+        split_example(&store.inner);
+        let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(out.report.is_none(), "stale cycle must not be reported");
+    }
+
+    #[test]
+    fn healthy_partitions_yield_no_report() {
+        let store = MemStore::new();
+        let workers = (1..=3)
+            .map(|i| {
+                BlockedInfo::new(
+                    t(i),
+                    vec![r(1, 1)],
+                    vec![Registration::new(p(1), 1)],
+                )
+            })
+            .collect();
+        store.publish(SiteId(0), Snapshot::from_tasks(workers)).unwrap();
+        let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(out.report.is_none());
+    }
+
+    #[test]
+    fn dedup_reports_once_per_task_set() {
+        let store = MemStore::new();
+        split_example(&store);
+        let mut dedup = ReportDedup::new();
+        let r1 = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD)
+            .unwrap()
+            .report
+            .unwrap();
+        assert!(dedup.is_new(&r1));
+        let r2 = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD)
+            .unwrap()
+            .report
+            .unwrap();
+        assert!(!dedup.is_new(&r2));
+    }
+}

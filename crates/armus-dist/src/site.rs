@@ -1,0 +1,169 @@
+//! A site: one place of the distributed system, with its own runtime, a
+//! publisher thread, and an independent checker thread (paper §5.2: "all
+//! sites check for deadlocks"; "the deadlock checker executes at each site
+//! and does not depend on the cooperation of other sites").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use armus_core::{DeadlockReport, ModelChoice, VerifierConfig, DEFAULT_SG_THRESHOLD};
+use armus_sync::{Runtime, RuntimeConfig};
+use parking_lot::Mutex;
+
+use crate::detector::{check_store, ReportDedup};
+use crate::store::{SiteId, Store};
+
+/// Per-site verification configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteConfig {
+    /// How often the local blocked set is pushed to the store.
+    pub publish_period: Duration,
+    /// How often this site checks the global view (paper: 200 ms).
+    pub check_period: Duration,
+    /// Graph-model selection for the distributed check.
+    pub model: ModelChoice,
+    /// SG-abort threshold.
+    pub sg_threshold: usize,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            publish_period: Duration::from_millis(50),
+            check_period: Duration::from_millis(200),
+            model: ModelChoice::Auto,
+            sg_threshold: DEFAULT_SG_THRESHOLD,
+        }
+    }
+}
+
+/// A running site.
+pub struct Site {
+    id: SiteId,
+    runtime: Arc<Runtime>,
+    stop: Arc<AtomicBool>,
+    checker_stop: Arc<AtomicBool>,
+    reports: Arc<Mutex<Vec<DeadlockReport>>>,
+    publisher: Option<JoinHandle<()>>,
+    checker: Option<JoinHandle<()>>,
+}
+
+impl Site {
+    /// Starts a site against the shared store: spawns its publisher and
+    /// checker threads. Workloads run on [`Site::runtime`].
+    pub fn start(id: SiteId, store: Arc<dyn Store>, cfg: SiteConfig) -> Site {
+        let runtime = Runtime::new(
+            RuntimeConfig::unchecked().with_verifier(VerifierConfig::publish_only()),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let checker_stop = Arc::new(AtomicBool::new(false));
+        let reports = Arc::new(Mutex::new(Vec::new()));
+
+        let publisher = {
+            let runtime = Arc::clone(&runtime);
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("{id}-publisher"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        // Store failures are tolerated: skip the round.
+                        let _ = store.publish(id, runtime.verifier().local_snapshot());
+                        std::thread::sleep(cfg.publish_period);
+                    }
+                    let _ = store.remove(id);
+                })
+                .expect("spawn publisher")
+        };
+
+        let checker = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let checker_stop = Arc::clone(&checker_stop);
+            let reports = Arc::clone(&reports);
+            std::thread::Builder::new()
+                .name(format!("{id}-checker"))
+                .spawn(move || {
+                    let mut dedup = ReportDedup::new();
+                    while !stop.load(Ordering::SeqCst) && !checker_stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(cfg.check_period);
+                        // Fetch failures are tolerated: skip the round.
+                        if let Ok(out) = check_store(store.as_ref(), cfg.model, cfg.sg_threshold)
+                        {
+                            if let Some(report) = out.report {
+                                if dedup.is_new(&report) {
+                                    reports.lock().push(report);
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn checker")
+        };
+
+        Site {
+            id,
+            runtime,
+            stop,
+            checker_stop,
+            reports,
+            publisher: Some(publisher),
+            checker: Some(checker),
+        }
+    }
+
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The runtime workloads should use on this site.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Deadlocks this site's checker has reported.
+    pub fn reports(&self) -> Vec<DeadlockReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Has this site reported any deadlock?
+    pub fn found_deadlock(&self) -> bool {
+        !self.reports.lock().is_empty()
+    }
+
+    /// Kills this site's *checker* thread only (the publisher keeps
+    /// running) — the fault-injection used to show detection survives site
+    /// checker failures: there is no designated control site, so the
+    /// remaining sites still find the deadlock.
+    pub fn kill_checker(&mut self) {
+        self.checker_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.checker.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the site's threads and removes its partition.
+    pub fn stop(mut self) {
+        self.shutdown();
+        if let Some(h) = self.publisher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.checker.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.runtime.shutdown();
+    }
+}
+
+impl Drop for Site {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

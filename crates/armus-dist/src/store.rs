@@ -1,0 +1,220 @@
+//! The global resource-dependency store (paper §5.2).
+//!
+//! The paper keeps the global blocked status in a dedicated Redis server;
+//! each Armus instance periodically updates a disjoint portion of the
+//! global resource-dependency with the contents of its local
+//! resource-dependencies (§5.2). [`MemStore`] reproduces that interaction
+//! surface in-process: per-site partitions, whole-view fetch. The
+//! [`FaultyStore`] wrapper injects the outage behaviour the algorithm must
+//! tolerate ("the algorithm resists (ii) because Redis itself is
+//! fault-tolerant" — here we instead *test* tolerance by making the store
+//! unavailable for windows of time).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use armus_core::Snapshot;
+use parking_lot::Mutex;
+
+/// A site (place) identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// Store failures surfaced to publishers/checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store is (temporarily) unreachable.
+    Unavailable,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global store unavailable")
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The store interface used by sites: publish-partition and fetch-all.
+pub trait Store: Send + Sync {
+    /// Replaces `site`'s partition of the global resource-dependency.
+    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError>;
+
+    /// Fetches every partition (the checker's global view).
+    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError>;
+
+    /// Drops `site`'s partition (site shutdown or failure cleanup).
+    fn remove(&self, site: SiteId) -> Result<(), StoreError>;
+}
+
+/// In-process store: the Redis stand-in.
+#[derive(Default)]
+pub struct MemStore {
+    partitions: Mutex<BTreeMap<SiteId, Snapshot>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
+        self.partitions.lock().insert(site, partition);
+        Ok(())
+    }
+
+    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+        Ok(self.partitions.lock().iter().map(|(&s, p)| (s, p.clone())).collect())
+    }
+
+    fn remove(&self, site: SiteId) -> Result<(), StoreError> {
+        self.partitions.lock().remove(&site);
+        Ok(())
+    }
+}
+
+/// A store wrapper that injects unavailability windows and counts traffic,
+/// for the fault-tolerance tests and the distributed benchmarks.
+pub struct FaultyStore<S> {
+    inner: S,
+    available: AtomicBool,
+    publishes: AtomicU64,
+    fetches: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl<S: Store> FaultyStore<S> {
+    /// Wraps `inner`, initially available.
+    pub fn new(inner: S) -> FaultyStore<S> {
+        FaultyStore {
+            inner,
+            available: AtomicBool::new(true),
+            publishes: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts or ends an outage window.
+    pub fn set_available(&self, available: bool) {
+        self.available.store(available, Ordering::SeqCst);
+    }
+
+    /// Is the store currently serving?
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::SeqCst)
+    }
+
+    /// Successful publishes so far.
+    pub fn publish_count(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Successful fetches so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Operations rejected during outages.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    fn gate(&self) -> Result<(), StoreError> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(StoreError::Unavailable)
+        }
+    }
+}
+
+impl<S: Store> Store for FaultyStore<S> {
+    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
+        self.gate()?;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.inner.publish(site, partition)
+    }
+
+    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+        self.gate()?;
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.inner.fetch_all()
+    }
+
+    fn remove(&self, site: SiteId) -> Result<(), StoreError> {
+        self.gate()?;
+        self.inner.remove(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_core::{BlockedInfo, PhaserId, Registration, Resource, TaskId};
+
+    fn snap(task: u64) -> Snapshot {
+        Snapshot::from_tasks(vec![BlockedInfo::new(
+            TaskId(task),
+            vec![Resource::new(PhaserId(1), 1)],
+            vec![Registration::new(PhaserId(1), 1)],
+        )])
+    }
+
+    #[test]
+    fn publish_replaces_partition() {
+        let store = MemStore::new();
+        store.publish(SiteId(0), snap(1)).unwrap();
+        store.publish(SiteId(1), snap(2)).unwrap();
+        store.publish(SiteId(0), snap(3)).unwrap();
+        let all = store.fetch_all().unwrap();
+        assert_eq!(all.len(), 2);
+        let s0 = &all.iter().find(|(s, _)| *s == SiteId(0)).unwrap().1;
+        assert_eq!(s0.tasks[0].task, TaskId(3), "second publish replaced the first");
+    }
+
+    #[test]
+    fn remove_drops_partition() {
+        let store = MemStore::new();
+        store.publish(SiteId(0), snap(1)).unwrap();
+        store.remove(SiteId(0)).unwrap();
+        assert!(store.fetch_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn faulty_store_rejects_during_outage() {
+        let store = FaultyStore::new(MemStore::new());
+        store.publish(SiteId(0), snap(1)).unwrap();
+        store.set_available(false);
+        assert_eq!(store.publish(SiteId(0), snap(2)), Err(StoreError::Unavailable));
+        assert_eq!(store.fetch_all().unwrap_err(), StoreError::Unavailable);
+        assert_eq!(store.rejected_count(), 2);
+        store.set_available(true);
+        // Data from before the outage survives (the paper's assumption:
+        // the store itself is fault-tolerant).
+        let all = store.fetch_all().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1.tasks[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn traffic_counters_count() {
+        let store = FaultyStore::new(MemStore::new());
+        store.publish(SiteId(0), snap(1)).unwrap();
+        store.publish(SiteId(1), snap(2)).unwrap();
+        store.fetch_all().unwrap();
+        assert_eq!(store.publish_count(), 2);
+        assert_eq!(store.fetch_count(), 1);
+        assert_eq!(store.rejected_count(), 0);
+    }
+}

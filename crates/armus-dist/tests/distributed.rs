@@ -1,0 +1,178 @@
+//! End-to-end distributed detection: cross-site deadlocks, fault
+//! injection on sites and on the store.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use armus_dist::{Cluster, SiteConfig, Store};
+use armus_sync::{Phaser, SyncError};
+
+fn fast_cfg() -> SiteConfig {
+    SiteConfig {
+        publish_period: Duration::from_millis(10),
+        check_period: Duration::from_millis(20),
+        ..Default::default()
+    }
+}
+
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// Plants a two-task crossed-wait deadlock on the given site runtime. The
+/// tasks stay blocked forever (detection reports, never breaks).
+fn plant_deadlock(rt: &Arc<armus_sync::Runtime>) {
+    let p = Phaser::new(rt);
+    let q = Phaser::new(rt);
+    {
+        let p2 = p.clone();
+        rt.spawn_clocked(&[&p, &q], move || {
+            let _ = p2.arrive_and_await();
+        });
+    }
+    {
+        let q2 = q.clone();
+        rt.spawn_clocked(&[&p, &q], move || {
+            let _ = q2.arrive_and_await();
+        });
+    }
+    // Parent leaves both phasers so only the crossed pair remains.
+    p.deregister().unwrap();
+    q.deregister().unwrap();
+}
+
+/// Runs a clean barrier workload on a site runtime.
+fn clean_workload(rt: &Arc<armus_sync::Runtime>) -> Result<(), SyncError> {
+    let ph = Phaser::new(rt);
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let ph2 = ph.clone();
+        handles.push(rt.spawn_clocked(&[&ph], move || -> Result<(), SyncError> {
+            for _ in 0..20 {
+                ph2.arrive_and_await()?;
+            }
+            ph2.deregister()
+        }));
+    }
+    for _ in 0..20 {
+        ph.arrive_and_await()?;
+    }
+    ph.deregister()?;
+    for h in handles {
+        h.join().unwrap()?;
+    }
+    Ok(())
+}
+
+#[test]
+fn clean_cluster_reports_nothing() {
+    let cluster = Cluster::start(3, fast_cfg());
+    cluster.run_on_all(|_i, rt| clean_workload(rt).unwrap());
+    // Give the checkers a few rounds to (not) find anything.
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(!cluster.any_deadlock(), "reports: {:?}", cluster.all_reports());
+    cluster.stop();
+}
+
+#[test]
+fn single_site_deadlock_is_detected_cluster_wide() {
+    let cluster = Cluster::start(3, fast_cfg());
+    plant_deadlock(cluster.sites()[1].runtime());
+    assert!(
+        eventually(Duration::from_secs(10), || cluster.any_deadlock()),
+        "the cluster must detect the planted deadlock"
+    );
+    // Every surviving checker sees the same global view, so eventually all
+    // sites report (no designated control site).
+    assert!(
+        eventually(Duration::from_secs(10), || cluster.reporting_sites().len() == 3),
+        "all sites must report, got {:?}",
+        cluster.reporting_sites()
+    );
+    cluster.stop();
+}
+
+#[test]
+fn detection_survives_checker_failures() {
+    let mut cluster = Cluster::start(3, fast_cfg());
+    // Kill two of the three checkers before planting the deadlock.
+    cluster.sites_mut()[0].kill_checker();
+    cluster.sites_mut()[2].kill_checker();
+    plant_deadlock(cluster.sites()[1].runtime());
+    assert!(
+        eventually(Duration::from_secs(10), || cluster.any_deadlock()),
+        "the one surviving checker must still detect"
+    );
+    let reporting = cluster.reporting_sites();
+    assert_eq!(reporting, vec![armus_dist::SiteId(1)]);
+    cluster.stop();
+}
+
+#[test]
+fn detection_survives_store_outage() {
+    let cluster = Cluster::start(2, fast_cfg());
+    // Outage from the very start: nothing can be published or fetched.
+    cluster.store().set_available(false);
+    plant_deadlock(cluster.sites()[0].runtime());
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(!cluster.any_deadlock(), "nothing can be detected during the outage");
+    assert!(cluster.store().rejected_count() > 0, "rounds were attempted and skipped");
+    // Outage ends: publishing resumes, detection follows.
+    cluster.store().set_available(true);
+    assert!(
+        eventually(Duration::from_secs(10), || cluster.any_deadlock()),
+        "detection must resume after the outage"
+    );
+    cluster.stop();
+}
+
+#[test]
+fn site_partitions_are_disjoint_and_replaced() {
+    let cluster = Cluster::start(2, fast_cfg());
+    // Block one task on site 0 for a while, then release it; the partition
+    // must eventually shrink back to empty.
+    let rt0 = Arc::clone(cluster.sites()[0].runtime());
+    let gate = Phaser::new(&rt0);
+    let waiter = {
+        let g2 = gate.clone();
+        rt0.spawn_clocked(&[&gate], move || {
+            let _ = g2.arrive_and_await();
+        })
+    };
+    // The waiter publishes a blocked status.
+    assert!(eventually(Duration::from_secs(5), || {
+        cluster
+            .store()
+            .fetch_all()
+            .map(|v| v.iter().any(|(s, p)| *s == armus_dist::SiteId(0) && !p.is_empty()))
+            .unwrap_or(false)
+    }));
+    // Release it (the parent arrives), the partition drains.
+    gate.arrive_and_deregister().unwrap();
+    waiter.join().unwrap();
+    assert!(eventually(Duration::from_secs(5), || {
+        cluster
+            .store()
+            .fetch_all()
+            .map(|v| v.iter().all(|(_, p)| p.is_empty()))
+            .unwrap_or(false)
+    }));
+    assert!(!cluster.any_deadlock());
+    cluster.stop();
+}
+
+#[test]
+fn stopping_a_site_removes_its_partition() {
+    let cluster = Cluster::start(2, fast_cfg());
+    let store = Arc::clone(cluster.store());
+    cluster.stop();
+    let parts = store.fetch_all().unwrap();
+    assert!(parts.is_empty(), "stopped sites must clean up: {parts:?}");
+}

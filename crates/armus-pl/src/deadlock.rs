@@ -1,0 +1,222 @@
+//! Deadlocked states (Definitions 3.1 and 3.2) and an independent oracle.
+//!
+//! The oracle is deliberately *not* graph-based: it computes the greatest
+//! set `C` of blocked tasks such that every member waits on a phaser with a
+//! laggard inside `C` — the coinductive reading of Definition 3.1. The
+//! property tests then validate the paper's soundness/completeness theorems
+//! by comparing this oracle against cycle detection on `ϕ(S)`.
+
+use std::collections::BTreeSet;
+
+use crate::state::State;
+use crate::syntax::{Instr, Var};
+
+/// Definition 3.1: `(M, T)` is **totally deadlocked** iff `T ≠ ∅` and every
+/// task `t` has `T(t) = await(p); s` with `M(p)(t) = n` and some
+/// `t′ ∈ dom(T)` with `M(p)(t′) < n`.
+pub fn is_totally_deadlocked(state: &State) -> bool {
+    if state.tasks.is_empty() {
+        return false;
+    }
+    state.tasks.iter().all(|(t, seq)| {
+        let Some(Instr::Await(p)) = seq.first() else { return false };
+        let Some(ph) = state.phasers.get(p) else { return false };
+        let Some(n) = ph.phase_of(t) else { return false };
+        state.tasks.keys().any(|t2| ph.phase_of(t2).map(|m| m < n).unwrap_or(false))
+    })
+}
+
+/// Definition 3.2: `(M, T′ ⊎ T)` is **deadlocked on `T`** iff `(M, T)` is
+/// totally deadlocked. This function returns the *largest* such `T` (the
+/// union of all deadlocked sub-maps), or `None` when the state is not
+/// deadlocked.
+///
+/// Computed as a greatest fixpoint: start from all await-blocked tasks and
+/// repeatedly discard tasks whose awaited phaser has no laggard left in the
+/// candidate set.
+pub fn deadlocked_tasks(state: &State) -> Option<BTreeSet<Var>> {
+    // Candidates: tasks whose head is await on a phaser they are members of.
+    let mut candidates: BTreeSet<Var> = state
+        .tasks
+        .iter()
+        .filter(|(t, seq)| match seq.first() {
+            Some(Instr::Await(p)) => {
+                state.phasers.get(p).map(|ph| ph.phase_of(t).is_some()).unwrap_or(false)
+            }
+            _ => false,
+        })
+        .map(|(t, _)| t.clone())
+        .collect();
+
+    loop {
+        let mut dropped = Vec::new();
+        for t in &candidates {
+            let Some(Instr::Await(p)) = state.tasks[t].first() else { unreachable!() };
+            let ph = &state.phasers[p];
+            let n = ph.phase_of(t).expect("candidate is a member");
+            let has_laggard_inside = candidates
+                .iter()
+                .any(|t2| ph.phase_of(t2).map(|m| m < n).unwrap_or(false));
+            if !has_laggard_inside {
+                dropped.push(t.clone());
+            }
+        }
+        if dropped.is_empty() {
+            break;
+        }
+        for t in dropped {
+            candidates.remove(&t);
+        }
+    }
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates)
+    }
+}
+
+/// Is the state deadlocked (on any task map)?
+pub fn is_deadlocked(state: &State) -> bool {
+    deadlocked_tasks(state).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PhaserState;
+    use crate::syntax::build::*;
+
+    /// Builds the paper's Example 4.1 state `(M1, T1)` (I = 3 workers).
+    pub fn example_4_1() -> State {
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut pc = PhaserState::default();
+        let mut pb = PhaserState::default();
+        for t in ["t1", "t2", "t3"] {
+            pc.0.insert(t.into(), 1);
+            pb.0.insert(t.into(), 0);
+            st.tasks.insert(t.into(), vec![awaitp("pc")]);
+        }
+        pc.0.insert("t4".into(), 0);
+        pb.0.insert("t4".into(), 1);
+        st.tasks.insert("t4".into(), vec![awaitp("pb")]);
+        st.phasers.insert("pc".into(), pc);
+        st.phasers.insert("pb".into(), pb);
+        st
+    }
+
+    #[test]
+    fn example_4_1_is_totally_deadlocked() {
+        let st = example_4_1();
+        assert!(is_totally_deadlocked(&st));
+        assert!(is_deadlocked(&st));
+        let tasks = deadlocked_tasks(&st).unwrap();
+        assert_eq!(tasks.len(), 4);
+    }
+
+    #[test]
+    fn deadlocked_state_with_extra_running_tasks() {
+        // Definition 3.2: adding non-blocked tasks keeps the state
+        // deadlocked (on the blocked sub-map) but not *totally* deadlocked.
+        let mut st = example_4_1();
+        st.tasks.insert("runner".into(), vec![skip(), skip()]);
+        assert!(!is_totally_deadlocked(&st));
+        assert!(is_deadlocked(&st));
+        let tasks = deadlocked_tasks(&st).unwrap();
+        assert!(!tasks.contains("runner"));
+        assert_eq!(tasks.len(), 4);
+    }
+
+    #[test]
+    fn satisfiable_await_is_not_deadlock() {
+        // Two tasks both arrived and awaiting phase 1 of a shared phaser
+        // whose members are all at 1: await holds; nobody is deadlocked.
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("a".into(), 1);
+        p.0.insert("b".into(), 1);
+        st.phasers.insert("p".into(), p);
+        st.tasks.insert("a".into(), vec![awaitp("p")]);
+        st.tasks.insert("b".into(), vec![awaitp("p")]);
+        assert!(!is_deadlocked(&st));
+        assert!(!is_totally_deadlocked(&st));
+    }
+
+    #[test]
+    fn wait_for_external_laggard_is_not_deadlock() {
+        // `a` awaits phase 1 but the laggard `c` is not blocked — the state
+        // can still progress, so it is not deadlocked.
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("a".into(), 1);
+        p.0.insert("c".into(), 0);
+        st.phasers.insert("p".into(), p);
+        st.tasks.insert("a".into(), vec![awaitp("p")]);
+        st.tasks.insert("c".into(), vec![adv("p"), dereg("p")]);
+        assert!(!is_deadlocked(&st));
+    }
+
+    #[test]
+    fn chained_deadlock_closes_over_the_chain() {
+        // a waits on p (laggard b); b waits on q (laggard a): a 2-cycle.
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("a".into(), 1);
+        p.0.insert("b".into(), 0);
+        let mut q = PhaserState::default();
+        q.0.insert("a".into(), 0);
+        q.0.insert("b".into(), 1);
+        st.phasers.insert("p".into(), p);
+        st.phasers.insert("q".into(), q);
+        st.tasks.insert("a".into(), vec![awaitp("p")]);
+        st.tasks.insert("b".into(), vec![awaitp("q")]);
+        let tasks = deadlocked_tasks(&st).unwrap();
+        assert_eq!(tasks.len(), 2);
+    }
+
+    #[test]
+    fn half_open_chain_collapses() {
+        // a waits on b; b waits on a *running* task: the fixpoint drops b,
+        // then a, leaving nothing.
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("a".into(), 1);
+        p.0.insert("b".into(), 0);
+        let mut q = PhaserState::default();
+        q.0.insert("b".into(), 1);
+        q.0.insert("free".into(), 0);
+        st.phasers.insert("p".into(), p);
+        st.phasers.insert("q".into(), q);
+        st.tasks.insert("a".into(), vec![awaitp("p")]);
+        st.tasks.insert("b".into(), vec![awaitp("q")]);
+        st.tasks.insert("free".into(), vec![adv("q"), dereg("q")]);
+        assert!(!is_deadlocked(&st));
+    }
+
+    #[test]
+    fn self_deadlock_via_nonmember_await_is_ignored() {
+        // A task awaiting a phaser it is NOT a member of does not satisfy
+        // the [sync] premise; Definition 3.1 does not classify it (such
+        // states are stuck-but-not-deadlocked in PL's vocabulary).
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("other".into(), 0);
+        st.phasers.insert("p".into(), p);
+        st.tasks.insert("a".into(), vec![awaitp("p")]);
+        st.tasks.insert("other".into(), vec![]);
+        assert!(!is_deadlocked(&st));
+    }
+
+    #[test]
+    fn empty_task_map_is_not_deadlocked() {
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        assert!(!is_totally_deadlocked(&st));
+        assert!(!is_deadlocked(&st));
+    }
+}

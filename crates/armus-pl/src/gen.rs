@@ -1,0 +1,239 @@
+//! Seeded random generators for PL states and programs, used by the
+//! property-test suites (soundness, completeness, WFG/SG equivalence) and
+//! by the fuzzing example.
+//!
+//! Generators are plain functions of an [`rand::Rng`] so they compose with
+//! proptest (`any::<u64>()` seed → deterministic artefact) and stay usable
+//! outside test builds.
+
+use rand::Rng;
+
+use crate::state::{PhaserState, State};
+use crate::syntax::{Instr, Seq};
+
+/// Shape of a generated state.
+#[derive(Clone, Copy, Debug)]
+pub struct StateGenConfig {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of phasers.
+    pub phasers: usize,
+    /// Local phases are drawn from `0..=max_phase`.
+    pub max_phase: u64,
+    /// Probability that a given task is a member of a given phaser.
+    pub membership_density: f64,
+    /// Probability that a task's head instruction is an `await` on one of
+    /// its phasers (the rest are "running" tasks).
+    pub blocked_fraction: f64,
+}
+
+impl Default for StateGenConfig {
+    fn default() -> Self {
+        StateGenConfig {
+            tasks: 6,
+            phasers: 3,
+            max_phase: 3,
+            membership_density: 0.6,
+            blocked_fraction: 0.8,
+        }
+    }
+}
+
+/// Generates a random PL state whose blocked tasks satisfy the `[sync]`
+/// premise (each awaits a phaser it is a member of, at its own local
+/// phase), which is the shape reachable PL states have.
+pub fn gen_state(rng: &mut impl Rng, cfg: &StateGenConfig) -> State {
+    let mut st = State::initial(vec![]);
+    st.tasks.clear();
+    let task_names: Vec<String> = (0..cfg.tasks).map(|i| format!("t{i}")).collect();
+    let phaser_names: Vec<String> = (0..cfg.phasers).map(|i| format!("p{i}")).collect();
+
+    for p in &phaser_names {
+        let mut ph = PhaserState::default();
+        for t in &task_names {
+            if rng.gen_bool(cfg.membership_density) {
+                ph.0.insert(t.clone(), rng.gen_range(0..=cfg.max_phase));
+            }
+        }
+        st.phasers.insert(p.clone(), ph);
+    }
+
+    for t in &task_names {
+        let my_phasers: Vec<&String> = phaser_names
+            .iter()
+            .filter(|p| st.phasers[*p].phase_of(t).is_some())
+            .collect();
+        let blocked = !my_phasers.is_empty() && rng.gen_bool(cfg.blocked_fraction);
+        let seq: Seq = if blocked {
+            let p = my_phasers[rng.gen_range(0..my_phasers.len())].clone();
+            vec![Instr::Await(p)]
+        } else {
+            // A runnable task: skip or an advance on some phaser.
+            if my_phasers.is_empty() || rng.gen_bool(0.5) {
+                vec![Instr::Skip]
+            } else {
+                let p = my_phasers[rng.gen_range(0..my_phasers.len())].clone();
+                vec![Instr::Adv(p)]
+            }
+        };
+        st.tasks.insert(t.clone(), seq);
+    }
+    st
+}
+
+/// Shape of a generated program.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgGenConfig {
+    /// Maximum phasers created by the main task.
+    pub max_phasers: usize,
+    /// Maximum forked tasks.
+    pub max_forks: usize,
+    /// Maximum barrier steps (`adv;await` pairs) per body.
+    pub max_steps: usize,
+    /// Probability a forked task forgets its `dereg` (the classic missing-
+    /// participant bug) — the knob that makes deadlocks likely.
+    pub missing_dereg_prob: f64,
+    /// Probability the main task forgets to advance a phaser it is
+    /// registered with before its own await (the Figure 1 bug).
+    pub missing_adv_prob: f64,
+}
+
+impl Default for ProgGenConfig {
+    fn default() -> Self {
+        ProgGenConfig {
+            max_phasers: 3,
+            max_forks: 4,
+            max_steps: 3,
+            missing_dereg_prob: 0.3,
+            missing_adv_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random barrier program in the SPMD-with-driver shape of the
+/// paper's running example: the main task creates phasers, forks workers
+/// registered with random subsets, everyone steps a random number of
+/// times, and the generator deliberately plants missing-arrival and
+/// missing-deregistration bugs with the configured probabilities.
+pub fn gen_program(rng: &mut impl Rng, cfg: &ProgGenConfig) -> Seq {
+    let phasers = rng.gen_range(1..=cfg.max_phasers.max(1));
+    let forks = rng.gen_range(1..=cfg.max_forks.max(1));
+    let phaser_names: Vec<String> = (0..phasers).map(|i| format!("ph{i}")).collect();
+
+    let mut prog: Seq = Vec::new();
+    for p in &phaser_names {
+        prog.push(Instr::NewPhaser(p.clone()));
+    }
+
+    for f in 0..forks {
+        let t = format!("w{f}");
+        prog.push(Instr::NewTid(t.clone()));
+        // Register the worker with a random nonempty subset of phasers.
+        let mut mine = Vec::new();
+        for p in &phaser_names {
+            if rng.gen_bool(0.7) {
+                mine.push(p.clone());
+            }
+        }
+        if mine.is_empty() {
+            mine.push(phaser_names[rng.gen_range(0..phaser_names.len())].clone());
+        }
+        for p in &mine {
+            prog.push(Instr::Reg(t.clone(), p.clone()));
+        }
+        // Worker body: barrier steps over its phasers, then (maybe) deregs.
+        let mut body: Seq = Vec::new();
+        let steps = rng.gen_range(1..=cfg.max_steps.max(1));
+        for _ in 0..steps {
+            body.push(Instr::Skip);
+            for p in &mine {
+                body.push(Instr::Adv(p.clone()));
+                body.push(Instr::Await(p.clone()));
+            }
+        }
+        for p in &mine {
+            if !rng.gen_bool(cfg.missing_dereg_prob) {
+                body.push(Instr::Dereg(p.clone()));
+            }
+        }
+        prog.push(Instr::Fork(t, body));
+    }
+
+    // Main tail: for each phaser, either participate correctly (advance in
+    // step with the workers), drop out, or (bug) just await.
+    for p in &phaser_names {
+        if rng.gen_bool(cfg.missing_adv_prob) {
+            // Figure 1 bug: registered but never advancing; half the time
+            // the main task even blocks on the phaser itself.
+            if rng.gen_bool(0.5) {
+                prog.push(Instr::Adv(p.clone()));
+                prog.push(Instr::Await(p.clone()));
+            }
+        } else {
+            prog.push(Instr::Dereg(p.clone()));
+        }
+    }
+    prog.push(Instr::Skip);
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gen_state_blocked_tasks_satisfy_sync_premise() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let st = gen_state(&mut rng, &StateGenConfig::default());
+            for (t, seq) in &st.tasks {
+                if let Some(Instr::Await(p)) = seq.first() {
+                    assert!(
+                        st.phasers[p].phase_of(t).is_some(),
+                        "blocked task must be a member of its awaited phaser"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gen_state_is_deterministic_per_seed() {
+        let a = gen_state(&mut SmallRng::seed_from_u64(3), &StateGenConfig::default());
+        let b = gen_state(&mut SmallRng::seed_from_u64(3), &StateGenConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gen_program_produces_wellformed_sequences() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let prog = gen_program(&mut rng, &ProgGenConfig::default());
+            // Every program parses back after pretty-printing: a cheap
+            // well-formedness proxy that exercises both directions.
+            let printed = crate::syntax::pretty(&prog);
+            let reparsed = crate::parser::parse(&printed).expect("generated program parses");
+            assert_eq!(reparsed, prog);
+        }
+    }
+
+    #[test]
+    fn buggy_generator_actually_produces_deadlocks_sometimes() {
+        use crate::deadlock::is_deadlocked;
+        use crate::semantics::{Outcome, RandomScheduler};
+        let mut rng = SmallRng::seed_from_u64(23);
+        let cfg = ProgGenConfig { missing_adv_prob: 0.9, missing_dereg_prob: 0.9, ..Default::default() };
+        let mut deadlocks = 0;
+        for seed in 0..40u64 {
+            let prog = gen_program(&mut rng, &cfg);
+            let (outcome, st) =
+                RandomScheduler::new(seed).run(State::initial(prog), 20_000, |_| {});
+            if outcome == Outcome::Stuck && is_deadlocked(&st) {
+                deadlocks += 1;
+            }
+        }
+        assert!(deadlocks > 0, "the bug knobs must produce at least one deadlock in 40 runs");
+    }
+}

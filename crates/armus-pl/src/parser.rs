@@ -1,0 +1,380 @@
+//! A concrete syntax for PL with a hand-rolled lexer and recursive-descent
+//! parser, inverse to [`crate::syntax::pretty`].
+//!
+//! ```text
+//! pc = newPhaser();
+//! t = newTid();
+//! reg(pc, t);
+//! fork(t) {
+//!   loop { skip; adv(pc); await(pc); }
+//!   dereg(pc);
+//! }
+//! adv(pc); await(pc);   // comments run to end of line
+//! ```
+
+use std::fmt;
+
+use crate::syntax::{Instr, Seq};
+
+/// A parse error with 1-based line/column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Eq,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line, col: self.col }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Tokenises the whole input, tagging each token with its position.
+    fn tokens(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            let tok = match b {
+                b'=' => {
+                    self.bump();
+                    Tok::Eq
+                }
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' || b == b'#' => {
+                    let mut ident = String::new();
+                    while let Some(b) = self.peek() {
+                        if b.is_ascii_alphanumeric() || b == b'_' || b == b'#' {
+                            ident.push(b as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(ident)
+                }
+                other => return Err(self.error(format!("unexpected character {:?}", other as char))),
+            };
+            out.push((tok, line, col));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .map(|&(_, l, c)| (l, c))
+            .or_else(|| self.toks.last().map(|&(_, l, c)| (l, c)))
+            .unwrap_or((1, 1));
+        ParseError { message: message.into(), line, col }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_at(format!("expected {want:?}, found {t:?}")))
+            }
+            None => Err(self.error_at(format!("expected {want:?}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_at(format!("expected identifier, found {t:?}")))
+            }
+            None => Err(self.error_at("expected identifier, found end of input")),
+        }
+    }
+
+    /// seq := instr* ; stops at `}` or EOF.
+    fn seq(&mut self) -> Result<Seq, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(Tok::RBrace) => return Ok(out),
+                _ => out.push(self.instr()?),
+            }
+        }
+    }
+
+    fn instr(&mut self) -> Result<Instr, ParseError> {
+        let ident = self.expect_ident()?;
+        match ident.as_str() {
+            "fork" => {
+                self.expect(Tok::LParen)?;
+                let t = self.expect_ident()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let body = self.seq()?;
+                self.expect(Tok::RBrace)?;
+                Ok(Instr::Fork(t, body))
+            }
+            "loop" => {
+                self.expect(Tok::LBrace)?;
+                let body = self.seq()?;
+                self.expect(Tok::RBrace)?;
+                Ok(Instr::Loop(body))
+            }
+            "skip" => {
+                self.expect(Tok::Semi)?;
+                Ok(Instr::Skip)
+            }
+            "reg" => {
+                self.expect(Tok::LParen)?;
+                let p = self.expect_ident()?;
+                self.expect(Tok::Comma)?;
+                let t = self.expect_ident()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Instr::Reg(t, p))
+            }
+            "dereg" | "adv" | "await" => {
+                self.expect(Tok::LParen)?;
+                let p = self.expect_ident()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(match ident.as_str() {
+                    "dereg" => Instr::Dereg(p),
+                    "adv" => Instr::Adv(p),
+                    _ => Instr::Await(p),
+                })
+            }
+            _ => {
+                // Binding form: `x = newTid();` or `x = newPhaser();`
+                self.expect(Tok::Eq)?;
+                let func = self.expect_ident()?;
+                self.expect(Tok::LParen)?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                match func.as_str() {
+                    "newTid" => Ok(Instr::NewTid(ident)),
+                    "newPhaser" => Ok(Instr::NewPhaser(ident)),
+                    other => Err(self.error_at(format!(
+                        "expected newTid or newPhaser on the right of `=`, found {other}"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// Parses a PL program.
+pub fn parse(src: &str) -> Result<Seq, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut parser = Parser { toks, pos: 0 };
+    let seq = parser.seq()?;
+    if parser.pos != parser.toks.len() {
+        return Err(parser.error_at("trailing input after program"));
+    }
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{build::*, pretty};
+
+    #[test]
+    fn parses_figure_3() {
+        let src = r#"
+            pc = newPhaser();
+            pb = newPhaser();
+            loop {
+              t = newTid();
+              reg(pc, t); reg(pb, t);
+              fork(t) {
+                loop {
+                  skip;
+                  adv(pc); await(pc);   // cyclic barrier step
+                  skip;
+                  adv(pc); await(pc);
+                }
+                dereg(pc);
+                dereg(pb);              // notify finish
+              }
+            }
+            adv(pb); await(pb);         // join barrier step
+            skip;
+        "#;
+        let prog = parse(src).expect("figure 3 parses");
+        assert_eq!(prog.len(), 6);
+        assert_eq!(prog[0], new_phaser("pc"));
+        assert!(matches!(&prog[2], Instr::Loop(body) if body.len() == 4));
+        assert_eq!(prog[4], awaitp("pb"));
+    }
+
+    #[test]
+    fn round_trips_pretty_printed_programs() {
+        let prog = vec![
+            new_phaser("pc"),
+            new_tid("t"),
+            reg("pc", "t"),
+            fork("t", vec![ploop(vec![adv("pc"), awaitp("pc")]), dereg("pc")]),
+            adv("pc"),
+            awaitp("pc"),
+            skip(),
+        ];
+        let printed = pretty(&prog);
+        let reparsed = parse(&printed).expect("pretty output parses");
+        assert_eq!(reparsed, prog);
+    }
+
+    #[test]
+    fn reg_keeps_phaser_then_task_order() {
+        let prog = parse("reg(pc, t);").unwrap();
+        assert_eq!(prog, vec![Instr::Reg("t".into(), "pc".into())]);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("adv(p)").unwrap_err(); // missing semicolon
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("Semi"));
+        let err = parse("x = what();").unwrap_err();
+        assert!(err.message.contains("newTid or newPhaser"));
+        let err = parse("loop { skip; ").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn rejects_garbage_characters() {
+        let err = parse("adv(p); $").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse("skip; )").unwrap_err();
+        assert!(err.message.contains("trailing") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let prog = parse("// header\n  skip; // tail\n\n\tskip;").unwrap();
+        assert_eq!(prog, vec![skip(), skip()]);
+    }
+
+    #[test]
+    fn generated_names_parse() {
+        let prog = parse("adv(#p0); await(#p0);").unwrap();
+        assert_eq!(prog, vec![adv("#p0"), awaitp("#p0")]);
+    }
+}

@@ -1,0 +1,163 @@
+//! The `ϕ` abstraction (Definition 4.1): from a PL state to the
+//! resource-dependency state `(I, W)` consumed by the graph analysis.
+//!
+//! `W` maps each blocked task to the event it awaits; `I` maps each awaited
+//! event to the tasks registered below its phase. In the implementation the
+//! pair is carried as an [`armus_core::Snapshot`]: per blocked task, its
+//! waits and its per-phaser local phases (the finite representation of its
+//! impede set). PL names are interned to numeric ids; the interner is
+//! returned so reports can be translated back.
+
+use std::collections::BTreeMap;
+
+use armus_core::{BlockedInfo, PhaserId, Registration, Resource, Snapshot, TaskId};
+
+use crate::state::State;
+use crate::syntax::Instr;
+
+/// Bidirectional interner between PL names and verifier ids.
+#[derive(Clone, Debug, Default)]
+pub struct NameTable {
+    tasks: BTreeMap<String, TaskId>,
+    phasers: BTreeMap<String, PhaserId>,
+}
+
+impl NameTable {
+    /// The id of task `name`, interning it if new.
+    pub fn task(&mut self, name: &str) -> TaskId {
+        let next = TaskId(self.tasks.len() as u64 + 1);
+        *self.tasks.entry(name.to_string()).or_insert(next)
+    }
+
+    /// The id of phaser `name`, interning it if new.
+    pub fn phaser(&mut self, name: &str) -> PhaserId {
+        let next = PhaserId(self.phasers.len() as u64 + 1);
+        *self.phasers.entry(name.to_string()).or_insert(next)
+    }
+
+    /// Reverse lookup of a task id.
+    pub fn task_name(&self, id: TaskId) -> Option<&str> {
+        self.tasks.iter().find(|(_, &v)| v == id).map(|(k, _)| k.as_str())
+    }
+
+    /// Reverse lookup of a phaser id.
+    pub fn phaser_name(&self, id: PhaserId) -> Option<&str> {
+        self.phasers.iter().find(|(_, &v)| v == id).map(|(k, _)| k.as_str())
+    }
+}
+
+/// `ϕ(M, T)`: the resource-dependency snapshot of `state`.
+///
+/// A task contributes iff its head instruction is `await(p)` with
+/// `M(p)(t) = n` (the [sync] premise): it waits `res(p, n)` and impedes,
+/// for every phaser `q` it is registered with, the events of `q` above its
+/// local phase.
+pub fn phi(state: &State) -> (Snapshot, NameTable) {
+    let mut names = NameTable::default();
+    let mut tasks = Vec::new();
+    for (t, seq) in &state.tasks {
+        let Some(Instr::Await(p)) = seq.first() else { continue };
+        let Some(ph) = state.phasers.get(p) else { continue };
+        let Some(n) = ph.phase_of(t) else { continue };
+        let task_id = names.task(t);
+        let waits = vec![Resource::new(names.phaser(p), n)];
+        let mut registered = Vec::new();
+        for (q, qph) in &state.phasers {
+            if let Some(m) = qph.phase_of(t) {
+                registered.push(Registration::new(names.phaser(q), m));
+            }
+        }
+        tasks.push(BlockedInfo::new(task_id, waits, registered));
+    }
+    (Snapshot::from_tasks(tasks), names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PhaserState;
+    use crate::syntax::build::*;
+    use armus_core::{checker, ModelChoice, DEFAULT_SG_THRESHOLD};
+
+    /// Example 4.1 again (shared with the deadlock tests).
+    fn example_4_1() -> State {
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut pc = PhaserState::default();
+        let mut pb = PhaserState::default();
+        for t in ["t1", "t2", "t3"] {
+            pc.0.insert(t.into(), 1);
+            pb.0.insert(t.into(), 0);
+            st.tasks.insert(t.into(), vec![awaitp("pc")]);
+        }
+        pc.0.insert("t4".into(), 0);
+        pb.0.insert("t4".into(), 1);
+        st.tasks.insert("t4".into(), vec![awaitp("pb")]);
+        st.phasers.insert("pc".into(), pc);
+        st.phasers.insert("pb".into(), pb);
+        st
+    }
+
+    #[test]
+    fn phi_of_example_4_1_matches_the_paper() {
+        let (snap, mut names) = phi(&example_4_1());
+        assert_eq!(snap.len(), 4, "all four tasks are blocked");
+        let pc = names.phaser("pc");
+        let pb = names.phaser("pb");
+        // W1 = { t1:{r1}, t2:{r1}, t3:{r1}, t4:{r2} }
+        for t in ["t1", "t2", "t3"] {
+            let id = names.task(t);
+            let info = snap.get(id).unwrap();
+            assert_eq!(info.waits, vec![Resource::new(pc, 1)]);
+        }
+        let t4 = names.task("t4");
+        assert_eq!(snap.get(t4).unwrap().waits, vec![Resource::new(pb, 1)]);
+        // I1: t4 impedes r1 = pc@1; workers impede r2 = pb@1.
+        assert!(snap.get(t4).unwrap().impedes(Resource::new(pc, 1)));
+        for t in ["t1", "t2", "t3"] {
+            let id = names.task(t);
+            assert!(snap.get(id).unwrap().impedes(Resource::new(pb, 1)));
+            assert!(!snap.get(id).unwrap().impedes(Resource::new(pc, 1)));
+        }
+    }
+
+    #[test]
+    fn phi_feeds_the_checker_like_the_paper_says() {
+        let (snap, _) = phi(&example_4_1());
+        for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
+            let out = checker::check(&snap, choice, DEFAULT_SG_THRESHOLD);
+            assert!(out.report.is_some(), "{choice} must find the deadlock");
+        }
+    }
+
+    #[test]
+    fn phi_skips_nonblocked_and_nonmember_awaits() {
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        let mut p = PhaserState::default();
+        p.0.insert("member".into(), 0);
+        st.phasers.insert("p".into(), p);
+        // Running task: not in ϕ.
+        st.tasks.insert("runner".into(), vec![skip()]);
+        // Awaiting a phaser it is not a member of: no [sync] premise.
+        st.tasks.insert("outsider".into(), vec![awaitp("p")]);
+        // Member awaiting: in ϕ.
+        st.tasks.insert("member".into(), vec![awaitp("p")]);
+        let (snap, mut names) = phi(&st);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.tasks[0].task, names.task("member"));
+    }
+
+    #[test]
+    fn name_table_round_trips() {
+        let mut names = NameTable::default();
+        let a = names.task("alpha");
+        let b = names.task("beta");
+        assert_ne!(a, b);
+        assert_eq!(names.task("alpha"), a, "stable on re-intern");
+        assert_eq!(names.task_name(a), Some("alpha"));
+        let p = names.phaser("pc");
+        assert_eq!(names.phaser_name(p), Some("pc"));
+        assert_eq!(names.phaser_name(PhaserId(99)), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! PL run-time states (paper §3, Figure 4 upper half).
+//!
+//! A state `S = (M, T)` pairs a phaser map `M` (phaser names to phasers)
+//! with a task map `T` (task names to instruction sequences). A phaser `P`
+//! maps member task names to local phases; `await(P, n)` holds when every
+//! member's phase is at least `n`.
+
+use std::collections::BTreeMap;
+
+use crate::syntax::{Seq, Var};
+
+/// A phaser `P`: members to local phases.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaserState(pub BTreeMap<Var, u64>);
+
+impl PhaserState {
+    /// The singleton phaser `{t: 0}` created by `newPhaser`.
+    pub fn singleton(task: &str) -> PhaserState {
+        let mut map = BTreeMap::new();
+        map.insert(task.to_string(), 0);
+        PhaserState(map)
+    }
+
+    /// `await(P, n)`: every member has local phase at least `n`.
+    pub fn await_holds(&self, n: u64) -> bool {
+        self.0.values().all(|&m| m >= n)
+    }
+
+    /// `P --reg(t, n)--> P ⊎ {t: n}`, with the rule's premises:
+    /// `t ∉ dom(P)` and `∃t′: P(t′) ≤ n` (a member must witness that the
+    /// inherited phase does not run ahead of the whole phaser).
+    pub fn reg(&mut self, task: &str, phase: u64) -> Result<(), PhaserOpError> {
+        if self.0.contains_key(task) {
+            return Err(PhaserOpError::AlreadyMember);
+        }
+        if !self.0.values().any(|&m| m <= phase) {
+            return Err(PhaserOpError::NoWitness);
+        }
+        self.0.insert(task.to_string(), phase);
+        Ok(())
+    }
+
+    /// `P ⊎ {t: n} --dereg(t)--> P`.
+    pub fn dereg(&mut self, task: &str) -> Result<(), PhaserOpError> {
+        self.0.remove(task).map(|_| ()).ok_or(PhaserOpError::NotMember)
+    }
+
+    /// `P ⊎ {t: n} --adv(t)--> P ⊎ {t: n+1}`.
+    pub fn adv(&mut self, task: &str) -> Result<(), PhaserOpError> {
+        match self.0.get_mut(task) {
+            Some(n) => {
+                *n += 1;
+                Ok(())
+            }
+            None => Err(PhaserOpError::NotMember),
+        }
+    }
+
+    /// Local phase of `task`, if a member.
+    pub fn phase_of(&self, task: &str) -> Option<u64> {
+        self.0.get(task).copied()
+    }
+}
+
+/// Why a phaser operation's premises failed (the transition is simply not
+/// enabled; PL has no run-time errors, only stuck configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaserOpError {
+    /// `reg` of an existing member (violates the disjoint union).
+    AlreadyMember,
+    /// `reg` with no member at or below the inherited phase.
+    NoWitness,
+    /// `dereg`/`adv` by a non-member.
+    NotMember,
+}
+
+/// A PL state `(M, T)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct State {
+    /// The phaser map `M`.
+    pub phasers: BTreeMap<Var, PhaserState>,
+    /// The task map `T`.
+    pub tasks: BTreeMap<Var, Seq>,
+    /// Fresh-name counter (names are `#t0, #t1, …` / `#p0, #p1, …`).
+    pub next_fresh: u64,
+}
+
+impl State {
+    /// The initial state of a program: one root task running `program`.
+    pub fn initial(program: Seq) -> State {
+        let mut tasks = BTreeMap::new();
+        tasks.insert("#main".to_string(), program);
+        State { phasers: BTreeMap::new(), tasks, next_fresh: 0 }
+    }
+
+    /// Draws a fresh task name.
+    pub fn fresh_task(&mut self) -> Var {
+        let name = format!("#t{}", self.next_fresh);
+        self.next_fresh += 1;
+        name
+    }
+
+    /// Draws a fresh phaser name.
+    pub fn fresh_phaser(&mut self) -> Var {
+        let name = format!("#p{}", self.next_fresh);
+        self.next_fresh += 1;
+        name
+    }
+
+    /// All tasks whose sequence is exhausted (`end`).
+    pub fn finished_tasks(&self) -> impl Iterator<Item = &Var> {
+        self.tasks.iter().filter(|(_, s)| s.is_empty()).map(|(t, _)| t)
+    }
+
+    /// True when every task has terminated.
+    pub fn all_finished(&self) -> bool {
+        self.tasks.values().all(|s| s.is_empty())
+    }
+
+    /// The tasks blocked on an `await` whose condition currently fails:
+    /// `(task, phaser, phase)` triples. These are the candidates for
+    /// deadlock analysis.
+    pub fn blocked_awaits(&self) -> Vec<(Var, Var, u64)> {
+        let mut out = Vec::new();
+        for (t, seq) in &self.tasks {
+            if let Some(crate::syntax::Instr::Await(p)) = seq.first() {
+                if let Some(ph) = self.phasers.get(p) {
+                    if let Some(n) = ph.phase_of(t) {
+                        if !ph.await_holds(n) {
+                            out.push((t.clone(), p.clone(), n));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::build::*;
+
+    #[test]
+    fn await_predicate_matches_definition() {
+        let mut p = PhaserState::singleton("a");
+        p.reg("b", 0).unwrap();
+        assert!(p.await_holds(0));
+        assert!(!p.await_holds(1));
+        p.adv("a").unwrap();
+        assert!(!p.await_holds(1), "b still at 0");
+        p.adv("b").unwrap();
+        assert!(p.await_holds(1));
+        // Empty phaser: await holds vacuously.
+        p.dereg("a").unwrap();
+        p.dereg("b").unwrap();
+        assert!(p.await_holds(99));
+    }
+
+    #[test]
+    fn reg_premises() {
+        let mut p = PhaserState::singleton("a");
+        assert_eq!(p.reg("a", 0), Err(PhaserOpError::AlreadyMember));
+        // Joining ahead is fine: `a` at 0 witnesses `∃t′: P(t′) ≤ 5`.
+        assert_eq!(p.reg("b", 5), Ok(()));
+        // Joining *below every member* is refused ([reg] premise): no
+        // member sits at or below the inherited phase.
+        let mut q = PhaserState::default();
+        q.0.insert("x".into(), 3);
+        assert_eq!(q.reg("y", 2), Err(PhaserOpError::NoWitness));
+        assert_eq!(q.reg("y", 3), Ok(()));
+    }
+
+    #[test]
+    fn dereg_and_adv_require_membership() {
+        let mut p = PhaserState::singleton("a");
+        assert_eq!(p.dereg("x"), Err(PhaserOpError::NotMember));
+        assert_eq!(p.adv("x"), Err(PhaserOpError::NotMember));
+        assert_eq!(p.adv("a"), Ok(()));
+        assert_eq!(p.phase_of("a"), Some(1));
+        assert_eq!(p.dereg("a"), Ok(()));
+        assert_eq!(p.phase_of("a"), None);
+    }
+
+    #[test]
+    fn fresh_names_never_collide() {
+        let mut st = State::initial(vec![]);
+        let a = st.fresh_task();
+        let b = st.fresh_phaser();
+        let c = st.fresh_task();
+        assert_ne!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn blocked_awaits_lists_unsatisfied_waits_only() {
+        let mut st = State::initial(vec![awaitp("#p0")]);
+        let mut ph = PhaserState::singleton("#main");
+        ph.reg("#t1", 0).unwrap();
+        st.phasers.insert("#p0".into(), ph);
+        st.tasks.insert("#t1".into(), vec![]);
+        // #main at phase 0, awaiting 0: satisfied, not blocked.
+        assert!(st.blocked_awaits().is_empty());
+        st.phasers.get_mut("#p0").unwrap().adv("#main").unwrap();
+        // Now #main awaits 1 but #t1 is at 0: blocked.
+        let blocked = st.blocked_awaits();
+        assert_eq!(blocked, vec![("#main".to_string(), "#p0".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Abstract syntax of PL (paper §3).
+//!
+//! ```text
+//! s ::= c; s | end
+//! c ::= t = newTid() | fork(t) s | p = newPhaser() | reg(t, p)
+//!     | dereg(p) | adv(p) | await(p) | loop s | skip
+//! ```
+//!
+//! Variables and run-time names share one namespace of strings; the
+//! operational semantics replaces bound variables with freshly generated
+//! names by substitution, exactly as in Figure 4 (`s[t''/t']`, `s[q/p]`).
+
+use std::fmt;
+
+/// A variable or run-time name (task or phaser).
+pub type Var = String;
+
+/// An instruction sequence `s`; the empty vector is `end`.
+pub type Seq = Vec<Instr>;
+
+/// An instruction `c`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Instr {
+    /// `t = newTid()`: binds `t` to a fresh task name in the continuation.
+    NewTid(Var),
+    /// `fork(t) s`: starts task `t` (created by `newTid`) with body `s`.
+    Fork(Var, Seq),
+    /// `p = newPhaser()`: creates a phaser, registers the current task at
+    /// phase 0, and binds `p` in the continuation.
+    NewPhaser(Var),
+    /// `reg(t, p)`: registers task `t` with phaser `p`; `t` inherits the
+    /// current task's phase.
+    Reg(Var, Var),
+    /// `dereg(p)`: revokes the current task's membership of `p`.
+    Dereg(Var),
+    /// `adv(p)`: advances the current task's local phase on `p`.
+    Adv(Var),
+    /// `await(p)`: blocks until every member of `p` reaches the current
+    /// task's local phase.
+    Await(Var),
+    /// `loop s`: unfolds its body an arbitrary number of times (possibly
+    /// zero) — the abstraction of loops and conditionals.
+    Loop(Seq),
+    /// `skip`: data-related operations.
+    Skip,
+}
+
+impl Instr {
+    /// The variable this instruction binds in its continuation, if any.
+    pub fn binder(&self) -> Option<&Var> {
+        match self {
+            Instr::NewTid(v) | Instr::NewPhaser(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Capture-avoiding substitution `s[name/var]` over a sequence: replaces
+/// free occurrences of `var` with `name`, stopping at rebinding.
+pub fn subst_seq(seq: &[Instr], var: &str, name: &str) -> Seq {
+    let mut out = Vec::with_capacity(seq.len());
+    for (i, instr) in seq.iter().enumerate() {
+        let rebinds = instr.binder().map(|b| b == var).unwrap_or(false);
+        out.push(subst_instr(instr, var, name));
+        if rebinds {
+            // The rest of the sequence sees the new binding; copy verbatim.
+            out.extend_from_slice(&seq[i + 1..]);
+            return out;
+        }
+    }
+    out
+}
+
+fn subst_instr(instr: &Instr, var: &str, name: &str) -> Instr {
+    let sv = |v: &Var| if v == var { name.to_string() } else { v.clone() };
+    match instr {
+        // Binders themselves never contain free occurrences.
+        Instr::NewTid(v) => Instr::NewTid(v.clone()),
+        Instr::NewPhaser(v) => Instr::NewPhaser(v.clone()),
+        Instr::Fork(t, body) => Instr::Fork(sv(t), subst_seq(body, var, name)),
+        Instr::Reg(t, p) => Instr::Reg(sv(t), sv(p)),
+        Instr::Dereg(p) => Instr::Dereg(sv(p)),
+        Instr::Adv(p) => Instr::Adv(sv(p)),
+        Instr::Await(p) => Instr::Await(sv(p)),
+        Instr::Loop(body) => Instr::Loop(subst_seq(body, var, name)),
+        Instr::Skip => Instr::Skip,
+    }
+}
+
+/// Free variables of a sequence (used by the `q ∉ fv(s)` side conditions
+/// and by the program generators).
+pub fn free_vars(seq: &[Instr]) -> Vec<Var> {
+    let mut out = Vec::new();
+    collect_free(seq, &mut Vec::new(), &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_free(seq: &[Instr], bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+    let mut pushed = 0usize;
+    for instr in seq {
+        let mut add = |v: &Var| {
+            if !bound.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match instr {
+            Instr::NewTid(v) | Instr::NewPhaser(v) => {
+                bound.push(v.clone());
+                pushed += 1;
+            }
+            Instr::Fork(t, body) => {
+                add(t);
+                collect_free(body, bound, out);
+            }
+            Instr::Reg(t, p) => {
+                add(t);
+                add(p);
+            }
+            Instr::Dereg(p) | Instr::Adv(p) | Instr::Await(p) => add(p),
+            Instr::Loop(body) => collect_free(body, bound, out),
+            Instr::Skip => {}
+        }
+    }
+    bound.truncate(bound.len() - pushed);
+}
+
+/// Pretty-prints a sequence in the concrete syntax accepted by
+/// [`crate::parser::parse`].
+pub fn pretty(seq: &[Instr]) -> String {
+    let mut out = String::new();
+    pretty_seq(seq, 0, &mut out);
+    out
+}
+
+fn pretty_seq(seq: &[Instr], indent: usize, out: &mut String) {
+    for instr in seq {
+        pretty_instr(instr, indent, out);
+    }
+}
+
+fn pretty_instr(instr: &Instr, indent: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(indent);
+    match instr {
+        Instr::NewTid(v) => writeln!(out, "{pad}{v} = newTid();").unwrap(),
+        Instr::NewPhaser(v) => writeln!(out, "{pad}{v} = newPhaser();").unwrap(),
+        Instr::Fork(t, body) => {
+            writeln!(out, "{pad}fork({t}) {{").unwrap();
+            pretty_seq(body, indent + 1, out);
+            writeln!(out, "{pad}}}").unwrap();
+        }
+        Instr::Reg(t, p) => writeln!(out, "{pad}reg({p}, {t});").unwrap(),
+        Instr::Dereg(p) => writeln!(out, "{pad}dereg({p});").unwrap(),
+        Instr::Adv(p) => writeln!(out, "{pad}adv({p});").unwrap(),
+        Instr::Await(p) => writeln!(out, "{pad}await({p});").unwrap(),
+        Instr::Loop(body) => {
+            writeln!(out, "{pad}loop {{").unwrap();
+            pretty_seq(body, indent + 1, out);
+            writeln!(out, "{pad}}}").unwrap();
+        }
+        Instr::Skip => writeln!(out, "{pad}skip;").unwrap(),
+    }
+}
+
+/// Builder helpers for writing PL programs in Rust (used by tests and the
+/// examples).
+pub mod build {
+    use super::{Instr, Seq};
+
+    /// `t = newTid();`
+    pub fn new_tid(v: &str) -> Instr {
+        Instr::NewTid(v.into())
+    }
+    /// `fork(t) { body }`
+    pub fn fork(t: &str, body: Seq) -> Instr {
+        Instr::Fork(t.into(), body)
+    }
+    /// `p = newPhaser();`
+    pub fn new_phaser(v: &str) -> Instr {
+        Instr::NewPhaser(v.into())
+    }
+    /// `reg(p, t);`
+    pub fn reg(p: &str, t: &str) -> Instr {
+        Instr::Reg(t.into(), p.into())
+    }
+    /// `dereg(p);`
+    pub fn dereg(p: &str) -> Instr {
+        Instr::Dereg(p.into())
+    }
+    /// `adv(p);`
+    pub fn adv(p: &str) -> Instr {
+        Instr::Adv(p.into())
+    }
+    /// `await(p);`
+    pub fn awaitp(p: &str) -> Instr {
+        Instr::Await(p.into())
+    }
+    /// `loop { body }`
+    pub fn ploop(body: Seq) -> Instr {
+        Instr::Loop(body)
+    }
+    /// `skip;`
+    pub fn skip() -> Instr {
+        Instr::Skip
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        pretty_instr(self, 0, &mut s);
+        write!(f, "{}", s.trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn subst_replaces_free_occurrences() {
+        let s = vec![adv("p"), awaitp("p"), dereg("q")];
+        let out = subst_seq(&s, "p", "#p1");
+        assert_eq!(out, vec![adv("#p1"), awaitp("#p1"), dereg("q")]);
+    }
+
+    #[test]
+    fn subst_stops_at_rebinding() {
+        let s = vec![adv("p"), new_phaser("p"), adv("p")];
+        let out = subst_seq(&s, "p", "#p1");
+        assert_eq!(out, vec![adv("#p1"), new_phaser("p"), adv("p")]);
+    }
+
+    #[test]
+    fn subst_descends_into_fork_and_loop() {
+        let s = vec![fork("t", vec![adv("p")]), ploop(vec![awaitp("p")])];
+        let out = subst_seq(&s, "p", "#p1");
+        assert_eq!(out, vec![fork("t", vec![adv("#p1")]), ploop(vec![awaitp("#p1")])]);
+    }
+
+    #[test]
+    fn subst_renames_fork_target() {
+        let s = vec![fork("t", vec![skip()])];
+        let out = subst_seq(&s, "t", "#t9");
+        assert_eq!(out, vec![fork("#t9", vec![skip()])]);
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let s = vec![
+            new_tid("t"),
+            reg("p", "t"), // p free, t bound
+            fork("t", vec![adv("q")]),
+        ];
+        assert_eq!(free_vars(&s), vec!["p".to_string(), "q".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_of_loop_body_propagate() {
+        let s = vec![ploop(vec![awaitp("c")])];
+        assert_eq!(free_vars(&s), vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn binder_scope_is_sequential_not_nested() {
+        // A binder only scopes over the *rest of its own sequence*.
+        let s = vec![ploop(vec![new_tid("t")]), fork("t", vec![])];
+        // `t` in the fork is free: the loop-local binder does not escape.
+        assert_eq!(free_vars(&s), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn pretty_prints_figure3_shape() {
+        let prog = vec![
+            new_phaser("pc"),
+            new_phaser("pb"),
+            ploop(vec![
+                new_tid("t"),
+                reg("pc", "t"),
+                reg("pb", "t"),
+                fork(
+                    "t",
+                    vec![
+                        ploop(vec![skip(), adv("pc"), awaitp("pc"), skip(), adv("pc"), awaitp("pc")]),
+                        dereg("pc"),
+                        dereg("pb"),
+                    ],
+                ),
+            ]),
+            adv("pb"),
+            awaitp("pb"),
+            skip(),
+        ];
+        let text = pretty(&prog);
+        assert!(text.contains("pc = newPhaser();"));
+        assert!(text.contains("fork(t) {"));
+        assert!(text.contains("await(pb);"));
+    }
+}

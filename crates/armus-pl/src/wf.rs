@@ -1,0 +1,150 @@
+//! Well-formedness of PL programs: every used variable must be bound by an
+//! enclosing `newTid`/`newPhaser` (or be a run-time name, in states taken
+//! mid-execution). Unbound uses are not *errors* in the operational
+//! semantics — they simply never reduce — but for program authors they are
+//! almost always bugs, so the interpreter diagnoses them up front.
+
+use std::collections::HashSet;
+
+use crate::syntax::{Instr, Seq, Var};
+
+/// A diagnosed unbound use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnboundUse {
+    /// The unbound variable.
+    pub var: Var,
+    /// The instruction (pretty-printed) where it is used.
+    pub instr: String,
+}
+
+impl std::fmt::Display for UnboundUse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unbound variable `{}` in `{}`", self.var, self.instr.trim_end())
+    }
+}
+
+/// Checks a whole program (no pre-bound names). Returns every unbound use.
+pub fn check(program: &Seq) -> Vec<UnboundUse> {
+    let mut bound: HashSet<Var> = HashSet::new();
+    let mut out = Vec::new();
+    check_seq(program, &mut bound, &mut out);
+    out
+}
+
+/// As [`check`], but with names already in scope (e.g. the run-time names
+/// of a mid-execution state).
+pub fn check_with_scope(program: &Seq, scope: &[Var]) -> Vec<UnboundUse> {
+    let mut bound: HashSet<Var> = scope.iter().cloned().collect();
+    let mut out = Vec::new();
+    check_seq(program, &mut bound, &mut out);
+    out
+}
+
+fn check_seq(seq: &[Instr], bound: &mut HashSet<Var>, out: &mut Vec<UnboundUse>) {
+    let mut introduced: Vec<Var> = Vec::new();
+    for instr in seq {
+        let mut used = |v: &Var, out: &mut Vec<UnboundUse>, bound: &HashSet<Var>| {
+            if !bound.contains(v) {
+                out.push(UnboundUse { var: v.clone(), instr: instr.to_string() });
+            }
+        };
+        match instr {
+            Instr::NewTid(v) | Instr::NewPhaser(v) => {
+                if bound.insert(v.clone()) {
+                    introduced.push(v.clone());
+                }
+            }
+            Instr::Fork(t, body) => {
+                used(t, out, bound);
+                // The fork body runs as the new task, in the current scope.
+                check_seq(body, bound, out);
+            }
+            Instr::Reg(t, p) => {
+                used(t, out, bound);
+                used(p, out, bound);
+            }
+            Instr::Dereg(p) | Instr::Adv(p) | Instr::Await(p) => used(p, out, bound),
+            Instr::Loop(body) => check_seq(body, bound, out),
+            Instr::Skip => {}
+        }
+    }
+    // Binders scope to the rest of *their own* sequence only.
+    for v in introduced {
+        bound.remove(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::build::*;
+
+    #[test]
+    fn wellformed_program_has_no_diagnostics() {
+        let prog = vec![
+            new_phaser("p"),
+            new_tid("t"),
+            reg("p", "t"),
+            fork("t", vec![adv("p"), awaitp("p"), dereg("p")]),
+            dereg("p"),
+        ];
+        assert!(check(&prog).is_empty());
+    }
+
+    #[test]
+    fn unbound_phaser_is_diagnosed() {
+        let prog = vec![adv("p")];
+        let diags = check(&prog);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].var, "p");
+        assert!(diags[0].to_string().contains("adv(p)"));
+    }
+
+    #[test]
+    fn fork_of_unbound_tid_is_diagnosed() {
+        let prog = vec![fork("t", vec![skip()])];
+        let diags = check(&prog);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].var, "t");
+    }
+
+    #[test]
+    fn binder_scope_does_not_leak_out_of_loops() {
+        // `t` bound inside the loop body, used after the loop: unbound.
+        let prog = vec![ploop(vec![new_tid("t")]), fork("t", vec![])];
+        let diags = check(&prog);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].var, "t");
+    }
+
+    #[test]
+    fn fork_bodies_see_the_enclosing_scope() {
+        let prog = vec![
+            new_phaser("p"),
+            new_tid("t"),
+            reg("p", "t"),
+            fork("t", vec![awaitp("p")]), // p visible inside the body
+        ];
+        assert!(check(&prog).is_empty());
+    }
+
+    #[test]
+    fn scope_seeding_accepts_runtime_names() {
+        let prog = vec![adv("#p0"), awaitp("#p0")];
+        assert_eq!(check(&prog).len(), 2);
+        assert!(check_with_scope(&prog, &["#p0".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn every_generated_program_is_wellformed() {
+        use crate::gen::{gen_program, ProgGenConfig};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let prog = gen_program(&mut rng, &ProgGenConfig::default());
+            let diags = check(&prog);
+            assert!(diags.is_empty(), "{diags:?}");
+        }
+    }
+}

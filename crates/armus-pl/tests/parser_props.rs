@@ -1,0 +1,115 @@
+//! Parser/pretty-printer round-trip properties and substitution laws.
+
+use armus_pl::gen::{gen_program, ProgGenConfig};
+use armus_pl::syntax::{build, free_vars, pretty, subst_seq, Instr, Seq};
+use armus_pl::parser::parse;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy for structurally arbitrary programs (beyond the benchmark-
+/// shaped generator): recursive over the grammar with a small variable
+/// pool.
+fn arb_seq() -> impl Strategy<Value = Seq> {
+    let var = prop_oneof![Just("a"), Just("b"), Just("c"), Just("t"), Just("p")]
+        .prop_map(str::to_string);
+    let leaf = prop_oneof![
+        Just(Instr::Skip),
+        var.clone().prop_map(Instr::NewTid),
+        var.clone().prop_map(Instr::NewPhaser),
+        (var.clone(), var.clone()).prop_map(|(t, p)| Instr::Reg(t, p)),
+        var.clone().prop_map(Instr::Dereg),
+        var.clone().prop_map(Instr::Adv),
+        var.clone().prop_map(Instr::Await),
+    ];
+    let instr = leaf.prop_recursive(3, 24, 4, move |inner| {
+        let var = prop_oneof![Just("t"), Just("u")].prop_map(str::to_string);
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Instr::Loop),
+            (var, proptest::collection::vec(inner, 0..4))
+                .prop_map(|(t, body)| Instr::Fork(t, body)),
+        ]
+    });
+    proptest::collection::vec(instr, 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// parse ∘ pretty = id on arbitrary programs.
+    #[test]
+    fn pretty_parse_round_trip(prog in arb_seq()) {
+        let printed = pretty(&prog);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(reparsed, prog);
+    }
+
+    /// Substituting a variable that does not occur freely is the identity.
+    #[test]
+    fn subst_of_absent_var_is_identity(prog in arb_seq()) {
+        prop_assert_eq!(subst_seq(&prog, "zz_not_used", "#x1"), prog);
+    }
+
+    /// After substitution the variable no longer occurs *freely*:
+    /// occurrences surviving past a rebinding are bound, and `free_vars`
+    /// respects binders.
+    #[test]
+    fn subst_eliminates_free_occurrences(prog in arb_seq()) {
+        let out = subst_seq(&prog, "p", "#fresh0");
+        prop_assert!(!free_vars(&out).contains(&"p".to_string()));
+    }
+
+    /// Substitution is idempotent for a fixed (var, name) pair.
+    #[test]
+    fn subst_is_idempotent(prog in arb_seq()) {
+        let once = subst_seq(&prog, "t", "#t0");
+        let twice = subst_seq(&once, "t", "#t0");
+        prop_assert_eq!(once, twice);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The benchmark-shaped generator also round-trips (different
+    /// distribution than `arb_seq`).
+    #[test]
+    fn generated_programs_round_trip(seed in any::<u64>()) {
+        let prog = gen_program(&mut SmallRng::seed_from_u64(seed), &ProgGenConfig::default());
+        let reparsed = parse(&pretty(&prog)).expect("generated programs parse");
+        prop_assert_eq!(reparsed, prog);
+    }
+}
+
+#[test]
+fn figure_3_reference_text_round_trips() {
+    let prog = vec![
+        build::new_phaser("pc"),
+        build::new_phaser("pb"),
+        build::ploop(vec![
+            build::new_tid("t"),
+            build::reg("pc", "t"),
+            build::reg("pb", "t"),
+            build::fork(
+                "t",
+                vec![
+                    build::ploop(vec![
+                        build::skip(),
+                        build::adv("pc"),
+                        build::awaitp("pc"),
+                        build::skip(),
+                        build::adv("pc"),
+                        build::awaitp("pc"),
+                    ]),
+                    build::dereg("pc"),
+                    build::dereg("pb"),
+                ],
+            ),
+        ]),
+        build::adv("pb"),
+        build::awaitp("pb"),
+        build::skip(),
+    ];
+    assert_eq!(parse(&pretty(&prog)).unwrap(), prog);
+}

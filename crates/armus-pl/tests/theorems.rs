@@ -1,0 +1,154 @@
+//! Property-based validation of the paper's metatheory (§4.3–4.6):
+//!
+//! * **Equivalence (Theorem 4.8)** — `wfg(ϕ(S))` has a cycle iff
+//!   `sg(ϕ(S))` has one (and iff the GRG has one);
+//! * **Soundness (Theorem 4.10)** — a cycle implies the state is
+//!   deadlocked per Definition 3.2;
+//! * **Completeness (Theorem 4.15)** — a deadlocked state yields a cycle;
+//!
+//! checked on thousands of generated states and along the executions of
+//! generated programs, against the *independent* coinductive oracle of
+//! `armus_pl::deadlock` (no graph code involved).
+
+use armus_core::{checker, grg, sg, wfg, ModelChoice, DEFAULT_SG_THRESHOLD};
+use armus_pl::gen::{gen_program, gen_state, ProgGenConfig, StateGenConfig};
+use armus_pl::{deadlock, phi, semantics, State};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn random_state(seed: u64, cfg: &StateGenConfig) -> State {
+    gen_state(&mut SmallRng::seed_from_u64(seed), cfg)
+}
+
+fn shapes() -> Vec<StateGenConfig> {
+    vec![
+        StateGenConfig::default(),
+        // Many tasks, few phasers (SPMD-ish).
+        StateGenConfig { tasks: 16, phasers: 2, ..Default::default() },
+        // Few tasks, many phasers (fork/join-ish).
+        StateGenConfig { tasks: 3, phasers: 10, ..Default::default() },
+        // Dense membership, deeper phases.
+        StateGenConfig { tasks: 8, phasers: 4, max_phase: 6, membership_density: 0.9, blocked_fraction: 1.0 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 4.8 (+ GRG bridge): cycle presence agrees across models.
+    #[test]
+    fn equivalence_wfg_sg_grg(seed in any::<u64>(), shape_idx in 0usize..4) {
+        let state = random_state(seed, &shapes()[shape_idx]);
+        let (snap, _) = phi::phi(&state);
+        let wfg_cycle = wfg::wfg(&snap).find_cycle().is_some();
+        let sg_cycle = sg::sg(&snap).find_cycle().is_some();
+        let grg_cycle = grg::grg(&snap).find_cycle().is_some();
+        prop_assert_eq!(wfg_cycle, sg_cycle, "Theorem 4.8 violated");
+        prop_assert_eq!(wfg_cycle, grg_cycle, "GRG bridge violated");
+    }
+
+    /// Theorems 4.10 + 4.15: cycle ⟺ deadlocked (against the oracle).
+    #[test]
+    fn soundness_and_completeness(seed in any::<u64>(), shape_idx in 0usize..4) {
+        let state = random_state(seed, &shapes()[shape_idx]);
+        let (snap, _) = phi::phi(&state);
+        let oracle = deadlock::is_deadlocked(&state);
+        for model in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
+            let cycle = checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some();
+            prop_assert_eq!(
+                cycle, oracle,
+                "{} disagrees with Definition 3.2 oracle on seed {}", model, seed
+            );
+        }
+    }
+
+    /// The tasks named in a report are a subset of the oracle's deadlocked
+    /// task set (a cycle is a deadlocked sub-map, Theorem 4.10).
+    #[test]
+    fn reported_tasks_are_deadlocked(seed in any::<u64>()) {
+        let cfg = StateGenConfig { tasks: 10, phasers: 3, blocked_fraction: 1.0, ..Default::default() };
+        let state = random_state(seed, &cfg);
+        let (snap, names) = phi::phi(&state);
+        if let Some(report) = checker::check(&snap, ModelChoice::FixedWfg, 2).report {
+            let oracle = deadlock::deadlocked_tasks(&state).expect("soundness");
+            let names = names;
+            for t in &report.tasks {
+                let name = names.task_name(*t).expect("interned").to_string();
+                prop_assert!(oracle.contains(&name), "{name} reported but not deadlocked");
+            }
+            // Completeness detail (Thm 4.15): every deadlocked task set is
+            // nonempty when a cycle exists.
+            prop_assert!(!report.tasks.is_empty());
+        }
+    }
+
+    /// Witness cycles are genuine cycles of their graphs.
+    #[test]
+    fn witnesses_are_valid(seed in any::<u64>()) {
+        let cfg = StateGenConfig { tasks: 8, phasers: 3, blocked_fraction: 1.0, ..Default::default() };
+        let state = random_state(seed, &cfg);
+        let (snap, _) = phi::phi(&state);
+        if let Some(report) = checker::check(&snap, ModelChoice::FixedWfg, 2).report {
+            match report.witness {
+                armus_core::CycleWitness::Tasks(c) => {
+                    prop_assert!(wfg::wfg(&snap).is_cycle(&c));
+                }
+                armus_core::CycleWitness::Resources(_) => prop_assert!(false, "WFG mode"),
+            }
+        }
+        if let Some(report) = checker::check(&snap, ModelChoice::FixedSg, 2).report {
+            match report.witness {
+                armus_core::CycleWitness::Resources(c) => {
+                    prop_assert!(sg::sg(&snap).is_cycle(&c));
+                }
+                armus_core::CycleWitness::Tasks(_) => prop_assert!(false, "SG mode"),
+            }
+        }
+    }
+
+    /// Along real executions of generated (often buggy) programs, the
+    /// graph verdict tracks the oracle at every step, and deadlocks are
+    /// stable (once deadlocked, forever deadlocked).
+    #[test]
+    fn verdicts_track_executions(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = ProgGenConfig { missing_adv_prob: 0.5, missing_dereg_prob: 0.5, ..Default::default() };
+        let program = gen_program(&mut rng, &cfg);
+        let mut scheduler = semantics::RandomScheduler::new(seed ^ 0xABCD);
+        let mut was_deadlocked = false;
+        let mut violations: Option<String> = None;
+        let (_, final_state) = scheduler.run(State::initial(program), 2_000, |state| {
+            if violations.is_some() {
+                return;
+            }
+            let oracle = deadlock::is_deadlocked(state);
+            let (snap, _) = phi::phi(state);
+            let cycle = checker::check(&snap, ModelChoice::Auto, 2).report.is_some();
+            if cycle != oracle {
+                violations = Some(format!("verdict {cycle} vs oracle {oracle}"));
+            }
+            if was_deadlocked && !oracle {
+                violations = Some("deadlock evaporated".to_string());
+            }
+            was_deadlocked = oracle;
+        });
+        prop_assert!(violations.is_none(), "{:?}", violations);
+        // Terminal sanity: a finished state is never deadlocked.
+        if final_state.all_finished() {
+            prop_assert!(!deadlock::is_deadlocked(&final_state));
+        }
+    }
+
+    /// Totally deadlocked states (Definition 3.1) are deadlocked states
+    /// (Definition 3.2) whose deadlocked set is *every* task.
+    #[test]
+    fn totally_deadlocked_implies_full_set(seed in any::<u64>()) {
+        let cfg = StateGenConfig { tasks: 6, phasers: 2, blocked_fraction: 1.0, ..Default::default() };
+        let state = random_state(seed, &cfg);
+        if deadlock::is_totally_deadlocked(&state) {
+            let set = deadlock::deadlocked_tasks(&state).expect("Def 3.1 ⊆ Def 3.2");
+            prop_assert_eq!(set.len(), state.tasks.len());
+        }
+    }
+}

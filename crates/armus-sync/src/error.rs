@@ -1,0 +1,105 @@
+//! Errors raised by the barrier runtime.
+
+use armus_core::DeadlockReport;
+use armus_core::{PhaserId, TaskId};
+
+/// Errors produced by phaser/clock/barrier operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// Avoidance mode refused a blocking operation that would complete a
+    /// deadlock cycle. The task has been deregistered from the phaser it
+    /// targeted (paper §2.1: "an exception is raised … and the tasks
+    /// become deregistered from clock c").
+    WouldDeadlock(Box<DeadlockReport>),
+    /// Recovery (`OnDeadlock::Break`) poisoned this phaser after a detected
+    /// deadlock: the wait was interrupted.
+    Poisoned(Box<DeadlockReport>),
+    /// The operation requires the current task to be registered with the
+    /// phaser, and it is not.
+    NotRegistered {
+        /// The phaser the operation targeted.
+        phaser: PhaserId,
+        /// The task that attempted the operation.
+        task: TaskId,
+    },
+    /// The current task is already registered with the phaser.
+    AlreadyRegistered {
+        /// The phaser the operation targeted.
+        phaser: PhaserId,
+        /// The task that attempted the operation.
+        task: TaskId,
+    },
+    /// A fixed-parties barrier (e.g. `CyclicBarrier`) has no registration
+    /// slot left.
+    TooManyParties {
+        /// The barrier's party count.
+        parties: usize,
+    },
+    /// The operation is not permitted by the task's HJ registration mode
+    /// (a wait-only member tried to signal, or a signal-only member tried
+    /// to wait).
+    InvalidMode {
+        /// The phaser the operation targeted.
+        phaser: PhaserId,
+        /// The task that attempted the operation.
+        task: TaskId,
+        /// The refused operation.
+        operation: &'static str,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::WouldDeadlock(r) => write!(f, "blocking would deadlock: {r}"),
+            SyncError::Poisoned(r) => write!(f, "wait interrupted by detected deadlock: {r}"),
+            SyncError::NotRegistered { phaser, task } => {
+                write!(f, "{task} is not registered with {phaser}")
+            }
+            SyncError::AlreadyRegistered { phaser, task } => {
+                write!(f, "{task} is already registered with {phaser}")
+            }
+            SyncError::TooManyParties { parties } => {
+                write!(f, "barrier already has all {parties} parties registered")
+            }
+            SyncError::InvalidMode { phaser, task, operation } => {
+                write!(f, "{task}'s registration mode on {phaser} forbids {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl SyncError {
+    /// The deadlock report carried by this error, if any.
+    pub fn report(&self) -> Option<&DeadlockReport> {
+        match self {
+            SyncError::WouldDeadlock(r) | SyncError::Poisoned(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Is this error a deadlock verdict (avoidance refusal or recovery
+    /// break)?
+    pub fn is_deadlock(&self) -> bool {
+        self.report().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_for_membership_errors() {
+        let e = SyncError::NotRegistered { phaser: PhaserId(3), task: TaskId(7) };
+        assert_eq!(e.to_string(), "t7 is not registered with p3");
+        assert!(!e.is_deadlock());
+        assert!(e.report().is_none());
+        let e = SyncError::AlreadyRegistered { phaser: PhaserId(3), task: TaskId(7) };
+        assert!(e.to_string().contains("already registered"));
+        let e = SyncError::TooManyParties { parties: 4 };
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # armus-sync
+//!
+//! The barrier-runtime substrate of the Armus reproduction: phasers with
+//! dynamic membership and split-phase synchronisation, and on top of them
+//! X10 clocks and finish blocks, Java-style cyclic barriers and count-down
+//! latches, and clocked variables — all instrumented with the Armus
+//! verification hooks (the paper's "application layer", §5.3).
+//!
+//! ## The running example (paper Figure 1)
+//!
+//! ```no_run
+//! use armus_sync::{Runtime, Clock, Finish};
+//!
+//! let rt = Runtime::detection();
+//! let c = Clock::make(&rt);                 // parent registered
+//! let finish = Finish::new(&rt);
+//! for _ in 0..4 {
+//!     let c2 = c.clone();
+//!     finish.spawn_clocked(&[c.phaser()], move || {
+//!         for _ in 0..10 {
+//!             c2.advance().unwrap();        // cyclic barrier step
+//!             c2.advance().unwrap();
+//!         }
+//!         c2.drop_clock().unwrap();
+//!     });
+//! }
+//! // BUG (the paper's deadlock): the parent is registered with `c` but
+//! // never advances — the detector reports the cycle. The fix:
+//! c.drop_clock().unwrap();
+//! finish.wait().unwrap();                   // join barrier step
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod clock;
+pub mod clocked;
+mod ctx;
+pub mod error;
+pub mod finish;
+pub mod latch;
+pub mod phaser;
+pub mod runtime;
+
+pub use barrier::CyclicBarrier;
+pub use clock::Clock;
+pub use clocked::ClockedVar;
+pub use ctx::current as current_ctx;
+pub use error::SyncError;
+pub use finish::Finish;
+pub use latch::CountDownLatch;
+pub use phaser::{Phaser, RegMode};
+pub use runtime::{OnDeadlock, Runtime, RuntimeConfig, TaskHandle};
+
+// Re-export the verification-layer types users interact with.
+pub use armus_core::{
+    DeadlockReport, GraphModel, ModelChoice, Phase, PhaserId, StatsSnapshot, TaskId,
+    VerifierConfig, VerifyMode,
+};

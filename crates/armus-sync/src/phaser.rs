@@ -1,0 +1,510 @@
+//! The phaser: the generalised barrier all other primitives in this crate
+//! are built from (paper §2.2).
+//!
+//! A phaser maps member tasks to *local phases* (monotonic counters).
+//! Members **arrive** (increment their local phase) and **await** a phase
+//! `n`, which is observed once every member's local phase is at least `n`
+//! (`await(P, n)` in the paper). Membership is dynamic: tasks register
+//! (inheriting a phase) and deregister at any time. Split-phase
+//! synchronisation (`resume`/`arrive` now, `await` later) and waits on
+//! arbitrary phases are supported, subsuming X10 clocks, Java
+//! `Phaser`/`CyclicBarrier`/`CountDownLatch`, and HJ phasers.
+//!
+//! Every blocking wait runs the Armus hook: the blocked status — the event
+//! waited on and, per registered phaser, the task's local phase — is
+//! published to the verifier. In avoidance mode a wait that would complete
+//! a deadlock cycle returns [`SyncError::WouldDeadlock`] instead of
+//! blocking, and the task is deregistered from this phaser.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use armus_core::{DeadlockReport, Phase, PhaserId, Resource, TaskId, Verifier};
+use parking_lot::{Condvar, Mutex};
+
+use crate::ctx::{self, TaskCtx};
+use crate::error::SyncError;
+use crate::runtime::Runtime;
+
+/// HJ-style registration modes (Shirako et al., cited in §2.2): phasers
+/// "unify barrier and point-to-point synchronisation" by letting members
+/// register as signallers, waiters, or both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RegMode {
+    /// Signal *and* wait: the classic barrier member (X10 clocked tasks,
+    /// Java phaser parties).
+    #[default]
+    SigWait,
+    /// Signal-only: arrives but never waits — a producer. Its arrivals
+    /// gate other members' waits, so it *impedes*; it may not `await`.
+    Sig,
+    /// Wait-only: waits but never signals — a consumer. Its (non-)arrival
+    /// gates nobody: `await(P, n)` ignores it, and correspondingly the
+    /// verification layer publishes no impede registration for it.
+    Wait,
+}
+
+struct Member {
+    arrived: Phase,
+    resumed: bool,
+    mode: RegMode,
+}
+
+struct PhState {
+    members: HashMap<TaskId, Member>,
+    poisoned: Option<Box<DeadlockReport>>,
+    /// Targeted avoidance interrupts: when an avoidance check finds a
+    /// cycle, *every* blocked task in the cycle is woken with the verdict
+    /// (paper §2.1: "an exception is raised in Lines 8 and 11"), keyed here
+    /// by the victim's task id on the phaser it waits on.
+    interrupts: HashMap<TaskId, Box<DeadlockReport>>,
+}
+
+impl PhState {
+    /// `await(P, n)` over the *signalling* members only: wait-only
+    /// registrations gate nobody.
+    fn observed(&self, n: Phase) -> bool {
+        self.members
+            .values()
+            .filter(|m| m.mode != RegMode::Wait)
+            .all(|m| m.arrived >= n)
+    }
+
+    fn floor(&self) -> Option<Phase> {
+        self.members
+            .values()
+            .filter(|m| m.mode != RegMode::Wait)
+            .map(|m| m.arrived)
+            .min()
+    }
+}
+
+/// Shared phaser state; `Phaser` handles are cheap clones of an `Arc` of
+/// this.
+pub(crate) struct PhaserCore {
+    id: PhaserId,
+    runtime: Arc<Runtime>,
+    state: Mutex<PhState>,
+    cond: Condvar,
+}
+
+impl PhaserCore {
+    pub(crate) fn id(&self) -> PhaserId {
+        self.id
+    }
+
+    pub(crate) fn verifier(&self) -> &Arc<Verifier> {
+        self.runtime.verifier()
+    }
+
+    /// The local phase of `task`, if it is a member.
+    pub(crate) fn local_phase_of(&self, task: TaskId) -> Option<Phase> {
+        self.state.lock().members.get(&task).map(|m| m.arrived)
+    }
+
+    /// The local phase `task` publishes as its *impede* registration —
+    /// `None` for non-members and for wait-only members, whose arrival
+    /// gates nobody (so they impede no event).
+    pub(crate) fn impeding_phase_of(&self, task: TaskId) -> Option<Phase> {
+        self.state
+            .lock()
+            .members
+            .get(&task)
+            .filter(|m| m.mode != RegMode::Wait)
+            .map(|m| m.arrived)
+    }
+
+    fn register_at(&self, ctx: &TaskCtx, phase: Phase, mode: RegMode) -> Result<(), SyncError> {
+        {
+            let mut st = self.state.lock();
+            if st.members.contains_key(&ctx.id()) {
+                return Err(SyncError::AlreadyRegistered { phaser: self.id, task: ctx.id() });
+            }
+            st.members.insert(ctx.id(), Member { arrived: phase, resumed: false, mode });
+        }
+        // Registration can never release waiters, so no notification; but
+        // the context must know, for future blocked-status publications.
+        ctx.add_registration(&self.self_arc());
+        Ok(())
+    }
+
+    /// Registers `child` at the phase of the current task (PL's
+    /// `reg(t, p)`: the registered task inherits the phase of the current
+    /// task). The current task must be a member.
+    pub(crate) fn register_child(&self, parent: &TaskCtx, child: &TaskCtx) -> Result<(), SyncError> {
+        let phase = self
+            .local_phase_of(parent.id())
+            .ok_or(SyncError::NotRegistered { phaser: self.id, task: parent.id() })?;
+        self.register_at(child, phase, RegMode::SigWait)
+    }
+
+    /// Registers the current task at the phaser's observed phase (Java
+    /// `Phaser.register()` style: join at the current phase floor).
+    pub(crate) fn register_current(&self, ctx: &TaskCtx, mode: RegMode) -> Result<(), SyncError> {
+        let phase = self.state.lock().floor().unwrap_or(0);
+        self.register_at(ctx, phase, mode)
+    }
+
+    fn mode_of(&self, task: TaskId) -> Option<RegMode> {
+        self.state.lock().members.get(&task).map(|m| m.mode)
+    }
+
+    /// Deregisters `ctx`; waiters are re-notified since removing a laggard
+    /// can observe a phase.
+    pub(crate) fn deregister(&self, ctx: &TaskCtx) -> Result<(), SyncError> {
+        {
+            let mut st = self.state.lock();
+            if st.members.remove(&ctx.id()).is_none() {
+                return Err(SyncError::NotRegistered { phaser: self.id, task: ctx.id() });
+            }
+        }
+        self.cond.notify_all();
+        ctx.remove_registration(self);
+        Ok(())
+    }
+
+    /// Arrives at the next phase, returning the arrived phase. If the task
+    /// had `resume`d, the pending arrival is consumed instead (X10
+    /// `resume();…;advance()` semantics). Wait-only members cannot signal.
+    pub(crate) fn arrive(&self, ctx: &TaskCtx) -> Result<Phase, SyncError> {
+        let phase = {
+            let mut st = self.state.lock();
+            let member = st
+                .members
+                .get_mut(&ctx.id())
+                .ok_or(SyncError::NotRegistered { phaser: self.id, task: ctx.id() })?;
+            if member.mode == RegMode::Wait {
+                return Err(SyncError::InvalidMode {
+                    phaser: self.id,
+                    task: ctx.id(),
+                    operation: "arrive",
+                });
+            }
+            if member.resumed {
+                member.resumed = false;
+                member.arrived
+            } else {
+                member.arrived += 1;
+                member.arrived
+            }
+        };
+        self.cond.notify_all();
+        Ok(phase)
+    }
+
+    /// Split-phase arrival: signals arrival at the next phase without
+    /// consuming it; the next `arrive` (e.g. inside `arrive_and_await`)
+    /// completes this phase rather than starting another. Idempotent until
+    /// consumed.
+    pub(crate) fn resume(&self, ctx: &TaskCtx) -> Result<Phase, SyncError> {
+        let phase = {
+            let mut st = self.state.lock();
+            let member = st
+                .members
+                .get_mut(&ctx.id())
+                .ok_or(SyncError::NotRegistered { phaser: self.id, task: ctx.id() })?;
+            if member.mode == RegMode::Wait {
+                return Err(SyncError::InvalidMode {
+                    phaser: self.id,
+                    task: ctx.id(),
+                    operation: "resume",
+                });
+            }
+            if !member.resumed {
+                member.arrived += 1;
+                member.resumed = true;
+            }
+            member.arrived
+        };
+        self.cond.notify_all();
+        Ok(phase)
+    }
+
+    /// Blocks until phase `n` is observed (every signalling member arrived
+    /// at `≥ n`). Non-members may wait: the predicate ranges over members
+    /// only. Signal-only members may not wait (HJ mode discipline).
+    pub(crate) fn await_phase(&self, ctx: &TaskCtx, n: Phase) -> Result<(), SyncError> {
+        if self.mode_of(ctx.id()) == Some(RegMode::Sig) {
+            return Err(SyncError::InvalidMode {
+                phaser: self.id,
+                task: ctx.id(),
+                operation: "await",
+            });
+        }
+        // Fast path: nothing to wait for (and nothing to verify — the
+        // Armus hook fires only on operations that actually block).
+        {
+            let mut st = self.state.lock();
+            if let Some(report) = &st.poisoned {
+                return Err(SyncError::Poisoned(report.clone()));
+            }
+            if st.observed(n) {
+                // Drop any stale interrupt aimed at a wait we never enter.
+                st.interrupts.remove(&ctx.id());
+                return Ok(());
+            }
+        }
+
+        // Slow path: publish the blocked status, then wait.
+        let verifier = self.verifier();
+        let published = verifier.is_enabled();
+        if published {
+            let waits = vec![Resource::new(self.id, n)];
+            let registered = ctx.registration_vector(verifier);
+            if let Err(err) = verifier.block(ctx.id(), waits, registered) {
+                // Avoidance verdict: do not block; deregister from this
+                // phaser so the remaining members can progress (paper
+                // §2.1), then surface the report.
+                let _ = self.deregister(ctx);
+                return Err(SyncError::WouldDeadlock(Box::new(err.report)));
+            }
+        }
+
+        let mut st = self.state.lock();
+        loop {
+            if let Some(report) = &st.poisoned {
+                let report = report.clone();
+                st.interrupts.remove(&ctx.id());
+                drop(st);
+                if published {
+                    verifier.unblock(ctx.id());
+                }
+                return Err(SyncError::Poisoned(report));
+            }
+            // An interrupt is an epoch-confirmed avoidance verdict for
+            // exactly this blocking operation: it takes priority over a
+            // racing normal release, so that *every* task of the cycle
+            // observes the exception (paper §2.1: the exception is raised
+            // at all the deadlocked operations), deterministically.
+            if let Some(report) = st.interrupts.remove(&ctx.id()) {
+                drop(st);
+                if published {
+                    verifier.unblock(ctx.id());
+                }
+                // Paper: the interrupted tasks become deregistered from
+                // the phaser they were waiting on.
+                let _ = self.deregister(ctx);
+                return Err(SyncError::WouldDeadlock(report));
+            }
+            if st.observed(n) {
+                break;
+            }
+            self.cond.wait(&mut st);
+        }
+        drop(st);
+        if published {
+            verifier.unblock(ctx.id());
+        }
+        Ok(())
+    }
+
+    /// Delivers an avoidance verdict to a blocked victim: wakes `task`'s
+    /// wait on this phaser with [`SyncError::WouldDeadlock`].
+    pub(crate) fn interrupt(&self, task: TaskId, report: &DeadlockReport) {
+        {
+            let mut st = self.state.lock();
+            st.interrupts.insert(task, Box::new(report.clone()));
+        }
+        self.cond.notify_all();
+    }
+
+    /// Marks the phaser deadlocked (recovery extension) *without waking
+    /// waiters*: all current and future waits fail with
+    /// [`SyncError::Poisoned`]. The runtime poisons every phaser of a
+    /// cycle first and only then wakes ([`PhaserCore::wake_all`]), so that
+    /// no victim's exit-deregistration can release another victim with a
+    /// normal (non-poisoned) completion in between.
+    pub(crate) fn poison_quiet(&self, report: &DeadlockReport) {
+        let mut st = self.state.lock();
+        if st.poisoned.is_none() {
+            st.poisoned = Some(Box::new(report.clone()));
+        }
+    }
+
+    /// Wakes every waiter (used after a poisoning pass).
+    pub(crate) fn wake_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Registers a synthetic member at phase 0 (used by
+    /// [`crate::CountDownLatch`] for unclaimed count slots). Virtual
+    /// members have no task context and never publish blocked status.
+    pub(crate) fn register_virtual(&self, task: TaskId) {
+        self.state
+            .lock()
+            .members
+            .insert(task, Member { arrived: 0, resumed: false, mode: RegMode::SigWait });
+    }
+
+    /// Removes a synthetic member (one anonymous count-down); waiters are
+    /// re-notified since the departure may observe a phase.
+    pub(crate) fn retire_virtual(&self, task: TaskId) {
+        self.state.lock().members.remove(&task);
+        self.cond.notify_all();
+    }
+
+    /// Replaces synthetic member `virtual_id` with the real task `ctx`,
+    /// preserving the phase, so the task becomes visible to verification.
+    pub(crate) fn swap_virtual(&self, virtual_id: TaskId, ctx: &TaskCtx) -> Result<(), SyncError> {
+        {
+            let mut st = self.state.lock();
+            if st.members.contains_key(&ctx.id()) {
+                return Err(SyncError::AlreadyRegistered { phaser: self.id, task: ctx.id() });
+            }
+            let Some(member) = st.members.remove(&virtual_id) else {
+                return Err(SyncError::NotRegistered { phaser: self.id, task: virtual_id });
+            };
+            st.members.insert(ctx.id(), member);
+        }
+        ctx.add_registration(&self.self_arc());
+        Ok(())
+    }
+
+    fn member_count(&self) -> usize {
+        self.state.lock().members.len()
+    }
+
+    fn floor(&self) -> Option<Phase> {
+        self.state.lock().floor()
+    }
+
+    /// The `Arc` for this core, recovered through the runtime's phaser
+    /// table (cores are always created through [`PhaserCore::create`]).
+    fn self_arc(&self) -> Arc<PhaserCore> {
+        self.runtime
+            .lookup_phaser(self.id)
+            .expect("phaser core must be in its runtime's table while alive")
+    }
+
+    pub(crate) fn create(runtime: &Arc<Runtime>) -> Arc<PhaserCore> {
+        let core = Arc::new(PhaserCore {
+            id: PhaserId::fresh(),
+            runtime: Arc::clone(runtime),
+            state: Mutex::new(PhState {
+                members: HashMap::new(),
+                poisoned: None,
+                interrupts: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+        });
+        runtime.track_phaser(&core);
+        core
+    }
+}
+
+/// A first-class, dynamically-membered barrier. Cloning yields another
+/// handle to the same phaser; handles may be sent across tasks (phasers are
+/// first-class values, paper §1).
+#[derive(Clone)]
+pub struct Phaser {
+    pub(crate) core: Arc<PhaserCore>,
+}
+
+impl Phaser {
+    /// Creates a phaser and registers the current task at phase 0 (PL's
+    /// `newPhaser`; X10's `Clock.make()`).
+    pub fn new(runtime: &Arc<Runtime>) -> Phaser {
+        let ph = Phaser::new_unregistered(runtime);
+        ph.core
+            .register_at(&ctx::current(), 0, RegMode::SigWait)
+            .expect("fresh phaser cannot have members");
+        ph
+    }
+
+    /// Creates a phaser with no members.
+    pub fn new_unregistered(runtime: &Arc<Runtime>) -> Phaser {
+        Phaser { core: PhaserCore::create(runtime) }
+    }
+
+    /// The phaser's id (the name `p` used in deadlock reports).
+    pub fn id(&self) -> PhaserId {
+        self.core.id()
+    }
+
+    /// Registers the current task at the phaser's observed phase, in the
+    /// default signal-and-wait mode.
+    pub fn register(&self) -> Result<(), SyncError> {
+        self.core.register_current(&ctx::current(), RegMode::SigWait)
+    }
+
+    /// Registers the current task with an explicit HJ registration mode:
+    /// [`RegMode::Sig`] (producer — signals, never waits, impedes),
+    /// [`RegMode::Wait`] (consumer — waits, never signals, impedes
+    /// nothing), or [`RegMode::SigWait`].
+    pub fn register_with_mode(&self, mode: RegMode) -> Result<(), SyncError> {
+        self.core.register_current(&ctx::current(), mode)
+    }
+
+    /// The current task's registration mode, if a member.
+    pub fn mode(&self) -> Option<RegMode> {
+        self.core.mode_of(ctx::current().id())
+    }
+
+    /// Deregisters the current task (PL's `dereg`; X10's `drop`; Java's
+    /// `arriveAndDeregister` without the arrival).
+    pub fn deregister(&self) -> Result<(), SyncError> {
+        self.core.deregister(&ctx::current())
+    }
+
+    /// Arrives at the next phase without waiting (split-phase begin; Java
+    /// `Phaser.arrive`). Returns the arrived phase, to be awaited later.
+    pub fn arrive(&self) -> Result<Phase, SyncError> {
+        self.core.arrive(&ctx::current())
+    }
+
+    /// X10 `Clock.resume()`: signals arrival but leaves the phase pending,
+    /// so a following [`Phaser::arrive_and_await`] completes *this* phase.
+    pub fn resume(&self) -> Result<Phase, SyncError> {
+        self.core.resume(&ctx::current())
+    }
+
+    /// Waits until `phase` is observed (every member arrived at `≥ phase`).
+    /// Permitted for non-members (e.g. latch-style waits and HJ waits on
+    /// arbitrary phases).
+    pub fn await_phase(&self, phase: Phase) -> Result<(), SyncError> {
+        self.core.await_phase(&ctx::current(), phase)
+    }
+
+    /// The cyclic-barrier step: arrive and wait for everyone (X10
+    /// `advance`; Java `arriveAndAwaitAdvance`). Returns the phase observed.
+    pub fn arrive_and_await(&self) -> Result<Phase, SyncError> {
+        let ctx = ctx::current();
+        let n = self.core.arrive(&ctx)?;
+        self.core.await_phase(&ctx, n)?;
+        Ok(n)
+    }
+
+    /// Arrives and leaves the phaser (Java `arriveAndDeregister`): signals
+    /// this task's step without waiting, then revokes membership.
+    pub fn arrive_and_deregister(&self) -> Result<(), SyncError> {
+        let ctx = ctx::current();
+        self.core.arrive(&ctx)?;
+        self.core.deregister(&ctx)
+    }
+
+    /// The current task's local phase, if registered.
+    pub fn local_phase(&self) -> Option<Phase> {
+        self.core.local_phase_of(ctx::current().id())
+    }
+
+    /// The observed phase: the minimum local phase over members (`None`
+    /// when the phaser has no members).
+    pub fn phase(&self) -> Option<Phase> {
+        self.core.floor()
+    }
+
+    /// Number of registered members.
+    pub fn member_count(&self) -> usize {
+        self.core.member_count()
+    }
+}
+
+impl std::fmt::Debug for Phaser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phaser")
+            .field("id", &self.id())
+            .field("members", &self.member_count())
+            .field("phase", &self.phase())
+            .finish()
+    }
+}

@@ -1,0 +1,141 @@
+//! BFS — parallel breadth-first search: "a task per node being visited
+//! and a barrier per depth-level". Every task of a level expands its
+//! node's neighbours and then synchronises on the level's barrier before
+//! terminating — so whole frontiers block together on one phaser, the
+//! many-tasks/one-barrier shape that makes the WFG explode (Table 3:
+//! 579 edges vs 5–7 for the SG).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use armus_sync::{Phaser, Runtime};
+use parking_lot::Mutex;
+
+use super::Scale;
+use crate::util::XorShift;
+
+struct Size {
+    nodes: usize,
+    avg_degree: usize,
+}
+
+fn size(scale: Scale) -> Size {
+    match scale {
+        Scale::Quick => Size { nodes: 160, avg_degree: 3 },
+        Scale::Full => Size { nodes: 600, avg_degree: 4 },
+    }
+}
+
+/// Deterministic random graph (directed, possibly disconnected; BFS runs
+/// from node 0).
+fn graph(scale: Scale) -> Vec<Vec<usize>> {
+    let Size { nodes, avg_degree } = size(scale);
+    let mut rng = XorShift::new(4242);
+    let mut adj = vec![Vec::new(); nodes];
+    for (u, out) in adj.iter_mut().enumerate() {
+        for _ in 0..avg_degree {
+            let v = rng.next_below(nodes);
+            if v != u {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+    adj
+}
+
+/// Runs BFS; the checksum is `Σ (depth(v) + 1)` over reached nodes, which
+/// pins both the reachable set and every depth.
+pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
+    let adj = Arc::new(graph(scale));
+    let visited: Arc<Vec<AtomicBool>> =
+        Arc::new((0..adj.len()).map(|_| AtomicBool::new(false)).collect());
+    visited[0].store(true, Ordering::SeqCst);
+    let mut frontier = vec![0usize];
+    let mut depth = 0u64;
+    let mut checksum = 0.0;
+    while !frontier.is_empty() {
+        checksum += frontier.len() as f64 * (depth + 1) as f64;
+        let next: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        // A barrier per depth-level; a task per frontier node. Each level
+        // steps the barrier twice — a mark phase (expand + mark visited)
+        // and a collect phase (all pushes visible before the driver reads
+        // the next frontier). Whole frontiers block together with phase
+        // skew between the two steps: the many-tasks/one-barrier shape.
+        let level = Phaser::new(runtime);
+        let mut handles = Vec::with_capacity(frontier.len());
+        for &u in &frontier {
+            let adj = Arc::clone(&adj);
+            let visited = Arc::clone(&visited);
+            let next = Arc::clone(&next);
+            let bar = level.clone();
+            handles.push(runtime.spawn_clocked(&[&level], move || {
+                for &v in &adj[u] {
+                    if !visited[v].swap(true, Ordering::SeqCst) {
+                        next.lock().push(v);
+                    }
+                }
+                bar.arrive_and_await().expect("mark phase");
+                bar.arrive_and_await().expect("collect phase");
+                bar.deregister().expect("leave level");
+            }));
+        }
+        // The driver participates in both phases of the level barrier.
+        level.arrive_and_await().expect("driver mark phase");
+        level.arrive_and_await().expect("driver collect phase");
+        level.deregister().expect("driver leaves level");
+        for h in handles {
+            h.join().expect("level task");
+        }
+        let mut n = std::mem::take(&mut *next.lock());
+        // Discovery order is racy; depth assignment is not. Sort for a
+        // deterministic traversal order.
+        n.sort_unstable();
+        frontier = n;
+        depth += 1;
+    }
+    checksum
+}
+
+/// Sequential ground truth.
+pub fn expected(scale: Scale) -> f64 {
+    let adj = graph(scale);
+    let mut depth = vec![usize::MAX; adj.len()];
+    depth[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut checksum = 0.0;
+    while let Some(u) = queue.pop_front() {
+        checksum += (depth[u] + 1) as f64;
+        for &v in &adj[u] {
+            if depth[v] == usize::MAX {
+                depth[v] = depth[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_bfs_matches_sequential() {
+        let rt = Runtime::unchecked();
+        assert_eq!(run(&rt, Scale::Quick), expected(Scale::Quick));
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        assert_eq!(graph(Scale::Quick), graph(Scale::Quick));
+    }
+
+    #[test]
+    fn node_zero_has_depth_zero_weight_one() {
+        // The checksum counts the root as depth 0 → weight 1; an empty
+        // frontier after the root means checksum ≥ 1.
+        assert!(expected(Scale::Quick) >= 1.0);
+    }
+}

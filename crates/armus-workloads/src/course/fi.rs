@@ -1,0 +1,109 @@
+//! FI — iterative Fibonacci over an array of clocked variables: "the i-th
+//! task stores its Fibonacci number in the i-th clocked variable and
+//! synchronises with task i+1 and task i+2 that read the produced value."
+//!
+//! One clocked variable (barrier) per task, each with at most three
+//! members — the many-barriers/few-members end of the spectrum.
+
+use std::sync::Arc;
+
+use armus_sync::{ClockedVar, Phaser, Runtime};
+
+use super::Scale;
+
+fn tasks(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 14,
+        Scale::Full => 26,
+    }
+}
+
+/// Runs FI; the checksum is `Σ fib(i)` over all tasks.
+pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
+    let n = tasks(scale);
+    // Main creates every variable (and is briefly a member of each).
+    let vars: Vec<ClockedVar<u64>> =
+        (0..n).map(|_| ClockedVar::new(runtime, 0u64)).collect();
+
+    // Task i is registered with vars[i] (writer) and its inputs
+    // vars[i-1], vars[i-2] (reader).
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut mine: Vec<&Phaser> = vec![vars[i].phaser()];
+        if i >= 1 {
+            mine.push(vars[i - 1].phaser());
+        }
+        if i >= 2 {
+            mine.push(vars[i - 2].phaser());
+        }
+        let my_vars: Vec<ClockedVar<u64>> = vars.clone();
+        handles.push(runtime.spawn_clocked(&mine, move || -> Result<u64, armus_sync::SyncError> {
+            let mut value = 0u64;
+            // Lock-step rounds: in round r every task advances all its
+            // variables; task i computes and publishes at round i.
+            for round in 0..n {
+                if round == i {
+                    value = if i < 2 {
+                        1
+                    } else {
+                        // Written in rounds i-1 / i-2 ⇒ visible at our
+                        // current phase (round).
+                        my_vars[i - 1].get()? + my_vars[i - 2].get()?
+                    };
+                    my_vars[i].set(value)?;
+                }
+                my_vars[i].advance()?;
+                if i >= 1 {
+                    my_vars[i - 1].advance()?;
+                }
+                if i >= 2 {
+                    my_vars[i - 2].advance()?;
+                }
+            }
+            my_vars[i].deregister()?;
+            if i >= 1 {
+                my_vars[i - 1].deregister()?;
+            }
+            if i >= 2 {
+                my_vars[i - 2].deregister()?;
+            }
+            Ok(value)
+        }));
+    }
+    // Main steps out of every clock so the tasks run the protocol alone.
+    for v in &vars {
+        v.deregister().expect("main deregisters");
+    }
+    let mut sum = 0.0;
+    for h in handles {
+        sum += h.join().expect("task panicked").expect("protocol error") as f64;
+    }
+    sum
+}
+
+/// Sequential ground truth: `Σ fib(i)`, fib(0) = fib(1) = 1.
+pub fn expected(scale: Scale) -> f64 {
+    let n = tasks(scale);
+    let mut fib = vec![1u64; n.max(2)];
+    for i in 2..n {
+        fib[i] = fib[i - 1] + fib[i - 2];
+    }
+    fib[..n].iter().map(|&v| v as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fi_computes_the_fib_sum() {
+        let rt = Runtime::unchecked();
+        assert_eq!(run(&rt, Scale::Quick), expected(Scale::Quick));
+    }
+
+    #[test]
+    fn expected_matches_known_values() {
+        // fib: 1 1 2 3 5 8 13 21 34 55 89 144 233 377 → Σ(first 14) = 986
+        assert_eq!(expected(Scale::Quick), 986.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! FR — recursive Fibonacci with a clocked variable per call: "recursive
+//! calls are executed in parallel and a clocked variable synchronises the
+//! caller with the callee."
+//!
+//! Every call is a task and a barrier (the future pattern of §2.2's
+//! fork/join discussion: "as many join barriers (resources) as there are
+//! tasks").
+
+use std::sync::Arc;
+
+use armus_sync::{ClockedVar, Runtime};
+
+use super::Scale;
+
+fn depth(scale: Scale) -> u32 {
+    match scale {
+        Scale::Quick => 9,
+        Scale::Full => 13,
+    }
+}
+
+fn fr(rt: &Arc<Runtime>, k: u32) -> u64 {
+    if k < 2 {
+        return 1;
+    }
+    // One clocked variable per callee: the call's join barrier.
+    let va = ClockedVar::new(rt, 0u64);
+    let vb = ClockedVar::new(rt, 0u64);
+    {
+        let rt2 = Arc::clone(rt);
+        let va2 = va.clone();
+        rt.spawn_clocked(&[va.phaser()], move || {
+            let r = fr(&rt2, k - 1);
+            va2.set(r).expect("callee publishes");
+            va2.advance().expect("callee arrives");
+            va2.deregister().expect("callee leaves");
+        });
+    }
+    {
+        let rt2 = Arc::clone(rt);
+        let vb2 = vb.clone();
+        rt.spawn_clocked(&[vb.phaser()], move || {
+            let r = fr(&rt2, k - 2);
+            vb2.set(r).expect("callee publishes");
+            vb2.advance().expect("callee arrives");
+            vb2.deregister().expect("callee leaves");
+        });
+    }
+    // Caller synchronises with each callee through its variable.
+    va.advance().expect("join a");
+    let a = va.get().expect("read a");
+    va.deregister().expect("leave a");
+    vb.advance().expect("join b");
+    let b = vb.get().expect("read b");
+    vb.deregister().expect("leave b");
+    a + b
+}
+
+/// Runs FR; the checksum is `fib(depth)`.
+pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
+    fr(runtime, depth(scale)) as f64
+}
+
+/// Sequential ground truth.
+pub fn expected(scale: Scale) -> f64 {
+    let (mut a, mut b) = (1u64, 1u64);
+    for _ in 2..=depth(scale) {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fr_computes_fib() {
+        let rt = Runtime::unchecked();
+        assert_eq!(run(&rt, Scale::Quick), expected(Scale::Quick));
+    }
+
+    #[test]
+    fn expected_matches_known_values() {
+        // fib(9) with fib(0)=fib(1)=1 is 55.
+        assert_eq!(expected(Scale::Quick), 55.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The §6.3 suite: the Columbia PPPP course programs (SE, FI, FR, BFS,
+//! PS), which "spawn tasks and create barriers as needed, depending on the
+//! size of the program" — the worst-case stress tests for the graph-model
+//! choice (Figures 8/9, Table 3).
+//!
+//! Their task:resource ratios, per the paper:
+//! * **SE** — about as many tasks as barriers (model-insensitive);
+//! * **FI**, **FR** — many more barriers (clocked variables) than tasks:
+//!   the SG blows up, the WFG stays small;
+//! * **BFS**, **PS** — many more tasks than barriers: the WFG blows up
+//!   (579/781 edges), the SG stays tiny (5–7).
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+pub mod bfs;
+pub mod fi;
+pub mod fr;
+pub mod ps;
+pub mod se;
+
+pub use super::kernels::Scale;
+
+/// A runnable course benchmark.
+#[derive(Clone, Copy)]
+pub struct CourseBench {
+    /// Paper name (SE, FI, FR, BFS, PS).
+    pub name: &'static str,
+    /// Runs the benchmark; returns its checksum.
+    pub run: fn(&Arc<Runtime>, Scale) -> f64,
+    /// The expected checksum (sequentially computed ground truth).
+    pub expected: fn(Scale) -> f64,
+}
+
+/// All five benchmarks, in the paper's table order.
+pub fn all() -> [CourseBench; 5] {
+    [
+        CourseBench { name: "SE", run: se::run, expected: se::expected },
+        CourseBench { name: "FI", run: fi::run, expected: fi::expected },
+        CourseBench { name: "FR", run: fr::run, expected: fr::expected },
+        CourseBench { name: "BFS", run: bfs::run, expected: bfs::expected },
+        CourseBench { name: "PS", run: ps::run, expected: ps::expected },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_course_bench_validates() {
+        for bench in all() {
+            let rt = Runtime::unchecked();
+            let got = (bench.run)(&rt, Scale::Quick);
+            let want = (bench.expected)(Scale::Quick);
+            assert_eq!(got, want, "{}: {got} vs expected {want}", bench.name);
+        }
+    }
+
+    #[test]
+    fn course_benches_run_clean_under_both_modes() {
+        for bench in all() {
+            for rt in [Runtime::detection(), Runtime::avoidance()] {
+                let got = (bench.run)(&rt, Scale::Quick);
+                assert_eq!(got, (bench.expected)(Scale::Quick), "{}", bench.name);
+                assert!(
+                    !rt.verifier().found_deadlock(),
+                    "{}: spurious deadlock verdict",
+                    bench.name
+                );
+                rt.shutdown();
+            }
+        }
+    }
+}

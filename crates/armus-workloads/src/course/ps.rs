@@ -1,0 +1,86 @@
+//! PS — parallel prefix (cumulative) sum, Hillis–Steele: one task per
+//! element, one *global* barrier, log₂(n) lock-step rounds.
+//!
+//! The extreme many-tasks/one-barrier point of Table 3: the paper measures
+//! 781 WFG edges versus 6–7 SG edges, and a 600% → 82% avoidance-overhead
+//! drop from picking the right model.
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+use super::Scale;
+use crate::util::{spmd, PerThread, XorShift};
+
+fn tasks(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 32,
+        Scale::Full => 96,
+    }
+}
+
+fn input(n: usize) -> Vec<f64> {
+    let mut rng = XorShift::new(2024);
+    (0..n).map(|_| (rng.next_below(100)) as f64).collect()
+}
+
+/// Runs PS; the checksum is the last element of the scan (= total sum)
+/// plus the sum of all prefix sums, which pins every element.
+pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
+    let n = tasks(scale);
+    let init = input(n);
+    let vals = PerThread::new(n, |i| init[i]);
+    let steps = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+
+    let v2 = Arc::clone(&vals);
+    let finals = spmd(runtime, n, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        for k in 0..steps {
+            let offset = 1usize << k;
+            // Read phase.
+            let grab = if i >= offset { Some(*v2.read(i - offset)) } else { None };
+            bar.arrive_and_await()?;
+            // Write phase.
+            if let Some(g) = grab {
+                *v2.write(i) += g;
+            }
+            bar.arrive_and_await()?;
+        }
+        let mine = *v2.read(i);
+        bar.deregister()?;
+        Ok(mine)
+    })
+    .expect("PS workers");
+    finals.last().copied().unwrap_or(0.0) + finals.iter().sum::<f64>()
+}
+
+/// Sequential ground truth.
+pub fn expected(scale: Scale) -> f64 {
+    let n = tasks(scale);
+    let mut acc = 0.0;
+    let mut prefix_total = 0.0;
+    for v in input(n) {
+        acc += v;
+        prefix_total += acc;
+    }
+    acc + prefix_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_is_exact() {
+        let rt = Runtime::unchecked();
+        assert_eq!(run(&rt, Scale::Quick), expected(Scale::Quick));
+    }
+
+    #[test]
+    fn step_count_covers_all_offsets() {
+        let n = tasks(Scale::Quick);
+        let steps = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        assert!(1usize << steps >= n);
+        assert!(1usize << (steps - 1) < n);
+    }
+}

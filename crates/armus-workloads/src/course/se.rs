@@ -1,0 +1,137 @@
+//! SE — Sieve of Eratosthenes as a pipeline: "a task per prime number and
+//! one clocked variable per task."
+//!
+//! Stage *k* holds the *k*-th prime; candidates flow stage to stage
+//! through clocked variables, each stage filtering multiples of its prime
+//! and spawning the next stage on the first survivor. Tasks ≈ barriers —
+//! the model-insensitive point of Table 3.
+
+use std::sync::Arc;
+
+use armus_sync::{ClockedVar, Phaser, Runtime};
+use parking_lot::Mutex;
+
+use super::Scale;
+
+fn limit(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 80,
+        Scale::Full => 250,
+    }
+}
+
+/// The sentinel closing the pipeline.
+const DONE: u64 = 0;
+
+fn spawn_stage(
+    runtime: &Arc<Runtime>,
+    join: Phaser,
+    input: ClockedVar<u64>,
+    primes: Arc<Mutex<Vec<u64>>>,
+) {
+    let rt = Arc::clone(runtime);
+    // The stage joins the pipeline's finish phaser and the input clock.
+    let join2 = join.clone();
+    let input2 = input.clone();
+    runtime.spawn_clocked(&[&join, input.phaser()], move || {
+        stage_body(rt, join2, input2, primes).expect("sieve stage");
+    });
+}
+
+fn stage_body(
+    rt: Arc<Runtime>,
+    join: Phaser,
+    input: ClockedVar<u64>,
+    primes: Arc<Mutex<Vec<u64>>>,
+) -> Result<(), armus_sync::SyncError> {
+    // First value through the pipe is this stage's prime.
+    input.advance()?;
+    let my_prime = input.get()?;
+    if my_prime == DONE {
+        input.deregister()?;
+        return Ok(());
+    }
+    primes.lock().push(my_prime);
+    let mut output: Option<ClockedVar<u64>> = None;
+    loop {
+        input.advance()?;
+        let v = input.get()?;
+        if v == DONE {
+            if let Some(out) = &output {
+                out.set(DONE)?;
+                out.advance()?;
+                out.deregister()?;
+            }
+            input.deregister()?;
+            return Ok(());
+        }
+        if v % my_prime != 0 {
+            if output.is_none() {
+                // First survivor: it is the next prime — open the next
+                // stage, connected by a fresh clocked variable.
+                let out = ClockedVar::new(&rt, 0u64);
+                spawn_stage(&rt, join.clone(), out.clone(), Arc::clone(&primes));
+                output = Some(out);
+            }
+            let out = output.as_ref().expect("just created");
+            out.set(v)?;
+            out.advance()?;
+        }
+    }
+}
+
+/// Runs SE; the checksum is `Σ primes ≤ limit`.
+pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
+    let primes: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    // The join phaser plays the finish role: stages leave it when done.
+    let join = Phaser::new(runtime);
+    let feed = ClockedVar::new(runtime, 0u64);
+    spawn_stage(runtime, join.clone(), feed.clone(), Arc::clone(&primes));
+    for candidate in 2..=limit(scale) {
+        feed.set(candidate).expect("feed");
+        feed.advance().expect("feed");
+    }
+    feed.set(DONE).expect("feed");
+    feed.advance().expect("feed");
+    feed.deregister().expect("feed");
+    // Wait for every stage to terminate.
+    join.arrive_and_await().expect("join");
+    join.deregister().expect("join");
+    let p = primes.lock();
+    p.iter().map(|&v| v as f64).sum()
+}
+
+/// Sequential ground truth.
+pub fn expected(scale: Scale) -> f64 {
+    let n = limit(scale) as usize;
+    let mut sieve = vec![true; n + 1];
+    let mut sum = 0.0;
+    for v in 2..=n {
+        if sieve[v] {
+            sum += v as f64;
+            let mut m = v * v;
+            while m <= n {
+                sieve[m] = false;
+                m += v;
+            }
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieve_finds_the_primes() {
+        let rt = Runtime::unchecked();
+        assert_eq!(run(&rt, Scale::Quick), expected(Scale::Quick));
+    }
+
+    #[test]
+    fn expected_matches_known_prime_sum() {
+        // Primes ≤ 80 sum to 791.
+        assert_eq!(expected(Scale::Quick), 791.0);
+    }
+}

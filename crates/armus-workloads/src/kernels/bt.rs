@@ -1,0 +1,195 @@
+//! BT — block-tridiagonal ADI miniature (NPB BT's shape: alternating
+//! line-solve sweeps over a 2-D grid, one barrier between directions, one
+//! per iteration end; threads own row stripes).
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+use super::Scale;
+use crate::util::{spmd, PerThread, XorShift};
+
+struct Size {
+    n: usize,
+    iters: usize,
+}
+
+fn size(scale: Scale) -> Size {
+    match scale {
+        Scale::Quick => Size { n: 64, iters: 4 },
+        Scale::Full => Size { n: 160, iters: 8 },
+    }
+}
+
+/// Thomas algorithm for a constant-coefficient tridiagonal system
+/// `(-1, 4, -1) x = d`, in place.
+fn tridiag_solve(d: &mut [f64], scratch: &mut Vec<f64>) {
+    let n = d.len();
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let (a, b, c) = (-1.0, 4.0, -1.0);
+    // Forward elimination.
+    scratch[0] = c / b;
+    d[0] /= b;
+    for i in 1..n {
+        let m = b - a * scratch[i - 1];
+        scratch[i] = c / m;
+        d[i] = (d[i] - a * d[i - 1]) / m;
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        d[i] -= scratch[i] * d[i + 1];
+    }
+}
+
+fn stripe_bounds(n: usize, threads: usize, i: usize) -> (usize, usize) {
+    let base = n / threads;
+    let extra = n % threads;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    (lo, hi)
+}
+
+/// Runs BT on `threads` workers; returns the grid checksum.
+pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
+    let Size { n, iters } = size(scale);
+    // Row stripes: stripe i holds rows lo..hi as a flat (hi-lo) × n block.
+    // Seed per global row so the initial grid is identical no matter how
+    // it is striped (checksums must be thread-count independent).
+    let grid = PerThread::new(threads, |i| {
+        let (lo, hi) = stripe_bounds(n, threads, i);
+        let mut stripe = Vec::with_capacity((hi - lo) * n);
+        for row in lo..hi {
+            let mut rng = XorShift::new(42 + row as u64);
+            stripe.extend((0..n).map(|_| rng.next_f64()));
+        }
+        stripe
+    });
+
+    let grid2 = Arc::clone(&grid);
+    let partials = spmd(runtime, threads, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let (lo, hi) = stripe_bounds(n, threads, i);
+        let rows = hi - lo;
+        let mut scratch = Vec::new();
+        for _ in 0..iters {
+            // x-sweep: tridiagonal solve along each owned row.
+            {
+                let mut mine = grid2.write(i);
+                for r in 0..rows {
+                    tridiag_solve(&mut mine[r * n..(r + 1) * n], &mut scratch);
+                }
+            }
+            bar.arrive_and_await()?;
+            // Read phase: snapshot the neighbouring boundary rows. All
+            // threads only read here; the next barrier separates these
+            // reads from the y-sweep writes.
+            let above: Option<Vec<f64>> = if lo > 0 {
+                let owner = owner_of(lo - 1, n, threads);
+                let (olo, _) = stripe_bounds(n, threads, owner);
+                let g = grid2.read(owner);
+                Some(g[(lo - 1 - olo) * n..(lo - olo) * n].to_vec())
+            } else {
+                None
+            };
+            let below: Option<Vec<f64>> = if hi < n {
+                let owner = owner_of(hi, n, threads);
+                let (olo, _) = stripe_bounds(n, threads, owner);
+                let g = grid2.read(owner);
+                Some(g[(hi - olo) * n..(hi + 1 - olo) * n].to_vec())
+            } else {
+                None
+            };
+            bar.arrive_and_await()?;
+            // y-sweep: vertical relaxation against the snapshots.
+            {
+                let mut mine = grid2.write(i);
+                let old: Vec<f64> = mine.clone();
+                for r in 0..rows {
+                    for jcol in 0..n {
+                        let up = if r > 0 {
+                            old[(r - 1) * n + jcol]
+                        } else {
+                            above.as_ref().map(|a| a[jcol]).unwrap_or(0.0)
+                        };
+                        let down = if r + 1 < rows {
+                            old[(r + 1) * n + jcol]
+                        } else {
+                            below.as_ref().map(|b| b[jcol]).unwrap_or(0.0)
+                        };
+                        mine[r * n + jcol] = 0.25 * (up + down + 2.0 * old[r * n + jcol]);
+                    }
+                }
+            }
+            bar.arrive_and_await()?;
+        }
+        // Deterministic checksum contribution: own stripe sum.
+        let mine = grid2.read(i);
+        let local: f64 = mine.iter().sum();
+        bar.deregister()?;
+        Ok(local)
+    })
+    .expect("BT workers");
+    // Fixed-order reduction keeps the checksum thread-count independent up
+    // to stripe-boundary rounding.
+    partials.iter().sum()
+}
+
+fn owner_of(row: usize, n: usize, threads: usize) -> usize {
+    (0..threads)
+        .find(|&i| {
+            let (lo, hi) = stripe_bounds(n, threads, i);
+            (lo..hi).contains(&row)
+        })
+        .expect("row in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiag_solves_known_system() {
+        // (-1, 4, -1) x = d with x = [1, 2, 3]:
+        // d = [4*1-2, -1+8-3, -2+12] = [2, 4, 10]
+        let mut d = vec![2.0, 4.0, 10.0];
+        tridiag_solve(&mut d, &mut Vec::new());
+        for (got, want) in d.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn stripes_partition_exactly() {
+        for (n, threads) in [(64, 3), (7, 8), (100, 7)] {
+            let mut covered = 0;
+            for i in 0..threads {
+                let (lo, hi) = stripe_bounds(n, threads, i);
+                covered += hi - lo;
+                assert!(hi >= lo);
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn owner_of_is_consistent_with_bounds() {
+        for row in 0..64 {
+            let owner = owner_of(row, 64, 5);
+            let (lo, hi) = stripe_bounds(64, 5, owner);
+            assert!((lo..hi).contains(&row));
+        }
+    }
+
+    #[test]
+    fn bt_matches_reference_across_threads() {
+        let reference = run(&Runtime::unchecked(), 1, Scale::Quick);
+        for threads in [2, 3, 4] {
+            let sum = run(&Runtime::unchecked(), threads, Scale::Quick);
+            assert!(
+                super::super::relative_close(sum, reference, 1e-6),
+                "{sum} vs {reference} at {threads} threads"
+            );
+        }
+    }
+}

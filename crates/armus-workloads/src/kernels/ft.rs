@@ -1,0 +1,216 @@
+//! FT — 2-D FFT miniature (NPB FT's shape: row FFTs, transpose, row FFTs
+//! again; barriers separate the phases).
+//!
+//! Radix-2 Cooley–Tukey over an `m × m` complex grid, threads owning row
+//! stripes. One forward + inverse round trip per iteration; the checksum
+//! is the recovered signal sum, which also validates the transform.
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+use super::Scale;
+use crate::util::{spmd, PerThread, XorShift};
+
+struct Size {
+    m: usize, // power of two
+    iters: usize,
+}
+
+fn size(scale: Scale) -> Size {
+    match scale {
+        Scale::Quick => Size { m: 64, iters: 2 },
+        Scale::Full => Size { m: 256, iters: 3 },
+    }
+}
+
+/// In-place radix-2 FFT of one row (`re`/`im` interleaved pairs).
+/// `inverse` applies the conjugate transform and the 1/n scale.
+fn fft_row(row: &mut [(f64, f64)], inverse: bool) {
+    let n = row.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            row.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let (ur, ui) = row[i + k];
+                let (vr, vi) = row[i + k + len / 2];
+                let (tr, ti) = (vr * cr - vi * ci, vr * ci + vi * cr);
+                row[i + k] = (ur + tr, ui + ti);
+                row[i + k + len / 2] = (ur - tr, ui - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in row.iter_mut() {
+            v.0 *= scale;
+            v.1 *= scale;
+        }
+    }
+}
+
+fn stripe_bounds(n: usize, threads: usize, i: usize) -> (usize, usize) {
+    let base = n / threads;
+    let extra = n % threads;
+    let lo = i * base + i.min(extra);
+    (lo, lo + base + usize::from(i < extra))
+}
+
+/// Runs FT; returns the recovered-signal checksum.
+pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
+    let Size { m, iters } = size(scale);
+    // Seed per global row: the initial grid must not depend on striping.
+    let grid = PerThread::new(threads, |i| {
+        let (lo, hi) = stripe_bounds(m, threads, i);
+        let mut stripe = Vec::with_capacity((hi - lo) * m);
+        for row in lo..hi {
+            let mut rng = XorShift::new(99 + row as u64);
+            stripe.extend((0..m).map(|_| (rng.next_f64() - 0.5, 0.0)));
+        }
+        stripe
+    });
+
+    let g2 = Arc::clone(&grid);
+    let partials = spmd(runtime, threads, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let (lo, hi) = stripe_bounds(m, threads, i);
+        let rows = hi - lo;
+        // One forward 2-D pass = row FFTs, transpose, row FFTs. The
+        // inverse pass mirrors it; transpose is its own inverse.
+        let pass = |inverse: bool| -> Result<(), armus_sync::SyncError> {
+            // Row FFTs on the owned stripe.
+            {
+                let mut mine = g2.write(i);
+                for r in 0..rows {
+                    fft_row(&mut mine[r * m..(r + 1) * m], inverse);
+                }
+            }
+            bar.arrive_and_await()?;
+            // Transpose (read phase): build the transposed stripe — row r
+            // of the transposed grid is column r of the old grid.
+            let mut transposed = vec![(0.0, 0.0); rows * m];
+            for j in 0..threads {
+                let (jlo, jhi) = stripe_bounds(m, threads, j);
+                let other = g2.read(j);
+                for (srow, grow) in (jlo..jhi).enumerate() {
+                    for r in lo..hi {
+                        // old[grow][r] → new[r - lo][grow]
+                        transposed[(r - lo) * m + grow] = other[srow * m + r];
+                    }
+                }
+            }
+            bar.arrive_and_await()?;
+            // Write phase: install the transposed stripe, FFT its rows.
+            {
+                let mut mine = g2.write(i);
+                mine.copy_from_slice(&transposed);
+                for r in 0..rows {
+                    fft_row(&mut mine[r * m..(r + 1) * m], inverse);
+                }
+            }
+            bar.arrive_and_await()?;
+            Ok(())
+        };
+        for _ in 0..iters {
+            pass(false)?; // forward
+            pass(true)?; // inverse — recovers the signal
+        }
+        let mine = g2.read(i);
+        let local: f64 = mine.iter().map(|&(re, im)| re + im).sum();
+        bar.deregister()?;
+        Ok(local)
+    })
+    .expect("FT workers");
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_round_trip_recovers_signal() {
+        let mut rng = XorShift::new(5);
+        let original: Vec<(f64, f64)> = (0..64).map(|_| (rng.next_f64(), 0.0)).collect();
+        let mut row = original.clone();
+        fft_row(&mut row, false);
+        fft_row(&mut row, true);
+        for (a, b) in row.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut row = vec![(0.0, 0.0); 8];
+        row[0] = (1.0, 0.0);
+        fft_row(&mut row, false);
+        for &(re, im) in &row {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval_energy_is_preserved() {
+        let mut rng = XorShift::new(9);
+        let row0: Vec<(f64, f64)> = (0..128).map(|_| (rng.next_f64() - 0.5, 0.0)).collect();
+        let e0: f64 = row0.iter().map(|&(r, i)| r * r + i * i).sum();
+        let mut row = row0;
+        fft_row(&mut row, false);
+        let e1: f64 = row.iter().map(|&(r, i)| r * r + i * i).sum::<f64>() / row.len() as f64;
+        assert!((e0 - e1).abs() / e0 < 1e-9);
+    }
+
+    #[test]
+    fn ft_matches_reference_across_threads() {
+        let reference = run(&Runtime::unchecked(), 1, Scale::Quick);
+        for threads in [2, 4] {
+            let sum = run(&Runtime::unchecked(), threads, Scale::Quick);
+            assert!(
+                super::super::relative_close(sum, reference, 1e-6),
+                "{sum} vs {reference} at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn ft_round_trip_checksum_matches_input_sum() {
+        // The kernel's forward+inverse structure means the final grid is
+        // (numerically) the original: the checksum equals the input sum.
+        let Size { m, .. } = size(Scale::Quick);
+        let mut expect = 0.0;
+        for row in 0..m {
+            let mut rng = XorShift::new(99 + row as u64);
+            for _ in 0..m {
+                expect += rng.next_f64() - 0.5;
+            }
+        }
+        let sum = run(&Runtime::unchecked(), 2, Scale::Quick);
+        assert!((sum - expect).abs() < 1e-6, "{sum} vs {expect}");
+    }
+}

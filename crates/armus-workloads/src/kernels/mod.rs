@@ -1,0 +1,114 @@
+//! The §6.1 benchmark suite: miniature but faithful ports of the NPB
+//! kernels (BT, CG, FT, MG, SP) and the JGF ray tracer (RT).
+//!
+//! Every kernel is SPMD with a *fixed* number of cyclic barriers and a
+//! parametric thread count — exactly the shape the paper's Table 1/2 and
+//! Figure 6 benchmarks share ("all of the benchmarks … proceed
+//! iteratively, and use a fixed number of cyclic barriers to synchronise
+//! stepwise. Furthermore, all benchmarks check the validity of the
+//! produced output"). Each `run` returns a checksum; `validate` compares
+//! it against the sequential (1-thread) reference within a floating-point
+//! tolerance.
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+pub mod bt;
+pub mod cg;
+pub mod ft;
+pub mod mg;
+pub mod rt;
+pub mod sp;
+
+/// Problem-size selector. `Quick` keeps the full benchmark matrix under a
+/// minute on a laptop; `Full` is for the headline runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for smoke runs and CI.
+    Quick,
+    /// The sizes used for the numbers in EXPERIMENTS.md.
+    Full,
+}
+
+/// A runnable kernel.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    /// Paper name (BT, CG, FT, MG, RT, SP).
+    pub name: &'static str,
+    /// Runs the kernel on `threads` workers; returns the checksum.
+    pub run: fn(&Arc<Runtime>, usize, Scale) -> f64,
+}
+
+/// All six kernels, in the paper's table order.
+pub fn all() -> [Kernel; 6] {
+    [
+        Kernel { name: "BT", run: bt::run },
+        Kernel { name: "CG", run: cg::run },
+        Kernel { name: "FT", run: ft::run },
+        Kernel { name: "MG", run: mg::run },
+        Kernel { name: "RT", run: rt::run },
+        Kernel { name: "SP", run: sp::run },
+    ]
+}
+
+/// Validates a parallel checksum against the sequential reference. The
+/// tolerance absorbs reduction-order floating-point drift across thread
+/// counts.
+pub fn validate(kernel: &Kernel, checksum: f64, scale: Scale) -> bool {
+    let rt = Runtime::unchecked();
+    let reference = (kernel.run)(&rt, 1, scale);
+    relative_close(checksum, reference, 1e-6)
+}
+
+/// `|a - b| / max(|a|, |b|, 1) < tol`.
+pub fn relative_close(a: f64, b: f64, tol: f64) -> bool {
+    let denom = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() / denom < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_validates_at_multiple_thread_counts() {
+        for kernel in all() {
+            let rt = Runtime::unchecked();
+            let reference = (kernel.run)(&rt, 1, Scale::Quick);
+            for threads in [2, 4] {
+                let rt = Runtime::unchecked();
+                let sum = (kernel.run)(&rt, threads, Scale::Quick);
+                assert!(
+                    relative_close(sum, reference, 1e-6),
+                    "{}: {sum} vs reference {reference} at {threads} threads",
+                    kernel.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_run_clean_under_detection_and_avoidance() {
+        for kernel in all() {
+            for rt in [Runtime::detection(), Runtime::avoidance()] {
+                let _ = (kernel.run)(&rt, 2, Scale::Quick);
+                assert!(
+                    !rt.verifier().found_deadlock(),
+                    "{}: spurious deadlock verdict",
+                    kernel.name
+                );
+                rt.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn checksums_are_deterministic() {
+        for kernel in all() {
+            let a = (kernel.run)(&Runtime::unchecked(), 2, Scale::Quick);
+            let b = (kernel.run)(&Runtime::unchecked(), 2, Scale::Quick);
+            assert_eq!(a, b, "{} must be bitwise deterministic per thread count", kernel.name);
+        }
+    }
+}

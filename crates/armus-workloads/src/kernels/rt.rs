@@ -1,0 +1,172 @@
+//! RT — ray tracer (JGF RayTracer's shape: embarrassingly parallel pixel
+//! work, a barrier per frame, threads own row stripes).
+//!
+//! A small diffuse-shaded sphere scene rendered over several frames with a
+//! slowly orbiting light; the barrier keeps frames in lockstep (the JGF
+//! benchmark synchronises between scene updates and rendering).
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+use super::Scale;
+use crate::util::{spmd, PerThread};
+
+struct Size {
+    width: usize,
+    height: usize,
+    frames: usize,
+}
+
+fn size(scale: Scale) -> Size {
+    match scale {
+        Scale::Quick => Size { width: 96, height: 64, frames: 3 },
+        Scale::Full => Size { width: 320, height: 200, frames: 6 },
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Sphere {
+    centre: [f64; 3],
+    radius: f64,
+    albedo: f64,
+}
+
+fn scene() -> Vec<Sphere> {
+    vec![
+        Sphere { centre: [0.0, 0.0, -3.0], radius: 1.0, albedo: 0.9 },
+        Sphere { centre: [1.5, 0.5, -4.0], radius: 0.7, albedo: 0.6 },
+        Sphere { centre: [-1.6, -0.4, -3.5], radius: 0.8, albedo: 0.75 },
+        Sphere { centre: [0.2, -101.0, -3.0], radius: 100.0, albedo: 0.4 }, // floor
+    ]
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn norm(a: [f64; 3]) -> [f64; 3] {
+    let len = dot(a, a).sqrt();
+    [a[0] / len, a[1] / len, a[2] / len]
+}
+
+/// Nearest ray–sphere hit: `(t, sphere index)`.
+fn intersect(origin: [f64; 3], dir: [f64; 3], spheres: &[Sphere]) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for (idx, s) in spheres.iter().enumerate() {
+        let oc = sub(origin, s.centre);
+        let b = dot(oc, dir);
+        let c = dot(oc, oc) - s.radius * s.radius;
+        let disc = b * b - c;
+        if disc <= 0.0 {
+            continue;
+        }
+        let t = -b - disc.sqrt();
+        if t > 1e-4 && best.map(|(bt, _)| t < bt).unwrap_or(true) {
+            best = Some((t, idx));
+        }
+    }
+    best
+}
+
+/// Shades one primary ray: diffuse lighting with a hard shadow test.
+fn shade(origin: [f64; 3], dir: [f64; 3], light: [f64; 3], spheres: &[Sphere]) -> f64 {
+    match intersect(origin, dir, spheres) {
+        None => 0.05, // background
+        Some((t, idx)) => {
+            let hit = [origin[0] + t * dir[0], origin[1] + t * dir[1], origin[2] + t * dir[2]];
+            let normal = norm(sub(hit, spheres[idx].centre));
+            let to_light = norm(sub(light, hit));
+            let lambert = dot(normal, to_light).max(0.0);
+            let shadowed = intersect(hit, to_light, spheres).is_some();
+            let direct = if shadowed { 0.0 } else { lambert };
+            0.05 + spheres[idx].albedo * direct
+        }
+    }
+}
+
+/// Runs RT; returns the total luminance over all frames.
+pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
+    let Size { width, height, frames } = size(scale);
+    let spheres = Arc::new(scene());
+    let sums = PerThread::new(threads, |_| 0.0f64);
+
+    let (sp, sums2) = (Arc::clone(&spheres), Arc::clone(&sums));
+    let partials = spmd(runtime, threads, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let rows_per = height.div_ceil(threads);
+        let lo = (i * rows_per).min(height);
+        let hi = ((i + 1) * rows_per).min(height);
+        let mut local = 0.0;
+        for frame in 0..frames {
+            // The light orbits per frame (the JGF scene update step).
+            let ang = frame as f64 * 0.7;
+            let light = [4.0 * ang.cos(), 4.0, 4.0 * ang.sin() - 3.0];
+            for y in lo..hi {
+                for x in 0..width {
+                    let u = (x as f64 + 0.5) / width as f64 * 2.0 - 1.0;
+                    let v = 1.0 - (y as f64 + 0.5) / height as f64 * 2.0;
+                    let dir = norm([u, v * height as f64 / width as f64, -1.0]);
+                    local += shade([0.0, 0.0, 0.0], dir, light, &sp);
+                }
+            }
+            // Frame barrier: scene update happens in lockstep.
+            bar.arrive_and_await()?;
+        }
+        *sums2.write(i) = local;
+        bar.deregister()?;
+        Ok(local)
+    })
+    .expect("RT workers");
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_hit_the_main_sphere() {
+        let spheres = scene();
+        let hit = intersect([0.0, 0.0, 0.0], [0.0, 0.0, -1.0], &spheres);
+        let (t, idx) = hit.expect("centre ray hits");
+        assert_eq!(idx, 0);
+        assert!((t - 2.0).abs() < 1e-9, "sphere front face at z = -2");
+    }
+
+    #[test]
+    fn misses_return_background() {
+        let spheres = scene();
+        let lum = shade([0.0, 0.0, 0.0], norm([0.0, 1.0, 0.2]), [0.0, 4.0, 0.0], &spheres);
+        assert!((lum - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn luminance_is_bounded() {
+        let spheres = scene();
+        for y in 0..16 {
+            for x in 0..16 {
+                let dir = norm([x as f64 / 8.0 - 1.0, y as f64 / 8.0 - 1.0, -1.0]);
+                let lum = shade([0.0, 0.0, 0.0], dir, [4.0, 4.0, -3.0], &spheres);
+                assert!((0.0..=1.0).contains(&lum), "{lum}");
+            }
+        }
+    }
+
+    #[test]
+    fn rt_matches_reference_across_threads() {
+        let reference = run(&Runtime::unchecked(), 1, Scale::Quick);
+        assert!(reference > 0.0);
+        for threads in [2, 5] {
+            let sum = run(&Runtime::unchecked(), threads, Scale::Quick);
+            assert!(
+                super::super::relative_close(sum, reference, 1e-9),
+                "{sum} vs {reference} at {threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! SP — scalar pentadiagonal miniature (NPB SP's shape: ADI sweeps with a
+//! wider, 5-point band; more barrier crossings per iteration than BT).
+
+use std::sync::Arc;
+
+use armus_sync::Runtime;
+
+use super::Scale;
+use crate::util::{spmd, PerThread, XorShift};
+
+struct Size {
+    n: usize,
+    iters: usize,
+}
+
+fn size(scale: Scale) -> Size {
+    match scale {
+        Scale::Quick => Size { n: 64, iters: 3 },
+        Scale::Full => Size { n: 144, iters: 6 },
+    }
+}
+
+/// One Jacobi-style pentadiagonal relaxation along a row:
+/// `u ← (d - a·u[k-2] - b·u[k-1] - e·u[k+1] - f·u[k+2]) / c` with a
+/// diagonally dominant constant stencil.
+fn penta_relax(row: &mut [f64]) {
+    const A: f64 = -0.5;
+    const B: f64 = -1.0;
+    const C: f64 = 6.0;
+    const E: f64 = -1.0;
+    const F: f64 = -0.5;
+    let n = row.len();
+    let old = row.to_vec();
+    for k in 0..n {
+        let km2 = if k >= 2 { old[k - 2] } else { 0.0 };
+        let km1 = if k >= 1 { old[k - 1] } else { 0.0 };
+        let kp1 = if k + 1 < n { old[k + 1] } else { 0.0 };
+        let kp2 = if k + 2 < n { old[k + 2] } else { 0.0 };
+        row[k] = (old[k] - A * km2 - B * km1 - E * kp1 - F * kp2) / C;
+    }
+}
+
+fn stripe_bounds(n: usize, threads: usize, i: usize) -> (usize, usize) {
+    let base = n / threads;
+    let extra = n % threads;
+    let lo = i * base + i.min(extra);
+    (lo, lo + base + usize::from(i < extra))
+}
+
+fn owner_of(row: usize, n: usize, threads: usize) -> usize {
+    (0..threads)
+        .find(|&i| {
+            let (lo, hi) = stripe_bounds(n, threads, i);
+            (lo..hi).contains(&row)
+        })
+        .expect("row in range")
+}
+
+/// Runs SP; returns the grid checksum.
+pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
+    let Size { n, iters } = size(scale);
+    let grid = PerThread::new(threads, |i| {
+        let (lo, hi) = stripe_bounds(n, threads, i);
+        let mut stripe = Vec::with_capacity((hi - lo) * n);
+        for row in lo..hi {
+            let mut rng = XorShift::new(77 + row as u64);
+            stripe.extend((0..n).map(|_| rng.next_f64()));
+        }
+        stripe
+    });
+
+    let g2 = Arc::clone(&grid);
+    let partials = spmd(runtime, threads, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let (lo, hi) = stripe_bounds(n, threads, i);
+        let rows = hi - lo;
+        // Reads row `r` of the current grid via the stripes (read phase).
+        let read_row = |r: usize, buf: &mut Vec<f64>| {
+            let owner = owner_of(r, n, threads);
+            let (olo, _) = stripe_bounds(n, threads, owner);
+            let g = g2.read(owner);
+            buf.clear();
+            buf.extend_from_slice(&g[(r - olo) * n..(r - olo + 1) * n]);
+        };
+        for _ in 0..iters {
+            // x-sweep: pentadiagonal relax along each owned row.
+            {
+                let mut mine = g2.write(i);
+                for r in 0..rows {
+                    penta_relax(&mut mine[r * n..(r + 1) * n]);
+                }
+            }
+            bar.arrive_and_await()?;
+            // Read phase for the y-sweep: the two rows above and below.
+            let mut halo: Vec<Vec<f64>> = Vec::with_capacity(4);
+            let mut buf = Vec::new();
+            for off in [2isize, 1] {
+                let r = lo as isize - off;
+                if r >= 0 {
+                    read_row(r as usize, &mut buf);
+                    halo.push(buf.clone());
+                } else {
+                    halo.push(vec![0.0; n]);
+                }
+            }
+            for off in [0usize, 1] {
+                let r = hi + off;
+                if r < n {
+                    read_row(r, &mut buf);
+                    halo.push(buf.clone());
+                } else {
+                    halo.push(vec![0.0; n]);
+                }
+            }
+            bar.arrive_and_await()?;
+            // y-sweep: vertical 5-point relaxation.
+            {
+                let mut mine = g2.write(i);
+                let old: Vec<f64> = mine.clone();
+                let at = |r: isize, j: usize, old: &[f64]| -> f64 {
+                    if r < 0 || r as usize >= n {
+                        0.0
+                    } else if (r as usize) < lo {
+                        // halo[0] = row lo-2, halo[1] = row lo-1
+                        let off = lo - r as usize; // 1 or 2
+                        halo[2 - off][j]
+                    } else if r as usize >= hi {
+                        let off = r as usize - hi; // 0 or 1
+                        halo[2 + off][j]
+                    } else {
+                        old[(r as usize - lo) * n + j]
+                    }
+                };
+                for r in 0..rows {
+                    let gr = (lo + r) as isize;
+                    for j in 0..n {
+                        let km2 = at(gr - 2, j, &old);
+                        let km1 = at(gr - 1, j, &old);
+                        let kp1 = at(gr + 1, j, &old);
+                        let kp2 = at(gr + 2, j, &old);
+                        mine[r * n + j] =
+                            (old[r * n + j] + 0.5 * km2 + km1 + kp1 + 0.5 * kp2) / 6.0;
+                    }
+                }
+            }
+            bar.arrive_and_await()?;
+        }
+        let local: f64 = g2.read(i).iter().sum();
+        bar.deregister()?;
+        Ok(local)
+    })
+    .expect("SP workers");
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penta_relax_is_a_contraction() {
+        let mut rng = XorShift::new(3);
+        let mut row: Vec<f64> = (0..64).map(|_| rng.next_f64()).collect();
+        let before: f64 = row.iter().map(|v| v.abs()).sum();
+        for _ in 0..50 {
+            penta_relax(&mut row);
+        }
+        let after: f64 = row.iter().map(|v| v.abs()).sum();
+        assert!(after < before, "diagonally dominant relaxation must contract");
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sp_matches_reference_across_threads() {
+        let reference = run(&Runtime::unchecked(), 1, Scale::Quick);
+        for threads in [2, 3, 4] {
+            let sum = run(&Runtime::unchecked(), threads, Scale::Quick);
+            assert!(
+                super::super::relative_close(sum, reference, 1e-6),
+                "{sum} vs {reference} at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn halo_indexing_covers_all_offsets() {
+        // Exercise a 3-thread run where stripes are narrow enough that the
+        // ±2 halo spans a whole neighbouring stripe.
+        let reference = run(&Runtime::unchecked(), 1, Scale::Quick);
+        let sum = run(&Runtime::unchecked(), 16, Scale::Quick);
+        assert!(
+            super::super::relative_close(sum, reference, 1e-6),
+            "{sum} vs {reference} with narrow stripes"
+        );
+    }
+}

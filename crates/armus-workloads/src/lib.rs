@@ -1,0 +1,28 @@
+//! # armus-workloads
+//!
+//! Every benchmark program of the Armus evaluation (§6), rebuilt on the
+//! `armus-sync` runtime, plus the measurement harness that regenerates the
+//! paper's tables and figures:
+//!
+//! * [`kernels`] — the §6.1 NPB/JGF suite (BT, CG, FT, MG, RT, SP):
+//!   SPMD, fixed barriers, output-validated (Tables 1–2, Figure 6);
+//! * [`dist`] — the §6.2 distributed suite (FT, KMEANS, JACOBI, SSCA2,
+//!   STREAM) over `armus-dist` clusters (Figure 7);
+//! * [`course`] — the §6.3 graph-model stress programs (SE, FI, FR, BFS,
+//!   PS) on clocked variables (Figures 8–9, Table 3);
+//! * [`deadlocky`] — deliberately deadlocking programs for the tool's
+//!   positive tests;
+//! * [`harness`] — sampling, confidence intervals and overhead arithmetic
+//!   following the paper's methodology (Georges et al.).
+
+#![warn(missing_docs)]
+
+pub mod course;
+pub mod deadlocky;
+pub mod dist;
+pub mod harness;
+pub mod kernels;
+pub mod util;
+
+pub use harness::{overhead, percent, Measurement};
+pub use kernels::Scale;

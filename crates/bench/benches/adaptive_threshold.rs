@@ -1,0 +1,42 @@
+//! Ablation of the adaptive SG-abort threshold (paper §5.1 fixes the
+//! multiplier at 2, "obtained based on experiments"): build cost across
+//! multipliers on both favourable and unfavourable shapes, against the
+//! fixed models.
+
+use armus_bench::synth::{acyclic, SynthShape};
+use armus_core::{adaptive, ModelChoice};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_threshold");
+    let shapes = [
+        ("sg-friendly", SynthShape { tasks: 256, phasers: 2, regs_per_task: 2 }),
+        ("wfg-friendly", SynthShape { tasks: 16, phasers: 256, regs_per_task: 8 }),
+    ];
+    for (name, shape) in shapes {
+        let snap = acyclic(shape);
+        for threshold in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("auto-x{threshold}"), name),
+                &snap,
+                |b, s| {
+                    b.iter(|| {
+                        let built = adaptive::build(s, ModelChoice::Auto, threshold);
+                        black_box((built.model, built.edge_count()))
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("fixed-wfg", name), &snap, |b, s| {
+            b.iter(|| black_box(adaptive::build(s, ModelChoice::FixedWfg, 2).edge_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed-sg", name), &snap, |b, s| {
+            b.iter(|| black_box(adaptive::build(s, ModelChoice::FixedSg, 2).edge_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

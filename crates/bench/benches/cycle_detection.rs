@@ -1,0 +1,41 @@
+//! Cycle-detection scaling: the O(V+E) DFS of Proposition 4.2 on paths
+//! (worst-case acyclic) and rings (immediate witnesses), plus Tarjan SCCs.
+
+use armus_core::graph::DiGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn path(n: u32) -> DiGraph<u32> {
+    let mut g = DiGraph::with_capacity(n as usize);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1);
+    }
+    g
+}
+
+fn ring(n: u32) -> DiGraph<u32> {
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_detection");
+    for n in [1_000u32, 10_000, 100_000] {
+        let p = path(n);
+        let r = ring(n);
+        group.bench_with_input(BenchmarkId::new("path-acyclic", n), &p, |b, g| {
+            b.iter(|| black_box(g.find_cycle().is_none()))
+        });
+        group.bench_with_input(BenchmarkId::new("ring-cycle", n), &r, |b, g| {
+            b.iter(|| black_box(g.find_cycle().is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("tarjan-sccs", n), &r, |b, g| {
+            b.iter(|| black_box(g.sccs().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

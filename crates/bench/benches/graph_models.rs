@@ -1,0 +1,43 @@
+//! Graph-construction cost of the WFG, SG, GRG and the adaptive builder
+//! across task:resource ratios — the mechanism behind Table 3.
+
+use armus_bench::synth::{acyclic, SynthShape};
+use armus_core::{adaptive, grg, sg, wfg, ModelChoice, DEFAULT_SG_THRESHOLD};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn shapes() -> Vec<(&'static str, SynthShape)> {
+    vec![
+        // SPMD: many tasks, two barriers (PS/BFS-like).
+        ("spmd-256t-2p", SynthShape { tasks: 256, phasers: 2, regs_per_task: 2 }),
+        // Fork/join-ish: few tasks, many barriers (FR/FI-like).
+        ("fork-16t-256p", SynthShape { tasks: 16, phasers: 256, regs_per_task: 8 }),
+        // Balanced (SE-like).
+        ("even-64t-64p", SynthShape { tasks: 64, phasers: 64, regs_per_task: 3 }),
+    ]
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    for (name, shape) in shapes() {
+        let snap = acyclic(shape);
+        group.bench_with_input(BenchmarkId::new("wfg", name), &snap, |b, s| {
+            b.iter(|| black_box(wfg::wfg(s).edge_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("sg", name), &snap, |b, s| {
+            b.iter(|| black_box(sg::sg(s).edge_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("grg", name), &snap, |b, s| {
+            b.iter(|| black_box(grg::grg(s).edge_count()))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", name), &snap, |b, s| {
+            b.iter(|| {
+                black_box(adaptive::build(s, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Phaser-operation cost under each verification mode: what a single
+//! barrier crossing pays for the Armus hook (the per-block publication of
+//! Tables 1–2).
+
+use armus_core::VerifierConfig;
+use armus_sync::{Phaser, Runtime, RuntimeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn runtime(mode: &str) -> std::sync::Arc<Runtime> {
+    let vc = match mode {
+        "unchecked" => VerifierConfig::disabled(),
+        "detection" => VerifierConfig::detection_every(Duration::from_secs(3600)),
+        "avoidance" => VerifierConfig::avoidance(),
+        _ => unreachable!(),
+    };
+    Runtime::new(RuntimeConfig::unchecked().with_verifier(vc))
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phaser_ops");
+    for mode in ["unchecked", "detection", "avoidance"] {
+        // Sole member: arrive_and_await never blocks (fast path — no
+        // publication even when verification is on).
+        let rt = runtime(mode);
+        let ph = Phaser::new(&rt);
+        group.bench_function(BenchmarkId::new("solo-arrive-await", mode), |b| {
+            b.iter(|| black_box(ph.arrive_and_await().unwrap()))
+        });
+        rt.shutdown();
+
+        // Two members stepping in lockstep: every crossing blocks, so
+        // verification pays the full publish/check path.
+        let rt = runtime(mode);
+        let ph = Phaser::new(&rt);
+        let peer = ph.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let handle = rt.spawn_clocked(&[&ph], move || {
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                if peer.arrive_and_await().is_err() {
+                    break;
+                }
+            }
+            let _ = peer.deregister();
+        });
+        group.bench_function(BenchmarkId::new("pair-arrive-await", mode), |b| {
+            b.iter(|| black_box(ph.arrive_and_await().unwrap()))
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // Let the peer drain: one more step releases it to see the flag.
+        let _ = ph.arrive_and_await();
+        let _ = ph.deregister();
+        let _ = handle.join();
+        rt.shutdown();
+
+        // Registration churn.
+        let rt = runtime(mode);
+        let ph = Phaser::new_unregistered(&rt);
+        group.bench_function(BenchmarkId::new("register-deregister", mode), |b| {
+            b.iter(|| {
+                ph.register().unwrap();
+                ph.deregister().unwrap();
+            })
+        });
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Blocked-status registry throughput: the sharded design (paper §5.1,
+//! "rearranged per task to optimise updates") against a single-lock
+//! baseline, under solo and contended updates.
+
+use armus_core::{BlockedInfo, PhaserId, Registration, Registry, Resource, TaskId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The naive registry the sharded one is measured against.
+#[derive(Default)]
+struct SingleLock {
+    map: Mutex<HashMap<TaskId, BlockedInfo>>,
+}
+
+impl SingleLock {
+    fn block(&self, info: BlockedInfo) {
+        self.map.lock().insert(info.task, info);
+    }
+    fn unblock(&self, task: TaskId) {
+        self.map.lock().remove(&task);
+    }
+    fn snapshot(&self) -> Vec<BlockedInfo> {
+        self.map.lock().values().cloned().collect()
+    }
+}
+
+fn info(task: u64) -> BlockedInfo {
+    BlockedInfo::new(
+        TaskId(task),
+        vec![Resource::new(PhaserId(1), 1)],
+        vec![Registration::new(PhaserId(1), 1), Registration::new(PhaserId(2), 0)],
+    )
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+
+    group.bench_function(BenchmarkId::new("block-unblock", "sharded"), |b| {
+        let reg = Registry::new();
+        b.iter(|| {
+            reg.block(info(7));
+            reg.unblock(TaskId(7));
+        })
+    });
+    group.bench_function(BenchmarkId::new("block-unblock", "single-lock"), |b| {
+        let reg = SingleLock::default();
+        b.iter(|| {
+            reg.block(info(7));
+            reg.unblock(TaskId(7));
+        })
+    });
+
+    // Contended: 3 background threads hammer updates while we measure.
+    for (name, use_sharded) in [("sharded", true), ("single-lock", false)] {
+        let sharded = Arc::new(Registry::new());
+        let single = Arc::new(SingleLock::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let sharded = Arc::clone(&sharded);
+            let single = Arc::clone(&single);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let id = 100 + t;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if use_sharded {
+                        sharded.block(info(id));
+                        sharded.unblock(TaskId(id));
+                    } else {
+                        single.block(info(id));
+                        single.unblock(TaskId(id));
+                    }
+                }
+            }));
+        }
+        group.bench_function(BenchmarkId::new("block-unblock-contended", name), |b| {
+            b.iter(|| {
+                if use_sharded {
+                    sharded.block(info(7));
+                    sharded.unblock(TaskId(7));
+                } else {
+                    single.block(info(7));
+                    single.unblock(TaskId(7));
+                }
+            })
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    // Snapshot cost with a populated registry.
+    let reg = Registry::new();
+    for t in 0..256 {
+        reg.block(info(t));
+    }
+    group.bench_function("snapshot-256", |b| b.iter(|| black_box(reg.snapshot().len())));
+    let single = SingleLock::default();
+    for t in 0..256 {
+        single.block(info(t));
+    }
+    group.bench_function("snapshot-256-single-lock", |b| {
+        b.iter(|| black_box(single.snapshot().len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! `paper` — regenerates every table and figure of the Armus evaluation.
+//!
+//! ```text
+//! cargo run --release -p armus-bench --bin paper -- [options] <commands…>
+//!
+//! commands: table1 table2 table3 fig6 fig7 fig8 fig9 sanity all
+//! options:
+//!   --full           full problem sizes & the paper's thread grid
+//!   --samples N      kept samples per cell (default: 3 quick, 5 full)
+//!   --threads a,b,c  kernel-grid thread counts
+//!   --sites N        distributed sites (default: 2 quick, 4 full)
+//!   --period-ms N    detection period
+//!   --json PATH      dump all measured cells as JSON
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use armus_bench::experiments::{
+    self, AllResults, Config, CourseCell, DistCell, KernelCell,
+};
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut cfg: Option<Config> = None;
+    let mut samples: Option<usize> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut sites: Option<usize> = None;
+    let mut period: Option<u64> = None;
+    let mut json: Option<String> = None;
+    let mut commands: BTreeSet<String> = BTreeSet::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => cfg = Some(Config::full()),
+            "--quick" => cfg = Some(Config::quick()),
+            "--samples" => samples = args.next().map(|v| v.parse().expect("--samples N")),
+            "--threads" => {
+                threads = args.next().map(|v| {
+                    v.split(',').map(|t| t.trim().parse().expect("--threads a,b,c")).collect()
+                })
+            }
+            "--sites" => sites = args.next().map(|v| v.parse().expect("--sites N")),
+            "--period-ms" => period = args.next().map(|v| v.parse().expect("--period-ms N")),
+            "--json" => json = args.next(),
+            cmd if !cmd.starts_with('-') => {
+                commands.insert(cmd.to_string());
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut cfg = cfg.unwrap_or_else(Config::quick);
+    if let Some(s) = samples {
+        cfg.samples = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t;
+    }
+    if let Some(s) = sites {
+        cfg.sites = s;
+    }
+    if let Some(p) = period {
+        cfg.detection_period = Duration::from_millis(p);
+    }
+    if commands.is_empty() {
+        commands.insert("all".to_string());
+    }
+    let all = commands.contains("all");
+    let wants = |c: &str| all || commands.contains(c);
+
+    eprintln!(
+        "paper harness: scale={:?} samples={} threads={:?} sites={} period={:?}",
+        cfg.scale, cfg.samples, cfg.threads, cfg.sites, cfg.detection_period
+    );
+
+    if wants("sanity") {
+        sanity();
+    }
+
+    let mut kernel_cells: Option<Vec<KernelCell>> = None;
+    let mut dist_cells: Option<Vec<DistCell>> = None;
+    let mut course_cells: Option<Vec<CourseCell>> = None;
+
+    if wants("table1") || wants("table2") || wants("fig6") {
+        eprintln!("running the kernel grid (Tables 1-2, Figure 6)…");
+        kernel_cells = Some(experiments::kernel_grid(&cfg));
+    }
+    if wants("fig7") {
+        eprintln!("running the distributed grid (Figure 7)…");
+        dist_cells = Some(experiments::dist_grid(&cfg));
+    }
+    if wants("fig8") || wants("fig9") || wants("table3") {
+        eprintln!("running the course grid (Figures 8-9, Table 3)…");
+        course_cells = Some(experiments::course_grid(&cfg));
+    }
+
+    if let Some(cells) = &kernel_cells {
+        if wants("table1") {
+            experiments::print_table1(cells);
+        }
+        if wants("table2") {
+            experiments::print_table2(cells);
+        }
+        if wants("fig6") {
+            experiments::print_fig6(cells);
+        }
+    }
+    if let Some(cells) = &dist_cells {
+        experiments::print_fig7(cells);
+    }
+    if let Some(cells) = &course_cells {
+        if wants("fig8") {
+            experiments::print_fig8(cells);
+        }
+        if wants("fig9") {
+            experiments::print_fig9(cells);
+        }
+        if wants("table3") {
+            experiments::print_table3(cells);
+        }
+    }
+
+    if let Some(path) = json {
+        let results = AllResults {
+            kernels: kernel_cells.unwrap_or_default(),
+            dist: dist_cells.unwrap_or_default(),
+            course: course_cells.unwrap_or_default(),
+        };
+        std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Demonstrates the tool end to end: the Figure 1 deadlock is detected and
+/// avoided.
+fn sanity() {
+    use armus_core::VerifierConfig;
+    use armus_sync::{Runtime, RuntimeConfig};
+    use armus_workloads::deadlocky;
+    use std::time::Instant;
+
+    println!("\nSanity: Figure 1 deadlock under detection…");
+    let rt = Runtime::new(
+        RuntimeConfig::detection()
+            .with_verifier(VerifierConfig::detection_every(Duration::from_millis(10))),
+    );
+    deadlocky::figure1(&rt, 3);
+    let t0 = Instant::now();
+    while !rt.verifier().found_deadlock() && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for report in rt.take_reports() {
+        println!("  detected: {report}");
+    }
+    rt.shutdown();
+
+    println!("Sanity: crossed waits under avoidance…");
+    let rt = Runtime::avoidance();
+    deadlocky::crossed_pair(&rt);
+    let t0 = Instant::now();
+    while !rt.verifier().found_deadlock() && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for report in rt.take_reports() {
+        println!("  avoided: {report}");
+    }
+}

@@ -1,0 +1,14 @@
+//! # armus-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Armus evaluation (§6). The `paper` binary drives the functions in
+//! [`experiments`]; the criterion benches under `benches/` micro-measure
+//! the verification layer itself (graph construction, cycle detection,
+//! registry throughput, and the adaptive-threshold ablation).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod synth;
+
+pub use experiments::{Config, Mode};

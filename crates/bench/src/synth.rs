@@ -1,0 +1,106 @@
+//! Synthetic resource-dependency snapshots with controlled task:resource
+//! ratios, for the graph-model micro-benchmarks.
+
+use armus_core::{BlockedInfo, PhaserId, Registration, Resource, Snapshot, TaskId};
+
+/// Shape of a synthetic snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthShape {
+    /// Blocked tasks.
+    pub tasks: usize,
+    /// Phasers (each contributes one awaited event).
+    pub phasers: usize,
+    /// Phasers each task is registered with (cyclic assignment).
+    pub regs_per_task: usize,
+}
+
+/// Builds a deadlock-free snapshot: `tasks` blocked tasks spread over
+/// `phasers` barriers. Task `t` waits the next phase of phaser `t mod P`
+/// having arrived (local phase 1); it is additionally registered, lagging
+/// at phase 0, on the next `regs_per_task - 1` phasers — so graphs have
+/// plenty of edges but no cycle through any single task's wait (each
+/// awaited event's impeders never await anything impeded back… except by
+/// construction below, kept acyclic by ordering).
+pub fn acyclic(shape: SynthShape) -> Snapshot {
+    let SynthShape { tasks, phasers, regs_per_task } = shape;
+    let infos = (0..tasks)
+        .map(|t| {
+            let own = t % phasers;
+            let waits = vec![Resource::new(PhaserId(own as u64), 1)];
+            let mut regs = vec![Registration::new(PhaserId(own as u64), 1)];
+            // Lag only on *strictly smaller* phaser ids: edges always point
+            // "down", so no cycle can form.
+            for k in 1..regs_per_task {
+                let q = own.checked_sub(k);
+                if let Some(q) = q {
+                    regs.push(Registration::new(PhaserId(q as u64), 0));
+                }
+            }
+            BlockedInfo::new(TaskId(t as u64), waits, regs)
+        })
+        .collect();
+    Snapshot::from_tasks(infos)
+}
+
+/// As [`acyclic`], then plants one cycle: the last task lags on the first
+/// task's awaited phaser and vice versa.
+pub fn with_cycle(shape: SynthShape) -> Snapshot {
+    let mut snap = acyclic(shape);
+    let n = snap.tasks.len();
+    if n >= 2 {
+        let first_wait = snap.tasks[0].waits[0];
+        let last_wait = snap.tasks[n - 1].waits[0];
+        snap.tasks[0].registered.push(Registration::new(last_wait.phaser, 0));
+        snap.tasks[n - 1].registered.push(Registration::new(first_wait.phaser, 0));
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_core::{checker, ModelChoice, DEFAULT_SG_THRESHOLD};
+
+    #[test]
+    fn acyclic_shapes_have_no_cycle() {
+        for shape in [
+            SynthShape { tasks: 64, phasers: 2, regs_per_task: 2 },
+            SynthShape { tasks: 8, phasers: 64, regs_per_task: 4 },
+            SynthShape { tasks: 32, phasers: 32, regs_per_task: 3 },
+        ] {
+            let snap = acyclic(shape);
+            for model in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
+                assert!(
+                    checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_none(),
+                    "{shape:?} {model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planted_cycles_are_found_by_all_models() {
+        let shape = SynthShape { tasks: 32, phasers: 8, regs_per_task: 2 };
+        let snap = with_cycle(shape);
+        for model in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
+            assert!(
+                checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some(),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_controls_graph_sizes() {
+        // Many tasks / few barriers: WFG ≫ SG.
+        let spmd = acyclic(SynthShape { tasks: 128, phasers: 2, regs_per_task: 2 });
+        let wfg = armus_core::wfg::wfg(&spmd);
+        let sg = armus_core::sg::sg(&spmd);
+        assert!(wfg.edge_count() > 4 * sg.edge_count(), "{} vs {}", wfg.edge_count(), sg.edge_count());
+        // Few tasks / many barriers: SG ≥ WFG.
+        let forky = acyclic(SynthShape { tasks: 8, phasers: 128, regs_per_task: 6 });
+        let wfg = armus_core::wfg::wfg(&forky);
+        let sg = armus_core::sg::sg(&forky);
+        assert!(sg.edge_count() >= wfg.edge_count(), "{} vs {}", sg.edge_count(), wfg.edge_count());
+    }
+}

@@ -1,0 +1,58 @@
+//! # armus
+//!
+//! A Rust reproduction of **“Dynamic deadlock verification for general
+//! barrier synchronisation”** (Cogumbreiro, Hu, Martins, Yoshida —
+//! PPoPP 2015): phasers with dynamic membership, event-based concurrency
+//! constraints, WFG/SG graph analysis with automatic model selection,
+//! local deadlock detection & avoidance, and distributed detection.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the verification engine (events, graphs, adaptive
+//!   selection, verifier);
+//! * [`sync`] — the barrier runtime (phasers, clocks, cyclic barriers,
+//!   latches, finish blocks, clocked variables);
+//! * [`pl`] — the paper's core language as an executable formal model;
+//! * [`dist`] — distributed detection over a fault-tolerant store;
+//! * [`workloads`] — the full §6 benchmark suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use armus::prelude::*;
+//!
+//! // A runtime with deadlock avoidance.
+//! let rt = Runtime::avoidance();
+//! let barrier = Phaser::new(&rt);
+//! let b2 = barrier.clone();
+//! let worker = rt.spawn_clocked(&[&barrier], move || {
+//!     for _ in 0..10 {
+//!         b2.arrive_and_await().unwrap();
+//!     }
+//!     b2.deregister().unwrap();
+//! });
+//! for _ in 0..10 {
+//!     barrier.arrive_and_await().unwrap();
+//! }
+//! barrier.deregister().unwrap();
+//! worker.join().unwrap();
+//! assert!(!rt.verifier().found_deadlock());
+//! ```
+
+pub use armus_core as core;
+pub use armus_dist as dist;
+pub use armus_pl as pl;
+pub use armus_sync as sync;
+pub use armus_workloads as workloads;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use armus_core::{
+        DeadlockReport, GraphModel, ModelChoice, Phase, PhaserId, TaskId, Verifier,
+        VerifierConfig, VerifyMode,
+    };
+    pub use armus_sync::{
+        Clock, ClockedVar, CountDownLatch, CyclicBarrier, Finish, OnDeadlock, Phaser, Runtime,
+        RuntimeConfig, SyncError,
+    };
+}

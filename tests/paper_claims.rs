@@ -1,0 +1,217 @@
+//! The paper's qualitative claims, asserted on counters rather than wall
+//! clocks (robust on loaded CI machines):
+//!
+//! * Figure 5's exact graph sizes for Example 4.1;
+//! * the task:resource ratio drives WFG-vs-SG size (Table 3's mechanism);
+//! * Auto never analyses more edges than the worse fixed model, and tracks
+//!   the better one on both extremes;
+//! * avoidance checks on every block, detection on a period (Tables 1-2's
+//!   mechanism);
+//! * the distributed checker produces no false positives on clean runs.
+
+use armus::core::{
+    adaptive, checker, grg, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId,
+    Registration, Resource, Snapshot, TaskId, VerifierConfig, DEFAULT_SG_THRESHOLD,
+};
+use armus::prelude::*;
+use armus::workloads::course;
+use armus::workloads::Scale;
+use std::time::Duration;
+
+fn t(n: u64) -> TaskId {
+    TaskId(n)
+}
+fn p(n: u64) -> PhaserId {
+    PhaserId(n)
+}
+fn r(ph: u64, n: u64) -> Resource {
+    Resource::new(p(ph), n)
+}
+
+/// Example 4.1's resource-dependency state.
+fn example_4_1() -> Snapshot {
+    let worker = |task: u64| {
+        BlockedInfo::new(
+            t(task),
+            vec![r(1, 1)],
+            vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+        )
+    };
+    let driver = BlockedInfo::new(
+        t(4),
+        vec![r(2, 1)],
+        vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+    );
+    Snapshot::from_tasks(vec![worker(1), worker(2), worker(3), driver])
+}
+
+#[test]
+fn figure_5_graph_sizes_are_exact() {
+    let snap = example_4_1();
+    // Figure 5a: 6 WFG edges over 4 task vertices.
+    let w = wfg::wfg(&snap);
+    assert_eq!((w.node_count(), w.edge_count()), (4, 6));
+    // Figure 5b: 8 GRG edges over 4+2 vertices.
+    let g = grg::grg(&snap);
+    assert_eq!((g.node_count(), g.edge_count()), (6, 8));
+    // Figure 5c: 2 SG vertices, mutually connected — {(r1,r2), (r2,r1)}.
+    let s = sg::sg(&snap);
+    assert_eq!(s.node_count(), 2);
+    assert!(s.has_edge(r(1, 1), r(2, 1)) && s.has_edge(r(2, 1), r(1, 1)));
+    assert_eq!(s.edge_count(), 2);
+}
+
+/// A PS-shaped snapshot: n tasks on one barrier plus a join dependency.
+fn ps_shaped(n: u64) -> Snapshot {
+    let mut tasks: Vec<BlockedInfo> = (0..n)
+        .map(|i| {
+            BlockedInfo::new(
+                t(i),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+        })
+        .collect();
+    tasks.push(BlockedInfo::new(
+        t(n),
+        vec![r(2, 1)],
+        vec![Registration::new(p(2), 1), Registration::new(p(1), 0)],
+    ));
+    Snapshot::from_tasks(tasks)
+}
+
+/// An FR/FI-shaped snapshot: one phaser per task (clocked variables), and
+/// every blocked task lagging on many of them — the SG sprouts an edge per
+/// (lagging registration × awaited event) and explodes, which is what the
+/// paper's FR measures (1643 SG edges vs 94 WFG edges).
+fn fr_shaped(n: u64) -> Snapshot {
+    let tasks: Vec<BlockedInfo> = (0..n)
+        .map(|i| {
+            let mut regs = vec![Registration::new(p(i), 1)];
+            regs.extend((0..n).filter(|&j| j != i).map(|j| Registration::new(p(j), 0)));
+            BlockedInfo::new(t(i), vec![r(i, 1)], regs)
+        })
+        .collect();
+    Snapshot::from_tasks(tasks)
+}
+
+#[test]
+fn ratio_drives_model_size_ps_vs_fr() {
+    // PS: WFG explodes (the paper: 781 vs 6-7 edges).
+    let ps = ps_shaped(64);
+    let w = wfg::wfg(&ps).edge_count();
+    let s = sg::sg(&ps).edge_count();
+    assert!(w > 10 * s, "PS-shape: WFG {w} must dwarf SG {s}");
+    // FR: many phasers; the SG carries at least as much as the WFG.
+    let fr = fr_shaped(64);
+    let w = wfg::wfg(&fr).edge_count();
+    let s = sg::sg(&fr).edge_count();
+    assert!(s >= w, "FR-shape: SG {s} vs WFG {w}");
+}
+
+#[test]
+fn auto_tracks_the_better_model_on_both_extremes() {
+    let ps = ps_shaped(64);
+    let built = adaptive::build(&ps, ModelChoice::Auto, DEFAULT_SG_THRESHOLD);
+    assert_eq!(built.model, GraphModel::Sg, "PS-shape wants the SG");
+    let wfg_edges = wfg::wfg(&ps).edge_count();
+    assert!(built.edge_count() < wfg_edges);
+
+    let fr = fr_shaped(64);
+    let built = adaptive::build(&fr, ModelChoice::Auto, DEFAULT_SG_THRESHOLD);
+    // The SG attempt must abort and fall back to the WFG.
+    assert_eq!(built.model, GraphModel::Wfg, "FR-shape wants the WFG");
+    assert!(built.sg_aborted_at.is_some());
+}
+
+#[test]
+fn verdicts_are_identical_across_models_on_both_shapes() {
+    for snap in [ps_shaped(16), fr_shaped(16)] {
+        let verdicts: Vec<bool> =
+            [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto]
+                .iter()
+                .map(|&m| checker::check(&snap, m, DEFAULT_SG_THRESHOLD).report.is_some())
+                .collect();
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+    }
+}
+
+#[test]
+fn avoidance_checks_scale_with_blocks_detection_with_time() {
+    // The mechanism behind Tables 1 vs 2: avoidance pays per blocking
+    // operation, detection per period.
+    let bench = course::all().into_iter().find(|b| b.name == "PS").unwrap();
+
+    let rt = Runtime::avoidance();
+    (bench.run)(&rt, Scale::Quick);
+    let avoidance_checks = rt.stats().checks;
+    let avoidance_blocks = rt.stats().blocks;
+    assert!(avoidance_checks > 0);
+    assert_eq!(
+        avoidance_checks, avoidance_blocks,
+        "avoidance checks once per published block"
+    );
+
+    let rt = Runtime::new(
+        RuntimeConfig::detection()
+            .with_verifier(VerifierConfig::detection_every(Duration::from_secs(3600))),
+    );
+    (bench.run)(&rt, Scale::Quick);
+    let detection_checks = rt.stats().checks;
+    assert_eq!(detection_checks, 0, "no period elapsed ⇒ no checks");
+    assert!(rt.stats().blocks > 0, "but blocks were still published");
+    rt.shutdown();
+}
+
+#[test]
+fn course_benches_auto_analyses_no_more_than_the_worse_fixed_model() {
+    // Average analysed edges: Auto ≤ max(SG, WFG) for every §6.3 program
+    // (the Table 3 claim, on counters).
+    for bench in course::all() {
+        let run_with = |model: ModelChoice| {
+            let rt = Runtime::new(
+                RuntimeConfig::unchecked()
+                    .with_verifier(VerifierConfig::avoidance().with_model(model)),
+            );
+            let got = (bench.run)(&rt, Scale::Quick);
+            assert_eq!(got, (bench.expected)(Scale::Quick));
+            let stats = rt.stats();
+            if stats.checks == 0 {
+                0.0
+            } else {
+                stats.edges_sum as f64 / stats.checks as f64
+            }
+        };
+        let auto = run_with(ModelChoice::Auto);
+        let sg = run_with(ModelChoice::FixedSg);
+        let wfg = run_with(ModelChoice::FixedWfg);
+        // Not exactly comparable run to run (blocking patterns vary), so
+        // allow slack: Auto must not exceed the worse fixed model by more
+        // than 50%.
+        let worse = sg.max(wfg);
+        assert!(
+            auto <= worse * 1.5 + 8.0,
+            "{}: auto {auto:.1} vs sg {sg:.1} / wfg {wfg:.1}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn clean_distributed_runs_have_no_false_positives() {
+    use armus::dist::{Cluster, SiteConfig};
+    let cfg = SiteConfig {
+        publish_period: Duration::from_millis(5),
+        check_period: Duration::from_millis(10),
+        ..Default::default()
+    };
+    let cluster = Cluster::start(3, cfg);
+    cluster.run_on_all(|site, rt| {
+        let bench = armus::workloads::dist::all()[site % 5];
+        (bench.run)(rt, site, Scale::Quick);
+    });
+    // Several more checker rounds over the drained partitions.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(!cluster.any_deadlock(), "{:?}", cluster.all_reports());
+    cluster.stop();
+}
