@@ -167,11 +167,7 @@ mod tests {
                 // Everyone arrived phase 1 except task 0 (phase 0),
                 // so I(p1@1) = {t0} and SG edges exist but are few.
                 let phase = if i == 0 { 0 } else { 1 };
-                BlockedInfo::new(
-                    t(i),
-                    vec![r(1, 1)],
-                    vec![Registration::new(p(1), phase)],
-                )
+                BlockedInfo::new(t(i), vec![r(1, 1)], vec![Registration::new(p(1), phase)])
             })
             .collect();
         Snapshot::from_tasks(tasks)
@@ -183,9 +179,7 @@ mod tests {
             .map(|i| {
                 // Each task waits one event but is registered (lagging) on
                 // every barrier, impeding `barriers` awaited events.
-                let regs = (0..barriers)
-                    .map(|b| Registration::new(p(b), 0))
-                    .collect();
+                let regs = (0..barriers).map(|b| Registration::new(p(b), 0)).collect();
                 BlockedInfo::new(t(i), vec![r(i % barriers, 1)], regs)
             })
             .collect();

@@ -174,10 +174,7 @@ fn report_from_task_cycle(
     resources.sort();
     resources.dedup();
 
-    let task_epochs = tasks
-        .iter()
-        .filter_map(|&t| snapshot.get(t).map(|b| (t, b.epoch)))
-        .collect();
+    let task_epochs = tasks.iter().filter_map(|&t| snapshot.get(t).map(|b| (t, b.epoch))).collect();
 
     DeadlockReport {
         tasks,
@@ -213,10 +210,7 @@ fn report_from_resource_cycle(
     resources.sort();
     resources.dedup();
 
-    let task_epochs = tasks
-        .iter()
-        .filter_map(|&t| snapshot.get(t).map(|b| (t, b.epoch)))
-        .collect();
+    let task_epochs = tasks.iter().filter_map(|&t| snapshot.get(t).map(|b| (t, b.epoch))).collect();
 
     DeadlockReport {
         tasks,
@@ -326,11 +320,7 @@ mod tests {
         }
         // A bystander blocked on an unrelated phaser is not flagged...
         let mut tasks = deadlocked_snapshot().tasks;
-        tasks.push(BlockedInfo::new(
-            t(9),
-            vec![r(9, 1)],
-            vec![Registration::new(p(9), 1)],
-        ));
+        tasks.push(BlockedInfo::new(t(9), vec![r(9, 1)], vec![Registration::new(p(9), 1)]));
         let snap = Snapshot::from_tasks(tasks);
         for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
             let out = check_task(&snap, t(9), choice, DEFAULT_SG_THRESHOLD);

@@ -178,11 +178,7 @@ impl Registry {
     /// Is `task` still blocked in the same blocking operation (`epoch`) as
     /// when a snapshot observed it? Used to confirm detected cycles.
     pub fn confirm(&self, task: TaskId, epoch: u64) -> bool {
-        self.shard(task)
-            .lock()
-            .get(&task)
-            .map(|b| b.epoch == epoch)
-            .unwrap_or(false)
+        self.shard(task).lock().get(&task).map(|b| b.epoch == epoch).unwrap_or(false)
     }
 }
 
@@ -199,11 +195,7 @@ mod tests {
     }
 
     fn info(task: u64) -> BlockedInfo {
-        BlockedInfo::new(
-            t(task),
-            vec![Resource::new(p(1), 1)],
-            vec![Registration::new(p(1), 0)],
-        )
+        BlockedInfo::new(t(task), vec![Resource::new(p(1), 1)], vec![Registration::new(p(1), 0)])
     }
 
     #[test]

@@ -163,7 +163,8 @@ mod tests {
             for &n2 in g.nodes() {
                 if g.has_edge(n1, n2) {
                     match (n1, n2) {
-                        (GrgNode::Task(_), GrgNode::Res(_)) | (GrgNode::Res(_), GrgNode::Task(_)) => {}
+                        (GrgNode::Task(_), GrgNode::Res(_))
+                        | (GrgNode::Res(_), GrgNode::Task(_)) => {}
                         _ => panic!("non-bipartite edge {n1:?} → {n2:?}"),
                     }
                 }

@@ -93,9 +93,7 @@ mod tests {
     #[test]
     fn fresh_ids_unique_across_threads() {
         let handles: Vec<_> = (0..4)
-            .map(|_| {
-                std::thread::spawn(|| (0..250).map(|_| TaskId::fresh()).collect::<Vec<_>>())
-            })
+            .map(|_| std::thread::spawn(|| (0..250).map(|_| TaskId::fresh()).collect::<Vec<_>>()))
             .collect();
         let mut all = HashSet::new();
         for h in handles {

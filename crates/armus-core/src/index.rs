@@ -13,7 +13,9 @@ use crate::resource::Resource;
 /// * `waits_by_phaser`: for each phaser, the awaited events on it, sorted
 ///   by phase — the range of `W` (and the vertex set of the SG).
 pub struct SnapshotIndex {
+    /// Per phaser, the (blocked task, local phase) registrations.
     pub regs_by_phaser: HashMap<PhaserId, Vec<(TaskId, Phase)>>,
+    /// Per phaser, the awaited events on it, sorted by phase.
     pub waits_by_phaser: HashMap<PhaserId, Vec<Resource>>,
     /// All distinct awaited events (SG vertex set), in first-seen order.
     pub wait_resources: Vec<Resource>,
@@ -59,10 +61,7 @@ impl SnapshotIndex {
 
     /// The blocked tasks registered on `resource.phaser` with local phase
     /// below `resource.phase`: the blocked part of `I(resource)`.
-    pub fn impeders<'a>(
-        &'a self,
-        resource: Resource,
-    ) -> impl Iterator<Item = TaskId> + 'a {
+    pub fn impeders<'a>(&'a self, resource: Resource) -> impl Iterator<Item = TaskId> + 'a {
         self.regs_by_phaser
             .get(&resource.phaser)
             .into_iter()

@@ -56,7 +56,7 @@ pub mod error;
 pub mod graph;
 pub mod grg;
 pub mod ids;
-mod index;
+pub mod index;
 pub mod resource;
 pub mod sg;
 pub mod stats;

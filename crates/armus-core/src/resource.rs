@@ -113,19 +113,11 @@ mod tests {
 
     #[test]
     fn resources_order_by_phaser_then_phase() {
-        let mut v = vec![
-            Resource::new(p(2), 0),
-            Resource::new(p(1), 9),
-            Resource::new(p(1), 2),
-        ];
+        let mut v = vec![Resource::new(p(2), 0), Resource::new(p(1), 9), Resource::new(p(1), 2)];
         v.sort();
         assert_eq!(
             v,
-            vec![
-                Resource::new(p(1), 2),
-                Resource::new(p(1), 9),
-                Resource::new(p(2), 0),
-            ]
+            vec![Resource::new(p(1), 2), Resource::new(p(1), 9), Resource::new(p(2), 0),]
         );
     }
 }

@@ -103,9 +103,7 @@ mod tests {
         // single vertex. This is the PS/BFS scenario of Table 3.
         let n = 100u64;
         let mut tasks: Vec<BlockedInfo> = (0..n - 1)
-            .map(|i| {
-                BlockedInfo::new(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)])
-            })
+            .map(|i| BlockedInfo::new(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]))
             .collect();
         // The laggard is blocked elsewhere (waits a private phaser).
         tasks.push(BlockedInfo::new(

@@ -241,10 +241,8 @@ impl Verifier {
         // Confirmation pass: every task in the cycle must still be in the
         // blocking operation (same epoch) we observed. Tasks in a real
         // deadlock can never unblock, so re-reading is conclusive.
-        let confirmed = report
-            .task_epochs
-            .iter()
-            .all(|&(task, epoch)| self.registry.confirm(task, epoch));
+        let confirmed =
+            report.task_epochs.iter().all(|&(task, epoch)| self.registry.confirm(task, epoch));
         if !confirmed {
             return None;
         }
@@ -303,10 +301,12 @@ impl Verifier {
 
     fn deliver(&self, report: DeadlockReport) {
         self.stats.record_deadlock();
+        // Retain before notifying: subscribers wake interrupted victims,
+        // which may immediately call `take_reports` and must see this one.
+        self.reports.lock().push(report.clone());
         for sub in self.subscribers.lock().iter() {
             sub(&report);
         }
-        self.reports.lock().push(report);
     }
 
     /// Deduplicates detection reports by participating task set. Returns

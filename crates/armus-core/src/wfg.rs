@@ -99,14 +99,22 @@ mod tests {
         // (t1, t2) ∈ E iff t1 awaits res(p, n) and M(p)(t2) < n.
         let snap = Snapshot::from_tasks(vec![
             BlockedInfo::new(t(1), vec![r(1, 3)], vec![Registration::new(p(1), 3)]),
-            BlockedInfo::new(t(2), vec![r(2, 1)], vec![
-                Registration::new(p(1), 2), // behind t1's wait ⇒ edge t1→t2
-                Registration::new(p(2), 1),
-            ]),
-            BlockedInfo::new(t(3), vec![r(2, 1)], vec![
-                Registration::new(p(1), 3), // NOT behind ⇒ no edge t1→t3
-                Registration::new(p(2), 0), // behind t2's wait ⇒ t2→t3 and t3→t3? no:
-            ]),
+            BlockedInfo::new(
+                t(2),
+                vec![r(2, 1)],
+                vec![
+                    Registration::new(p(1), 2), // behind t1's wait ⇒ edge t1→t2
+                    Registration::new(p(2), 1),
+                ],
+            ),
+            BlockedInfo::new(
+                t(3),
+                vec![r(2, 1)],
+                vec![
+                    Registration::new(p(1), 3), // NOT behind ⇒ no edge t1→t3
+                    Registration::new(p(2), 0), // behind t2's wait ⇒ t2→t3 and t3→t3? no:
+                ],
+            ),
         ]);
         let g = wfg(&snap);
         assert!(g.has_edge(t(1), t(2)));

@@ -5,8 +5,8 @@
 
 use armus_core::graph::DiGraph;
 use armus_core::{
-    adaptive, checker, grg, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId,
-    Registration, Resource, Snapshot, TaskId,
+    adaptive, checker, grg, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId, Registration,
+    Resource, Snapshot, TaskId,
 };
 use proptest::prelude::*;
 
@@ -18,10 +18,11 @@ fn arb_snapshot(
     max_phasers: u64,
     max_phase: u64,
 ) -> impl Strategy<Value = Snapshot> {
-    let task = (1..=max_phasers, 0..=max_phase, proptest::collection::vec(
-        (1..=max_phasers, 0..=max_phase),
-        0..4,
-    ))
+    let task = (
+        1..=max_phasers,
+        0..=max_phase,
+        proptest::collection::vec((1..=max_phasers, 0..=max_phase), 0..4),
+    )
         .prop_map(|(wait_ph, wait_phase, regs)| {
             (
                 Resource::new(PhaserId(wait_ph), wait_phase + 1),
@@ -123,8 +124,7 @@ proptest! {
 fn arb_digraph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = DiGraph<u32>> {
     (2..=max_nodes)
         .prop_flat_map(move |n| {
-            proptest::collection::vec((0..n, 0..n), 0..max_edges)
-                .prop_map(move |edges| (n, edges))
+            proptest::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| (n, edges))
         })
         .prop_map(|(_, edges)| {
             let mut g = DiGraph::new();
@@ -153,8 +153,7 @@ fn has_cycle_kahn(g: &DiGraph<u32>) -> bool {
             }
         }
     }
-    let mut queue: Vec<u32> =
-        nodes.iter().copied().filter(|n| indegree[n] == 0).collect();
+    let mut queue: Vec<u32> = nodes.iter().copied().filter(|n| indegree[n] == 0).collect();
     let mut seen = 0usize;
     while let Some(n) = queue.pop() {
         seen += 1;

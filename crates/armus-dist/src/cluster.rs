@@ -21,9 +21,7 @@ impl Cluster {
     pub fn start(n: usize, cfg: SiteConfig) -> Cluster {
         let store = Arc::new(FaultyStore::new(MemStore::new()));
         let sites = (0..n)
-            .map(|i| {
-                Site::start(SiteId(i as u32), Arc::clone(&store) as Arc<dyn Store>, cfg)
-            })
+            .map(|i| Site::start(SiteId(i as u32), Arc::clone(&store) as Arc<dyn Store>, cfg))
             .collect();
         Cluster { store, sites }
     }

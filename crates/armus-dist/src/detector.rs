@@ -56,9 +56,10 @@ pub fn check_store(
     // in the same blocking operation.
     let view2 = store.fetch_all()?;
     let merged2 = merge(&view2);
-    let confirmed = report.task_epochs.iter().all(|&(task, epoch)| {
-        merged2.get(task).map(|info| info.epoch == epoch).unwrap_or(false)
-    });
+    let confirmed = report
+        .task_epochs
+        .iter()
+        .all(|&(task, epoch)| merged2.get(task).map(|info| info.epoch == epoch).unwrap_or(false));
     Ok(DistCheck { report: confirmed.then_some(report), stats })
 }
 
@@ -77,7 +78,7 @@ impl ReportDedup {
 
     /// Returns true when `report` is new (and records it).
     pub fn is_new(&mut self, report: &DeadlockReport) -> bool {
-        if self.seen.iter().any(|s| *s == report.tasks) {
+        if self.seen.contains(&report.tasks) {
             return false;
         }
         self.seen.push(report.tasks.clone());
@@ -176,13 +177,7 @@ mod tests {
     fn healthy_partitions_yield_no_report() {
         let store = MemStore::new();
         let workers = (1..=3)
-            .map(|i| {
-                BlockedInfo::new(
-                    t(i),
-                    vec![r(1, 1)],
-                    vec![Registration::new(p(1), 1)],
-                )
-            })
+            .map(|i| BlockedInfo::new(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]))
             .collect();
         store.publish(SiteId(0), Snapshot::from_tasks(workers)).unwrap();
         let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
@@ -194,15 +189,11 @@ mod tests {
         let store = MemStore::new();
         split_example(&store);
         let mut dedup = ReportDedup::new();
-        let r1 = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD)
-            .unwrap()
-            .report
-            .unwrap();
+        let r1 =
+            check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap().report.unwrap();
         assert!(dedup.is_new(&r1));
-        let r2 = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD)
-            .unwrap()
-            .report
-            .unwrap();
+        let r2 =
+            check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap().report.unwrap();
         assert!(!dedup.is_new(&r2));
     }
 }

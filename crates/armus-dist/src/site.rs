@@ -54,9 +54,8 @@ impl Site {
     /// Starts a site against the shared store: spawns its publisher and
     /// checker threads. Workloads run on [`Site::runtime`].
     pub fn start(id: SiteId, store: Arc<dyn Store>, cfg: SiteConfig) -> Site {
-        let runtime = Runtime::new(
-            RuntimeConfig::unchecked().with_verifier(VerifierConfig::publish_only()),
-        );
+        let runtime =
+            Runtime::new(RuntimeConfig::unchecked().with_verifier(VerifierConfig::publish_only()));
         let stop = Arc::new(AtomicBool::new(false));
         let checker_stop = Arc::new(AtomicBool::new(false));
         let reports = Arc::new(Mutex::new(Vec::new()));
@@ -90,8 +89,7 @@ impl Site {
                     while !stop.load(Ordering::SeqCst) && !checker_stop.load(Ordering::SeqCst) {
                         std::thread::sleep(cfg.check_period);
                         // Fetch failures are tolerated: skip the round.
-                        if let Ok(out) = check_store(store.as_ref(), cfg.model, cfg.sg_threshold)
-                        {
+                        if let Ok(out) = check_store(store.as_ref(), cfg.model, cfg.sg_threshold) {
                             if let Some(report) = out.report {
                                 if dedup.is_new(&report) {
                                     reports.lock().push(report);

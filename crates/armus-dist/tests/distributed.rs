@@ -158,11 +158,7 @@ fn site_partitions_are_disjoint_and_replaced() {
     gate.arrive_and_deregister().unwrap();
     waiter.join().unwrap();
     assert!(eventually(Duration::from_secs(5), || {
-        cluster
-            .store()
-            .fetch_all()
-            .map(|v| v.iter().all(|(_, p)| p.is_empty()))
-            .unwrap_or(false)
+        cluster.store().fetch_all().map(|v| v.iter().all(|(_, p)| p.is_empty())).unwrap_or(false)
     }));
     assert!(!cluster.any_deadlock());
     cluster.stop();

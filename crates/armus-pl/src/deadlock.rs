@@ -54,9 +54,8 @@ pub fn deadlocked_tasks(state: &State) -> Option<BTreeSet<Var>> {
             let Some(Instr::Await(p)) = state.tasks[t].first() else { unreachable!() };
             let ph = &state.phasers[p];
             let n = ph.phase_of(t).expect("candidate is a member");
-            let has_laggard_inside = candidates
-                .iter()
-                .any(|t2| ph.phase_of(t2).map(|m| m < n).unwrap_or(false));
+            let has_laggard_inside =
+                candidates.iter().any(|t2| ph.phase_of(t2).map(|m| m < n).unwrap_or(false));
             if !has_laggard_inside {
                 dropped.push(t.clone());
             }

@@ -59,10 +59,8 @@ pub fn gen_state(rng: &mut impl Rng, cfg: &StateGenConfig) -> State {
     }
 
     for t in &task_names {
-        let my_phasers: Vec<&String> = phaser_names
-            .iter()
-            .filter(|p| st.phasers[*p].phase_of(t).is_some())
-            .collect();
+        let my_phasers: Vec<&String> =
+            phaser_names.iter().filter(|p| st.phasers[*p].phase_of(t).is_some()).collect();
         let blocked = !my_phasers.is_empty() && rng.gen_bool(cfg.blocked_fraction);
         let seq: Seq = if blocked {
             let p = my_phasers[rng.gen_range(0..my_phasers.len())].clone();
@@ -224,7 +222,8 @@ mod tests {
         use crate::deadlock::is_deadlocked;
         use crate::semantics::{Outcome, RandomScheduler};
         let mut rng = SmallRng::seed_from_u64(23);
-        let cfg = ProgGenConfig { missing_adv_prob: 0.9, missing_dereg_prob: 0.9, ..Default::default() };
+        let cfg =
+            ProgGenConfig { missing_adv_prob: 0.9, missing_dereg_prob: 0.9, ..Default::default() };
         let mut deadlocks = 0;
         for seed in 0..40u64 {
             let prog = gen_program(&mut rng, &cfg);

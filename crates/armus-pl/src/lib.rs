@@ -43,6 +43,46 @@
 //! let found = checker::check(&snapshot, ModelChoice::Auto, DEFAULT_SG_THRESHOLD);
 //! assert!(found.report.is_some());
 //! ```
+//!
+//! ## Example: parse → well-formedness → model-check
+//!
+//! Instead of sampling executions, small programs can be model-checked
+//! exhaustively: diagnose unbound names first, then walk every reachable
+//! state with [`semantics::enabled`]/[`semantics::apply`] and ask the
+//! deadlock oracle in each one.
+//!
+//! ```
+//! use armus_pl::parser::parse;
+//! use armus_pl::state::State;
+//! use armus_pl::{check_wellformed, deadlock, semantics};
+//! use std::collections::HashSet;
+//!
+//! let program = parse("
+//!     p = newPhaser();
+//!     t = newTid();
+//!     reg(p, t);
+//!     fork(t) { adv(p); await(p); dereg(p); }
+//!     adv(p); await(p); dereg(p);
+//! ").unwrap();
+//!
+//! // 1. Well-formedness: every used name is bound by a `new…` binder.
+//! assert!(check_wellformed(&program).is_empty());
+//!
+//! // 2. Bounded model check: explore the whole reachable state space…
+//! let mut seen: HashSet<State> = HashSet::new();
+//! let mut frontier = vec![State::initial(program)];
+//! while let Some(state) = frontier.pop() {
+//!     if seen.insert(state.clone()) {
+//!         for step in semantics::enabled(&state) {
+//!             frontier.push(semantics::apply(&state, &step));
+//!         }
+//!     }
+//! }
+//!
+//! // …and this two-party barrier is deadlock-free in every state.
+//! assert!(seen.iter().all(|s| !deadlock::is_deadlocked(s)));
+//! assert!(seen.iter().any(State::all_finished));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -146,7 +146,9 @@ impl<'a> Lexer<'a> {
                     }
                     Tok::Ident(ident)
                 }
-                other => return Err(self.error(format!("unexpected character {:?}", other as char))),
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
             };
             out.push((tok, line, col));
         }

@@ -49,7 +49,7 @@ impl NameTable {
 /// `ϕ(M, T)`: the resource-dependency snapshot of `state`.
 ///
 /// A task contributes iff its head instruction is `await(p)` with
-/// `M(p)(t) = n` (the [sync] premise): it waits `res(p, n)` and impedes,
+/// `M(p)(t) = n` (the `[sync]` premise): it waits `res(p, n)` and impedes,
 /// for every phaser `q` it is registered with, the events of `q` above its
 /// local phase.
 pub fn phi(state: &State) -> (Snapshot, NameTable) {

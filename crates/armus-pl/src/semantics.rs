@@ -211,7 +211,7 @@ impl RandomScheduler {
         let choice = options.choose(&mut self.rng)?.clone();
         // Loop bias: when a loop was chosen, re-decide unfold vs exit.
         if matches!(choice.rule, Rule::LoopUnfold | Rule::LoopExit) {
-            let exit = self.rng.gen_range(0..100) < self.exit_bias;
+            let exit = self.rng.gen_range(0..100u32) < self.exit_bias;
             let rule = if exit { Rule::LoopExit } else { Rule::LoopUnfold };
             return Some(Transition { task: choice.task, rule });
         }
@@ -306,7 +306,7 @@ mod tests {
             reg("p", "t"),
             fork("t", vec![adv("p"), dereg("p")]),
             awaitp("p"), // waits for the child's adv? No: #main is at 0,
-                         // so await(p, 0) holds immediately.
+            // so await(p, 0) holds immediately.
             dereg("p"),
         ];
         let (outcome, st) = run(prog, 3);

@@ -284,7 +284,14 @@ mod tests {
                 fork(
                     "t",
                     vec![
-                        ploop(vec![skip(), adv("pc"), awaitp("pc"), skip(), adv("pc"), awaitp("pc")]),
+                        ploop(vec![
+                            skip(),
+                            adv("pc"),
+                            awaitp("pc"),
+                            skip(),
+                            adv("pc"),
+                            awaitp("pc"),
+                        ]),
                         dereg("pc"),
                         dereg("pb"),
                     ],

@@ -43,7 +43,7 @@ pub fn check_with_scope(program: &Seq, scope: &[Var]) -> Vec<UnboundUse> {
 fn check_seq(seq: &[Instr], bound: &mut HashSet<Var>, out: &mut Vec<UnboundUse>) {
     let mut introduced: Vec<Var> = Vec::new();
     for instr in seq {
-        let mut used = |v: &Var, out: &mut Vec<UnboundUse>, bound: &HashSet<Var>| {
+        let used = |v: &Var, out: &mut Vec<UnboundUse>, bound: &HashSet<Var>| {
             if !bound.contains(v) {
                 out.push(UnboundUse { var: v.clone(), instr: instr.to_string() });
             }

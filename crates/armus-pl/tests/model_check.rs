@@ -31,12 +31,8 @@ fn assert_verdicts_match_everywhere(states: &[State]) {
         let oracle = deadlock::is_deadlocked(state);
         let (snap, _) = phi::phi(state);
         for model in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
-            let verdict =
-                checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some();
-            assert_eq!(
-                verdict, oracle,
-                "{model} disagrees with the oracle in state {state:?}"
-            );
+            let verdict = checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some();
+            assert_eq!(verdict, oracle, "{model} disagrees with the oracle in state {state:?}");
         }
     }
 }
@@ -70,10 +66,7 @@ fn buggy_program_entire_state_space_is_verdict_consistent() {
     assert_eq!(states.len(), 10, "state count changed — semantics drifted?");
     assert_verdicts_match_everywhere(&states);
     // The deadlock is reachable…
-    assert!(
-        states.iter().any(deadlock::is_deadlocked),
-        "the Figure 1 deadlock must be reachable"
-    );
+    assert!(states.iter().any(deadlock::is_deadlocked), "the Figure 1 deadlock must be reachable");
 }
 
 #[test]
@@ -145,13 +138,7 @@ fn loop_unfolding_keeps_the_state_space_finite_and_clean() {
     // reduces, the state recurs, so exploration terminates even though
     // traces are unbounded. (A loop around `adv` would grow phases without
     // bound; PL abstracts data, not clocks.)
-    let prog = vec![
-        new_phaser("p"),
-        ploop(vec![skip()]),
-        adv("p"),
-        awaitp("p"),
-        dereg("p"),
-    ];
+    let prog = vec![new_phaser("p"), ploop(vec![skip()]), adv("p"), awaitp("p"), dereg("p")];
     let states = reachable(State::initial(prog), 100_000);
     assert_verdicts_match_everywhere(&states);
     assert!(states.iter().all(|s| !deadlock::is_deadlocked(s)));

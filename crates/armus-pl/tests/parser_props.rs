@@ -1,8 +1,8 @@
 //! Parser/pretty-printer round-trip properties and substitution laws.
 
 use armus_pl::gen::{gen_program, ProgGenConfig};
-use armus_pl::syntax::{build, free_vars, pretty, subst_seq, Instr, Seq};
 use armus_pl::parser::parse;
+use armus_pl::syntax::{build, free_vars, pretty, subst_seq, Instr, Seq};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -11,8 +11,8 @@ use rand::SeedableRng;
 /// shaped generator): recursive over the grammar with a small variable
 /// pool.
 fn arb_seq() -> impl Strategy<Value = Seq> {
-    let var = prop_oneof![Just("a"), Just("b"), Just("c"), Just("t"), Just("p")]
-        .prop_map(str::to_string);
+    let var =
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("t"), Just("p")].prop_map(str::to_string);
     let leaf = prop_oneof![
         Just(Instr::Skip),
         var.clone().prop_map(Instr::NewTid),

@@ -29,7 +29,13 @@ fn shapes() -> Vec<StateGenConfig> {
         // Few tasks, many phasers (fork/join-ish).
         StateGenConfig { tasks: 3, phasers: 10, ..Default::default() },
         // Dense membership, deeper phases.
-        StateGenConfig { tasks: 8, phasers: 4, max_phase: 6, membership_density: 0.9, blocked_fraction: 1.0 },
+        StateGenConfig {
+            tasks: 8,
+            phasers: 4,
+            max_phase: 6,
+            membership_density: 0.9,
+            blocked_fraction: 1.0,
+        },
     ]
 }
 
@@ -72,7 +78,6 @@ proptest! {
         let (snap, names) = phi::phi(&state);
         if let Some(report) = checker::check(&snap, ModelChoice::FixedWfg, 2).report {
             let oracle = deadlock::deadlocked_tasks(&state).expect("soundness");
-            let names = names;
             for t in &report.tasks {
                 let name = names.task_name(*t).expect("interned").to_string();
                 prop_assert!(oracle.contains(&name), "{name} reported but not deadlocked");

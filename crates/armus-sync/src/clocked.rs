@@ -60,10 +60,11 @@ impl<T: Clone + Send + 'static> ClockedVar<T> {
     /// Reads the value visible in the current task's phase.
     pub fn get(&self) -> Result<T, SyncError> {
         let me = crate::ctx::current().id();
-        let phase = self.phaser.core.local_phase_of(me).ok_or(SyncError::NotRegistered {
-            phaser: self.phaser.id(),
-            task: me,
-        })?;
+        let phase = self
+            .phaser
+            .core
+            .local_phase_of(me)
+            .ok_or(SyncError::NotRegistered { phaser: self.phaser.id(), task: me })?;
         let history = self.history.lock();
         let value = history
             .range(..=phase)
@@ -78,10 +79,11 @@ impl<T: Clone + Send + 'static> ClockedVar<T> {
     /// reference implementation.
     pub fn set(&self, value: T) -> Result<(), SyncError> {
         let me = crate::ctx::current().id();
-        let phase = self.phaser.core.local_phase_of(me).ok_or(SyncError::NotRegistered {
-            phaser: self.phaser.id(),
-            task: me,
-        })?;
+        let phase = self
+            .phaser
+            .core
+            .local_phase_of(me)
+            .ok_or(SyncError::NotRegistered { phaser: self.phaser.id(), task: me })?;
         let mut history = self.history.lock();
         history.insert(phase + 1, value);
         // Prune entries no reader can reach: strictly below the clock's

@@ -77,9 +77,8 @@ impl CountDownLatch {
         let me = ctx::current().id();
         let mut slots = self.virtual_members.lock();
         // Prefer the caller's own claimed slot.
-        if let Some(pos) = slots
-            .iter()
-            .position(|s| matches!(s, VirtualSlot::Claimed(t) if *t == me))
+        if let Some(pos) =
+            slots.iter().position(|s| matches!(s, VirtualSlot::Claimed(t) if *t == me))
         {
             slots.remove(pos);
             drop(slots);

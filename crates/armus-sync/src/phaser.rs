@@ -64,18 +64,11 @@ impl PhState {
     /// `await(P, n)` over the *signalling* members only: wait-only
     /// registrations gate nobody.
     fn observed(&self, n: Phase) -> bool {
-        self.members
-            .values()
-            .filter(|m| m.mode != RegMode::Wait)
-            .all(|m| m.arrived >= n)
+        self.members.values().filter(|m| m.mode != RegMode::Wait).all(|m| m.arrived >= n)
     }
 
     fn floor(&self) -> Option<Phase> {
-        self.members
-            .values()
-            .filter(|m| m.mode != RegMode::Wait)
-            .map(|m| m.arrived)
-            .min()
+        self.members.values().filter(|m| m.mode != RegMode::Wait).map(|m| m.arrived).min()
     }
 }
 
@@ -106,12 +99,7 @@ impl PhaserCore {
     /// `None` for non-members and for wait-only members, whose arrival
     /// gates nobody (so they impede no event).
     pub(crate) fn impeding_phase_of(&self, task: TaskId) -> Option<Phase> {
-        self.state
-            .lock()
-            .members
-            .get(&task)
-            .filter(|m| m.mode != RegMode::Wait)
-            .map(|m| m.arrived)
+        self.state.lock().members.get(&task).filter(|m| m.mode != RegMode::Wait).map(|m| m.arrived)
     }
 
     fn register_at(&self, ctx: &TaskCtx, phase: Phase, mode: RegMode) -> Result<(), SyncError> {
@@ -131,7 +119,11 @@ impl PhaserCore {
     /// Registers `child` at the phase of the current task (PL's
     /// `reg(t, p)`: the registered task inherits the phase of the current
     /// task). The current task must be a member.
-    pub(crate) fn register_child(&self, parent: &TaskCtx, child: &TaskCtx) -> Result<(), SyncError> {
+    pub(crate) fn register_child(
+        &self,
+        parent: &TaskCtx,
+        child: &TaskCtx,
+    ) -> Result<(), SyncError> {
         let phase = self
             .local_phase_of(parent.id())
             .ok_or(SyncError::NotRegistered { phaser: self.id, task: parent.id() })?;

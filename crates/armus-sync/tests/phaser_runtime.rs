@@ -206,11 +206,9 @@ fn figure2_avoidance_raises_and_recovers() {
         }));
     }
     // Parent: waits the join phaser while still registered with c.
-    let err = loop {
-        match b.arrive_and_await() {
-            Err(e) => break e,
-            Ok(_) => panic!("parent cannot pass the join barrier while workers spin on c"),
-        }
+    let err = match b.arrive_and_await() {
+        Err(e) => e,
+        Ok(_) => panic!("parent cannot pass the join barrier while workers spin on c"),
     };
     assert!(matches!(err, SyncError::WouldDeadlock(_)), "got {err}");
     // Paper: the exception deregistered the parent from b. Recover by

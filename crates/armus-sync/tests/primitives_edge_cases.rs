@@ -2,13 +2,10 @@
 //! self-deadlocks, clocked-variable visibility, latch registration
 //! corners, and verification-mode interactions.
 
-
 use std::time::{Duration, Instant};
 
 use armus_core::VerifierConfig;
-use armus_sync::{
-    Clock, ClockedVar, CountDownLatch, Phaser, Runtime, RuntimeConfig, SyncError,
-};
+use armus_sync::{Clock, ClockedVar, CountDownLatch, Phaser, Runtime, RuntimeConfig, SyncError};
 
 fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     let deadline = Instant::now() + timeout;
@@ -116,10 +113,7 @@ fn clocked_var_reads_without_membership_are_refused() {
     let var: ClockedVar<u64> = ClockedVar::new(&rt, 0);
     let v2 = var.clone();
     let outsider = rt.spawn(move || v2.get());
-    assert!(matches!(
-        outsider.join().unwrap(),
-        Err(SyncError::NotRegistered { .. })
-    ));
+    assert!(matches!(outsider.join().unwrap(), Err(SyncError::NotRegistered { .. })));
     var.deregister().unwrap();
 }
 

@@ -2,7 +2,6 @@
 //! synchronisation on phasers, and its verification-layer consequences —
 //! wait-only members gate nobody and therefore impede nothing.
 
-
 use std::time::{Duration, Instant};
 
 use armus_core::VerifierConfig;
@@ -30,10 +29,7 @@ fn mode_discipline_is_enforced() {
     ph.deregister().unwrap();
 
     ph.register_with_mode(RegMode::Sig).unwrap();
-    assert!(matches!(
-        ph.await_phase(1),
-        Err(SyncError::InvalidMode { operation: "await", .. })
-    ));
+    assert!(matches!(ph.await_phase(1), Err(SyncError::InvalidMode { operation: "await", .. })));
     ph.arrive().unwrap(); // signalling is fine
     ph.deregister().unwrap();
 }

@@ -22,8 +22,7 @@ fn tasks(scale: Scale) -> usize {
 pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
     let n = tasks(scale);
     // Main creates every variable (and is briefly a member of each).
-    let vars: Vec<ClockedVar<u64>> =
-        (0..n).map(|_| ClockedVar::new(runtime, 0u64)).collect();
+    let vars: Vec<ClockedVar<u64>> = (0..n).map(|_| ClockedVar::new(runtime, 0u64)).collect();
 
     // Task i is registered with vars[i] (writer) and its inputs
     // vars[i-1], vars[i-2] (reader).
@@ -37,38 +36,41 @@ pub fn run(runtime: &Arc<Runtime>, scale: Scale) -> f64 {
             mine.push(vars[i - 2].phaser());
         }
         let my_vars: Vec<ClockedVar<u64>> = vars.clone();
-        handles.push(runtime.spawn_clocked(&mine, move || -> Result<u64, armus_sync::SyncError> {
-            let mut value = 0u64;
-            // Lock-step rounds: in round r every task advances all its
-            // variables; task i computes and publishes at round i.
-            for round in 0..n {
-                if round == i {
-                    value = if i < 2 {
-                        1
-                    } else {
-                        // Written in rounds i-1 / i-2 ⇒ visible at our
-                        // current phase (round).
-                        my_vars[i - 1].get()? + my_vars[i - 2].get()?
-                    };
-                    my_vars[i].set(value)?;
+        handles.push(runtime.spawn_clocked(
+            &mine,
+            move || -> Result<u64, armus_sync::SyncError> {
+                let mut value = 0u64;
+                // Lock-step rounds: in round r every task advances all its
+                // variables; task i computes and publishes at round i.
+                for round in 0..n {
+                    if round == i {
+                        value = if i < 2 {
+                            1
+                        } else {
+                            // Written in rounds i-1 / i-2 ⇒ visible at our
+                            // current phase (round).
+                            my_vars[i - 1].get()? + my_vars[i - 2].get()?
+                        };
+                        my_vars[i].set(value)?;
+                    }
+                    my_vars[i].advance()?;
+                    if i >= 1 {
+                        my_vars[i - 1].advance()?;
+                    }
+                    if i >= 2 {
+                        my_vars[i - 2].advance()?;
+                    }
                 }
-                my_vars[i].advance()?;
+                my_vars[i].deregister()?;
                 if i >= 1 {
-                    my_vars[i - 1].advance()?;
+                    my_vars[i - 1].deregister()?;
                 }
                 if i >= 2 {
-                    my_vars[i - 2].advance()?;
+                    my_vars[i - 2].deregister()?;
                 }
-            }
-            my_vars[i].deregister()?;
-            if i >= 1 {
-                my_vars[i - 1].deregister()?;
-            }
-            if i >= 2 {
-                my_vars[i - 2].deregister()?;
-            }
-            Ok(value)
-        }));
+                Ok(value)
+            },
+        ));
     }
     // Main steps out of every clock so the tasks run the protocol alone.
     for v in &vars {

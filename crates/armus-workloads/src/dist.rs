@@ -1,0 +1,574 @@
+//! The §6.2 distributed suite: FT, KMEANS, JACOBI, SSCA2 and STREAM,
+//! miniature but shape-faithful ports of the benchmarks the paper runs
+//! across X10 places (Figure 7).
+//!
+//! Each benchmark is an SPMD region with cyclic-barrier lockstep — the
+//! same discipline as the §6.1 kernels — parameterised by the *site index*
+//! so every site of a cluster computes a distinct, deterministic problem
+//! instance (the paper runs one instance per place). [`run_unchecked`]
+//! executes the suite on plain per-site runtimes (the Figure 7 baseline);
+//! [`run_on_cluster`] executes it on an [`armus_dist::Cluster`], whose
+//! publisher/checker threads then carry the blocked statuses to the shared
+//! store.
+//!
+//! Checksums are bitwise deterministic per `(site, scale)`: stripes are
+//! combined in thread order, so the parallel result equals the sequential
+//! reference exactly, which is what [`expected`](DistBench::expected)
+//! returns.
+
+use std::sync::Arc;
+
+use armus_dist::Cluster;
+use armus_sync::Runtime;
+use parking_lot::Mutex;
+
+use super::kernels::Scale;
+use crate::util::{spmd, PerThread, XorShift};
+
+/// A runnable distributed benchmark.
+#[derive(Clone, Copy)]
+pub struct DistBench {
+    /// Paper name (FT, KMEANS, JACOBI, SSCA2, STREAM).
+    pub name: &'static str,
+    /// Runs one site's instance: `(runtime, site_index, scale) → checksum`.
+    pub run: fn(&Arc<Runtime>, usize, Scale) -> f64,
+    /// Sequential ground truth for the same `(site_index, scale)`.
+    pub expected: fn(usize, Scale) -> f64,
+}
+
+/// All five benchmarks, in the paper's Figure 7 order.
+pub fn all() -> [DistBench; 5] {
+    [
+        DistBench { name: "FT", run: ft_run, expected: ft_expected },
+        DistBench { name: "KMEANS", run: kmeans_run, expected: kmeans_expected },
+        DistBench { name: "JACOBI", run: jacobi_run, expected: jacobi_expected },
+        DistBench { name: "SSCA2", run: ssca2_run, expected: ssca2_expected },
+        DistBench { name: "STREAM", run: stream_run, expected: stream_expected },
+    ]
+}
+
+/// Workers per site.
+fn threads(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Full => 8,
+    }
+}
+
+/// The Figure 7 baseline: every site on its own unchecked runtime, no
+/// publisher, no checker. Returns the site checksums summed in site order
+/// (deterministic).
+pub fn run_unchecked(bench: &DistBench, sites: usize, scale: Scale) -> f64 {
+    let bench = *bench;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sites)
+            .map(|site| {
+                scope.spawn(move || {
+                    let rt = Runtime::unchecked();
+                    (bench.run)(&rt, site, scale)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("site worker panicked")).sum()
+    })
+}
+
+/// The checked configuration: every site of `cluster` runs its instance on
+/// the site runtime (publish-only verifier; the cluster's publisher and
+/// checker threads do the distributed detection). Same checksum as
+/// [`run_unchecked`]: per-site results are summed in site order.
+pub fn run_on_cluster(bench: &DistBench, cluster: &Cluster, scale: Scale) -> f64 {
+    let results: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(cluster.len()));
+    cluster.run_on_all(|site, rt| {
+        let got = (bench.run)(rt, site, scale);
+        results.lock().push((site, got));
+    });
+    let mut results = results.into_inner();
+    results.sort_by_key(|&(site, _)| site);
+    results.into_iter().map(|(_, sum)| sum).sum()
+}
+
+// ---------------------------------------------------------------------------
+// FT — butterfly data exchange (the transpose communication pattern of the
+// distributed Fourier transform): log₂(t) rounds, partner stripe at
+// distance 2^k, one barrier between the read and write phases.
+// ---------------------------------------------------------------------------
+
+fn ft_stripe_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 64,
+        Scale::Full => 512,
+    }
+}
+
+fn ft_input(site: usize, i: usize, m: usize) -> Vec<f64> {
+    let mut rng = XorShift::new(0xF7 + ((site as u64) << 8) + i as u64);
+    (0..m).map(|_| rng.next_f64()).collect()
+}
+
+fn ft_rounds(t: usize) -> usize {
+    usize::BITS as usize - 1 - t.leading_zeros() as usize
+}
+
+fn ft_run(runtime: &Arc<Runtime>, site: usize, scale: Scale) -> f64 {
+    let t = threads(scale); // power of two
+    let m = ft_stripe_len(scale);
+    let stripes = PerThread::new(t, |i| ft_input(site, i, m));
+    let s2 = Arc::clone(&stripes);
+    let sums = spmd(runtime, t, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        for k in 0..ft_rounds(t) {
+            let partner = i ^ (1 << k);
+            let w = 1.0 / (k as f64 + 2.0);
+            // Read phase: grab the partner stripe while all stripes are
+            // stable, then cross the barrier before anyone writes.
+            let grabbed: Vec<f64> = s2.read(partner).clone();
+            bar.arrive_and_await()?;
+            {
+                let mut own = s2.write(i);
+                for (x, g) in own.iter_mut().zip(&grabbed) {
+                    *x += w * g;
+                }
+            }
+            bar.arrive_and_await()?;
+        }
+        let total = s2.read(i).iter().sum::<f64>();
+        bar.deregister()?;
+        Ok(total)
+    })
+    .expect("FT workers");
+    sums.iter().sum()
+}
+
+fn ft_expected(site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let m = ft_stripe_len(scale);
+    let mut stripes: Vec<Vec<f64>> = (0..t).map(|i| ft_input(site, i, m)).collect();
+    for k in 0..ft_rounds(t) {
+        let w = 1.0 / (k as f64 + 2.0);
+        let old = stripes.clone();
+        for (i, stripe) in stripes.iter_mut().enumerate() {
+            let partner = i ^ (1 << k);
+            for (x, g) in stripe.iter_mut().zip(&old[partner]) {
+                *x += w * g;
+            }
+        }
+    }
+    stripes.iter().map(|s| s.iter().sum::<f64>()).sum()
+}
+
+// ---------------------------------------------------------------------------
+// KMEANS — replicated reduction: every thread assigns its stripe of points
+// to the nearest centroid, publishes per-cluster partial sums, and after
+// the barrier every thread folds all partials in slot order, so all
+// replicas of the centroids stay bitwise identical.
+// ---------------------------------------------------------------------------
+
+const KMEANS_K: usize = 4;
+
+fn kmeans_points_per_thread(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 128,
+        Scale::Full => 1024,
+    }
+}
+
+fn kmeans_iters(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 5,
+        Scale::Full => 10,
+    }
+}
+
+fn kmeans_input(site: usize, i: usize, n: usize) -> Vec<f64> {
+    let mut rng = XorShift::new(0x3A + ((site as u64) << 16) + i as u64);
+    (0..n).map(|_| rng.next_f64() * 100.0).collect()
+}
+
+fn kmeans_initial_centroids() -> [f64; KMEANS_K] {
+    [12.5, 37.5, 62.5, 87.5]
+}
+
+fn kmeans_nearest(x: f64, centroids: &[f64; KMEANS_K]) -> usize {
+    let mut best = 0;
+    for (c, &centroid) in centroids.iter().enumerate() {
+        if (x - centroid).abs() < (x - centroids[best]).abs() {
+            best = c;
+        }
+    }
+    best
+}
+
+fn kmeans_fold(partials: &[[(f64, u64); KMEANS_K]], old: &[f64; KMEANS_K]) -> [f64; KMEANS_K] {
+    let mut next = *old;
+    for (c, slot) in next.iter_mut().enumerate() {
+        let (mut sum, mut count) = (0.0, 0u64);
+        for p in partials {
+            sum += p[c].0;
+            count += p[c].1;
+        }
+        if count > 0 {
+            *slot = sum / count as f64;
+        }
+    }
+    next
+}
+
+fn kmeans_run(runtime: &Arc<Runtime>, site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let n = kmeans_points_per_thread(scale);
+    let iters = kmeans_iters(scale);
+    let points = PerThread::new(t, |i| kmeans_input(site, i, n));
+    let partials = PerThread::new(t, |_| [(0.0f64, 0u64); KMEANS_K]);
+
+    let (pts, parts) = (Arc::clone(&points), Arc::clone(&partials));
+    let finals = spmd(runtime, t, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let mut centroids = kmeans_initial_centroids();
+        for _ in 0..iters {
+            let mut mine = [(0.0f64, 0u64); KMEANS_K];
+            for &x in pts.read(i).iter() {
+                let c = kmeans_nearest(x, &centroids);
+                mine[c].0 += x;
+                mine[c].1 += 1;
+            }
+            *parts.write(i) = mine;
+            bar.arrive_and_await()?;
+            // Replicated fold in slot order: identical on every thread.
+            let all: Vec<[(f64, u64); KMEANS_K]> = (0..t).map(|j| *parts.read(j)).collect();
+            centroids = kmeans_fold(&all, &centroids);
+            bar.arrive_and_await()?;
+        }
+        bar.deregister()?;
+        Ok(centroids.iter().enumerate().map(|(c, x)| (c + 1) as f64 * x).sum::<f64>())
+    })
+    .expect("KMEANS workers");
+    // Every thread holds the same replicated centroids; keep one copy.
+    finals[0]
+}
+
+fn kmeans_expected(site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let n = kmeans_points_per_thread(scale);
+    let stripes: Vec<Vec<f64>> = (0..t).map(|i| kmeans_input(site, i, n)).collect();
+    let mut centroids = kmeans_initial_centroids();
+    for _ in 0..kmeans_iters(scale) {
+        let partials: Vec<[(f64, u64); KMEANS_K]> = stripes
+            .iter()
+            .map(|stripe| {
+                let mut mine = [(0.0f64, 0u64); KMEANS_K];
+                for &x in stripe {
+                    let c = kmeans_nearest(x, &centroids);
+                    mine[c].0 += x;
+                    mine[c].1 += 1;
+                }
+                mine
+            })
+            .collect();
+        centroids = kmeans_fold(&partials, &centroids);
+    }
+    centroids.iter().enumerate().map(|(c, x)| (c + 1) as f64 * x).sum()
+}
+
+// ---------------------------------------------------------------------------
+// JACOBI — 1-D heat stencil with halo exchange: grab the neighbouring
+// stripes' boundary cells, barrier, relax the interior, barrier.
+// ---------------------------------------------------------------------------
+
+fn jacobi_stripe_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 64,
+        Scale::Full => 512,
+    }
+}
+
+fn jacobi_iters(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 8,
+        Scale::Full => 20,
+    }
+}
+
+fn jacobi_input(site: usize, i: usize, m: usize) -> Vec<f64> {
+    let mut rng = XorShift::new(0x7ACB + ((site as u64) << 12) + i as u64);
+    (0..m).map(|_| rng.next_f64() * 10.0).collect()
+}
+
+fn jacobi_relax(old: &[f64], left: f64, right: f64) -> Vec<f64> {
+    let m = old.len();
+    (0..m)
+        .map(|j| {
+            let l = if j == 0 { left } else { old[j - 1] };
+            let r = if j == m - 1 { right } else { old[j + 1] };
+            (l + 2.0 * old[j] + r) / 4.0
+        })
+        .collect()
+}
+
+fn jacobi_run(runtime: &Arc<Runtime>, site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let m = jacobi_stripe_len(scale);
+    let stripes = PerThread::new(t, |i| jacobi_input(site, i, m));
+    let s2 = Arc::clone(&stripes);
+    let sums = spmd(runtime, t, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        for _ in 0..jacobi_iters(scale) {
+            // Halo read phase (fixed 0.0 at the global edges).
+            let left = if i == 0 { 0.0 } else { *s2.read(i - 1).last().expect("stripe") };
+            let right = if i == t - 1 { 0.0 } else { s2.read(i + 1)[0] };
+            bar.arrive_and_await()?;
+            let relaxed = jacobi_relax(&s2.read(i), left, right);
+            *s2.write(i) = relaxed;
+            bar.arrive_and_await()?;
+        }
+        let total = s2.read(i).iter().sum::<f64>();
+        bar.deregister()?;
+        Ok(total)
+    })
+    .expect("JACOBI workers");
+    sums.iter().sum()
+}
+
+fn jacobi_expected(site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let m = jacobi_stripe_len(scale);
+    let mut stripes: Vec<Vec<f64>> = (0..t).map(|i| jacobi_input(site, i, m)).collect();
+    for _ in 0..jacobi_iters(scale) {
+        let old = stripes.clone();
+        for (i, stripe) in stripes.iter_mut().enumerate() {
+            let left = if i == 0 { 0.0 } else { *old[i - 1].last().expect("stripe") };
+            let right = if i == t - 1 { 0.0 } else { old[i + 1][0] };
+            *stripe = jacobi_relax(&old[i], left, right);
+        }
+    }
+    stripes.iter().map(|s| s.iter().sum::<f64>()).sum()
+}
+
+// ---------------------------------------------------------------------------
+// SSCA2 — level-synchronous BFS over a deterministic random digraph
+// (kernel 4 of the SSCA#2 graph-analysis suite): each thread owns a
+// vertex stripe, reads the whole distance array while it is stable,
+// computes the next level for its own vertices, barrier, writes, barrier.
+// ---------------------------------------------------------------------------
+
+const SSCA2_DEGREE: usize = 3;
+const SSCA2_UNREACHED: u64 = u64::MAX;
+
+fn ssca2_verts_per_thread(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 32,
+        Scale::Full => 256,
+    }
+}
+
+fn ssca2_levels(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 8,
+        Scale::Full => 16,
+    }
+}
+
+/// In-neighbour lists for thread `i`'s vertex stripe.
+fn ssca2_in_edges(site: usize, i: usize, per: usize, total: usize) -> Vec<[usize; SSCA2_DEGREE]> {
+    let mut rng = XorShift::new(0x55CA2 + ((site as u64) << 20) + i as u64);
+    (0..per)
+        .map(|_| {
+            let mut edges = [0usize; SSCA2_DEGREE];
+            for e in &mut edges {
+                *e = rng.next_below(total);
+            }
+            edges
+        })
+        .collect()
+}
+
+fn ssca2_run(runtime: &Arc<Runtime>, site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let per = ssca2_verts_per_thread(scale);
+    let total = t * per;
+    let levels = ssca2_levels(scale);
+    let dist = PerThread::new(t, |i| {
+        let mut d = vec![SSCA2_UNREACHED; per];
+        if i == 0 {
+            d[0] = 0; // the BFS root
+        }
+        d
+    });
+    let d2 = Arc::clone(&dist);
+    let sums = spmd(runtime, t, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let edges = ssca2_in_edges(site, i, per, total);
+        for level in 0..levels {
+            // Read phase: snapshot the whole distance array.
+            let snapshot: Vec<u64> = (0..t).flat_map(|j| d2.read(j).clone()).collect();
+            bar.arrive_and_await()?;
+            let mut mine = d2.read(i).clone();
+            for (v, d) in mine.iter_mut().enumerate() {
+                if *d == SSCA2_UNREACHED && edges[v].iter().any(|&u| snapshot[u] == level) {
+                    *d = level + 1;
+                }
+            }
+            *d2.write(i) = mine;
+            bar.arrive_and_await()?;
+        }
+        let reached =
+            d2.read(i).iter().filter(|&&d| d != SSCA2_UNREACHED).map(|&d| d + 1).sum::<u64>();
+        bar.deregister()?;
+        Ok(reached as f64)
+    })
+    .expect("SSCA2 workers");
+    sums.iter().sum()
+}
+
+fn ssca2_expected(site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let per = ssca2_verts_per_thread(scale);
+    let total = t * per;
+    let edges: Vec<[usize; SSCA2_DEGREE]> =
+        (0..t).flat_map(|i| ssca2_in_edges(site, i, per, total)).collect();
+    let mut dist = vec![SSCA2_UNREACHED; total];
+    dist[0] = 0;
+    for level in 0..ssca2_levels(scale) {
+        let snapshot = dist.clone();
+        for (v, d) in dist.iter_mut().enumerate() {
+            if *d == SSCA2_UNREACHED && edges[v].iter().any(|&u| snapshot[u] == level) {
+                *d = level + 1;
+            }
+        }
+    }
+    dist.iter().filter(|&&d| d != SSCA2_UNREACHED).map(|&d| d + 1).sum::<u64>() as f64
+}
+
+// ---------------------------------------------------------------------------
+// STREAM — the McCalpin bandwidth kernels (copy, scale, add, triad) on
+// thread-private stripes, barrier-separated per operation as the
+// distributed port synchronises places between kernels.
+// ---------------------------------------------------------------------------
+
+fn stream_stripe_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 256,
+        Scale::Full => 4096,
+    }
+}
+
+fn stream_rounds(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Full => 10,
+    }
+}
+
+fn stream_run(runtime: &Arc<Runtime>, site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let m = stream_stripe_len(scale);
+    let sums = spmd(runtime, t, 1, move |i, barriers| {
+        let bar = &barriers[0];
+        let mut rng = XorShift::new(0x57EA + ((site as u64) << 10) + i as u64);
+        let mut a: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+        let mut b: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+        let mut c: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+        for round in 0..stream_rounds(scale) {
+            let s = 0.5 + round as f64 / 10.0;
+            c.copy_from_slice(&a); // copy
+            bar.arrive_and_await()?;
+            for j in 0..m {
+                b[j] = s * c[j]; // scale
+            }
+            bar.arrive_and_await()?;
+            for j in 0..m {
+                c[j] = a[j] + b[j]; // add
+            }
+            bar.arrive_and_await()?;
+            for j in 0..m {
+                a[j] = b[j] + s * c[j]; // triad
+            }
+            bar.arrive_and_await()?;
+        }
+        let total = a.iter().sum::<f64>() + b.iter().sum::<f64>() + c.iter().sum::<f64>();
+        bar.deregister()?;
+        Ok(total)
+    })
+    .expect("STREAM workers");
+    sums.iter().sum()
+}
+
+fn stream_expected(site: usize, scale: Scale) -> f64 {
+    let t = threads(scale);
+    let m = stream_stripe_len(scale);
+    (0..t)
+        .map(|i| {
+            let mut rng = XorShift::new(0x57EA + ((site as u64) << 10) + i as u64);
+            let mut a: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+            let mut b: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+            let mut c: Vec<f64> = (0..m).map(|_| rng.next_f64()).collect();
+            for round in 0..stream_rounds(scale) {
+                let s = 0.5 + round as f64 / 10.0;
+                c.copy_from_slice(&a);
+                for j in 0..m {
+                    b[j] = s * c[j];
+                }
+                for j in 0..m {
+                    c[j] = a[j] + b[j];
+                }
+                for j in 0..m {
+                    a[j] = b[j] + s * c[j];
+                }
+            }
+            a.iter().sum::<f64>() + b.iter().sum::<f64>() + c.iter().sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_dist::SiteConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn every_dist_bench_validates_per_site() {
+        for bench in all() {
+            for site in 0..2 {
+                let rt = Runtime::unchecked();
+                let got = (bench.run)(&rt, site, Scale::Quick);
+                let want = (bench.expected)(site, Scale::Quick);
+                assert_eq!(got, want, "{} site {site}: {got} vs {want}", bench.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sites_compute_distinct_instances() {
+        for bench in all() {
+            let a = (bench.expected)(0, Scale::Quick);
+            let b = (bench.expected)(1, Scale::Quick);
+            assert_ne!(a, b, "{}: site instances must differ", bench.name);
+        }
+    }
+
+    #[test]
+    fn run_unchecked_sums_site_checksums() {
+        let bench = all()[0];
+        let got = run_unchecked(&bench, 3, Scale::Quick);
+        let want: f64 = (0..3).map(|s| (bench.expected)(s, Scale::Quick)).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cluster_runs_match_unchecked_and_stay_clean() {
+        let cfg = SiteConfig {
+            publish_period: Duration::from_millis(5),
+            check_period: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let cluster = Cluster::start(2, cfg);
+        for bench in all() {
+            let checked = run_on_cluster(&bench, &cluster, Scale::Quick);
+            let baseline = run_unchecked(&bench, 2, Scale::Quick);
+            assert_eq!(checked, baseline, "{}", bench.name);
+        }
+        assert!(!cluster.any_deadlock(), "{:?}", cluster.all_reports());
+        cluster.stop();
+    }
+}

@@ -89,9 +89,8 @@ fn owner_of(k: usize, n: usize, threads: usize) -> usize {
 /// Runs MG; returns `Σ u` on the finest level after the V-cycles.
 pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
     let Size { n, levels, cycles, smooth_steps } = size(scale);
-    let hierarchy: Arc<Vec<Level>> = Arc::new(
-        (0..levels).map(|l| Level::new(n >> l, threads, l == 0)).collect(),
-    );
+    let hierarchy: Arc<Vec<Level>> =
+        Arc::new((0..levels).map(|l| Level::new(n >> l, threads, l == 0)).collect());
 
     let h2 = Arc::clone(&hierarchy);
     let partials = spmd(runtime, threads, 1, move |i, barriers| {
@@ -137,8 +136,7 @@ pub fn run(runtime: &Arc<Runtime>, threads: usize, scale: Scale) -> f64 {
                     let k = ck * 2;
                     let left = if k > 0 { fine.read_u(threads, k - 1) } else { 0.0 };
                     let centre = fine.read_u(threads, k);
-                    let right =
-                        if k + 1 < fine.n { fine.read_u(threads, k + 1) } else { 0.0 };
+                    let right = if k + 1 < fine.n { fine.read_u(threads, k + 1) } else { 0.0 };
                     let res = fine.read_f(threads, k) + left + right - 2.0 * centre;
                     restricted.push(res);
                 }

@@ -59,13 +59,10 @@ fn main() {
                 }
             }
             "--threshold" => {
-                threshold = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--threshold N");
-                        std::process::exit(2);
-                    })
+                threshold = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold N");
+                    std::process::exit(2);
+                })
             }
             p if !p.starts_with('-') => path = Some(p.to_string()),
             other => {

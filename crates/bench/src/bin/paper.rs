@@ -16,9 +16,7 @@
 use std::collections::BTreeSet;
 use std::time::Duration;
 
-use armus_bench::experiments::{
-    self, AllResults, Config, CourseCell, DistCell, KernelCell,
-};
+use armus_bench::experiments::{self, AllResults, Config, CourseCell, DistCell, KernelCell};
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();

@@ -109,12 +109,7 @@ pub struct KernelCell {
     pub avoidance: Measurement,
 }
 
-fn measure_kernel(
-    kernel: &Kernel,
-    threads: usize,
-    mode: Mode,
-    cfg: &Config,
-) -> Measurement {
+fn measure_kernel(kernel: &Kernel, threads: usize, mode: Mode, cfg: &Config) -> Measurement {
     let scale = cfg.scale;
     let period = cfg.detection_period;
     Measurement::take(cfg.samples, || {
@@ -132,10 +127,14 @@ pub fn kernel_grid(cfg: &Config) -> Vec<KernelCell> {
         // Output validation, once per kernel (paper: "all benchmarks check
         // the validity of the produced output").
         assert!(
-            kernels::validate(&kernel, {
-                let rt = Runtime::unchecked();
-                (kernel.run)(&rt, cfg.threads[0], cfg.scale)
-            }, cfg.scale),
+            kernels::validate(
+                &kernel,
+                {
+                    let rt = Runtime::unchecked();
+                    (kernel.run)(&rt, cfg.threads[0], cfg.scale)
+                },
+                cfg.scale
+            ),
             "{} failed output validation",
             kernel.name
         );
@@ -183,20 +182,16 @@ fn print_overhead_table(title: &str, cells: &[KernelCell], pick: impl Fn(&Kernel
 
 /// Table 1: relative execution overhead in detection mode.
 pub fn print_table1(cells: &[KernelCell]) {
-    print_overhead_table(
-        "Table 1: Relative execution overhead in detection mode.",
-        cells,
-        |c| overhead(&c.unchecked, &c.detection),
-    );
+    print_overhead_table("Table 1: Relative execution overhead in detection mode.", cells, |c| {
+        overhead(&c.unchecked, &c.detection)
+    });
 }
 
 /// Table 2: relative execution overhead in avoidance mode.
 pub fn print_table2(cells: &[KernelCell]) {
-    print_overhead_table(
-        "Table 2: Relative execution overhead in avoidance mode.",
-        cells,
-        |c| overhead(&c.unchecked, &c.avoidance),
-    );
+    print_overhead_table("Table 2: Relative execution overhead in avoidance mode.", cells, |c| {
+        overhead(&c.unchecked, &c.avoidance)
+    });
 }
 
 /// Figure 6: per-kernel execution-time series (unchecked / detection /
@@ -207,10 +202,7 @@ pub fn print_fig6(cells: &[KernelCell]) {
     names.dedup();
     for name in names {
         println!("\n  Benchmark {name}");
-        println!(
-            "  {:>8} {:>14} {:>14} {:>14}",
-            "tasks", "unchecked", "detection", "avoidance"
-        );
+        println!("  {:>8} {:>14} {:>14} {:>14}", "tasks", "unchecked", "detection", "avoidance");
         for c in cells.iter().filter(|c| c.kernel == name) {
             println!(
                 "  {:>8} {:>11.4}±{:<6.4} {:>10.4}±{:<6.4} {:>10.4}±{:<6.4}",
@@ -288,11 +280,7 @@ pub fn print_fig7(cells: &[DistCell]) {
             c.checked.mean(),
             c.checked.ci95(),
             percent(ov),
-            if c.unchecked.overlaps(&c.checked) {
-                "yes (no stat. evidence)"
-            } else {
-                "no"
-            }
+            if c.unchecked.overlaps(&c.checked) { "yes (no stat. evidence)" } else { "no" }
         );
     }
 }
@@ -326,11 +314,8 @@ pub struct CourseCell {
 }
 
 /// The three model choices of Figures 8/9, in display order.
-pub const MODELS: [(ModelChoice, &str); 3] = [
-    (ModelChoice::Auto, "Auto"),
-    (ModelChoice::FixedSg, "SG"),
-    (ModelChoice::FixedWfg, "WFG"),
-];
+pub const MODELS: [(ModelChoice, &str); 3] =
+    [(ModelChoice::Auto, "Auto"), (ModelChoice::FixedSg, "SG"), (ModelChoice::FixedWfg, "WFG")];
 
 fn measure_course(
     bench: &CourseBench,
@@ -370,12 +355,7 @@ pub fn course_grid(cfg: &Config) -> Vec<CourseCell> {
             for mode in [Mode::Avoidance, Mode::Detection] {
                 for (model, label) in MODELS {
                     let (time, avg_edges) = measure_course(bench, mode, model, cfg);
-                    entries.push(CourseEntry {
-                        mode,
-                        model: label.to_string(),
-                        time,
-                        avg_edges,
-                    });
+                    entries.push(CourseEntry { mode, model: label.to_string(), time, avg_edges });
                 }
             }
             CourseCell { name: bench.name.to_string(), unchecked, entries }
@@ -385,10 +365,7 @@ pub fn course_grid(cfg: &Config) -> Vec<CourseCell> {
 
 fn print_model_figure(title: &str, cells: &[CourseCell], mode: Mode) {
     println!("\n{title}");
-    println!(
-        "  {:<6} {:>12} {:>12} {:>12} {:>12}",
-        "bench", "unchecked", "Auto", "SG", "WFG"
-    );
+    println!("  {:<6} {:>12} {:>12} {:>12} {:>12}", "bench", "unchecked", "Auto", "SG", "WFG");
     for c in cells {
         let t = |label: &str| {
             c.entries
@@ -511,11 +488,8 @@ mod tests {
         assert_eq!(cells.len(), 5);
         // Avoidance checks on every block: PS must have analysed edges.
         let ps = cells.iter().find(|c| c.name == "PS").unwrap();
-        let wfg = ps
-            .entries
-            .iter()
-            .find(|e| e.mode == Mode::Avoidance && e.model == "WFG")
-            .unwrap();
+        let wfg =
+            ps.entries.iter().find(|e| e.mode == Mode::Avoidance && e.model == "WFG").unwrap();
         assert!(wfg.avg_edges > 0.0, "PS WFG avoidance must analyse edges");
         print_fig8(&cells);
         print_fig9(&cells);

@@ -83,10 +83,7 @@ mod tests {
         let shape = SynthShape { tasks: 32, phasers: 8, regs_per_task: 2 };
         let snap = with_cycle(shape);
         for model in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
-            assert!(
-                checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some(),
-                "{model}"
-            );
+            assert!(checker::check(&snap, model, DEFAULT_SG_THRESHOLD).report.is_some(), "{model}");
         }
     }
 
@@ -96,7 +93,12 @@ mod tests {
         let spmd = acyclic(SynthShape { tasks: 128, phasers: 2, regs_per_task: 2 });
         let wfg = armus_core::wfg::wfg(&spmd);
         let sg = armus_core::sg::sg(&spmd);
-        assert!(wfg.edge_count() > 4 * sg.edge_count(), "{} vs {}", wfg.edge_count(), sg.edge_count());
+        assert!(
+            wfg.edge_count() > 4 * sg.edge_count(),
+            "{} vs {}",
+            wfg.edge_count(),
+            sg.edge_count()
+        );
         // Few tasks / many barriers: SG ≥ WFG.
         let forky = acyclic(SynthShape { tasks: 8, phasers: 128, regs_per_task: 6 });
         let wfg = armus_core::wfg::wfg(&forky);

@@ -1,0 +1,200 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors the interface its benches rely on: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! simple warm-up + timed-batch loop printing mean ns/iteration — no
+//! outlier analysis, no HTML reports — enough to compare configurations
+//! by eye and to keep `cargo bench` runnable offline.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target time a single benchmark spends measuring (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Iterations of warm-up before timing starts.
+const WARMUP_ITERS: u64 = 10;
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _criterion: self, name }
+    }
+
+    /// Runs a free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (prefixes the printed id).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < MEASURE_BUDGET {
+            // Batches amortise the clock reads for very fast bodies.
+            for _ in 0..16 {
+                black_box(f());
+            }
+            iters += 16;
+        }
+        self.total = started.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &BenchmarkId, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    if b.iters == 0 {
+        eprintln!("  {label}: no iterations recorded (closure never called iter?)");
+    } else {
+        let ns = b.total.as_nanos() as f64 / b.iters as f64;
+        eprintln!("  {label}: {ns:.1} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("self-test", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > WARMUP_ITERS, "closure must run beyond warm-up, got {ran}");
+    }
+
+    #[test]
+    fn group_and_id_render() {
+        let id = BenchmarkId::new("f", 32);
+        assert_eq!(id.label, "f/32");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("in", "x"), &7u32, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        g.finish();
+    }
+}

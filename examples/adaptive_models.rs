@@ -22,7 +22,7 @@ fn run_with(model: ModelChoice, bench: &course::CourseBench) -> (f64, u64) {
     let dt = t0.elapsed().as_secs_f64();
     assert_eq!(got, (bench.expected)(Scale::Quick));
     let stats = rt.stats();
-    (dt, if stats.checks == 0 { 0 } else { stats.edges_sum / stats.checks })
+    (dt, stats.edges_sum.checked_div(stats.checks).unwrap_or(0))
 }
 
 fn main() {

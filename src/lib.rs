@@ -48,8 +48,8 @@ pub use armus_workloads as workloads;
 /// The types most programs need.
 pub mod prelude {
     pub use armus_core::{
-        DeadlockReport, GraphModel, ModelChoice, Phase, PhaserId, TaskId, Verifier,
-        VerifierConfig, VerifyMode,
+        DeadlockReport, GraphModel, ModelChoice, Phase, PhaserId, TaskId, Verifier, VerifierConfig,
+        VerifyMode,
     };
     pub use armus_sync::{
         Clock, ClockedVar, CountDownLatch, CyclicBarrier, Finish, OnDeadlock, Phaser, Runtime,

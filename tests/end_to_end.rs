@@ -105,10 +105,7 @@ fn recovery_breaks_a_planted_ring() {
     }
     for h in handles {
         let r = h.join().unwrap();
-        assert!(
-            matches!(r, Err(SyncError::Poisoned(_))),
-            "victim must be broken out, got {r:?}"
-        );
+        assert!(matches!(r, Err(SyncError::Poisoned(_))), "victim must be broken out, got {r:?}");
     }
     rt.shutdown();
 }

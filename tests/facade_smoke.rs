@@ -1,0 +1,61 @@
+//! Manifest-level smoke tests: the facade's re-exports resolve, the
+//! prelude is importable as one glob, and both checked runtime
+//! constructors work — guarding the workspace wiring (crate renames,
+//! path-dependency mistakes, prelude regressions) rather than behaviour.
+
+use armus::prelude::*;
+
+/// Every facade module path resolves and exposes its headline type.
+#[test]
+fn facade_modules_are_wired() {
+    let _core: armus::core::VerifierConfig = armus::core::VerifierConfig::avoidance();
+    let _sync: std::sync::Arc<armus::sync::Runtime> = armus::sync::Runtime::unchecked();
+    let _pl: armus::pl::Seq = armus::pl::parse("skip;").unwrap();
+    let _dist: armus::dist::SiteConfig = armus::dist::SiteConfig::default();
+    assert_eq!(armus::workloads::kernels::all().len(), 6);
+    assert_eq!(armus::workloads::course::all().len(), 5);
+    assert_eq!(armus::workloads::dist::all().len(), 5);
+}
+
+/// The prelude alone supports naming the core verification types.
+#[test]
+fn prelude_exports_the_verification_vocabulary() {
+    let task: TaskId = TaskId::fresh();
+    let phaser: PhaserId = PhaserId::fresh();
+    let phase: Phase = 0;
+    let _ = (task, phaser, phase);
+    let _model: ModelChoice = ModelChoice::Auto;
+    let _graph: GraphModel = GraphModel::Sg;
+    let _mode: VerifyMode = VerifyMode::Disabled;
+    let _cfg: VerifierConfig = VerifierConfig::detection();
+    let _rt_cfg: RuntimeConfig = RuntimeConfig::unchecked();
+    let _on: OnDeadlock = OnDeadlock::Report;
+    let _v: std::sync::Arc<Verifier> = Verifier::new(VerifierConfig::disabled());
+}
+
+/// Both checked constructors build working runtimes.
+#[test]
+fn avoidance_and_detection_runtimes_construct() {
+    for rt in [Runtime::avoidance(), Runtime::detection()] {
+        assert!(rt.verifier().is_enabled());
+        assert!(!rt.verifier().found_deadlock());
+        assert_eq!(rt.stats().deadlocks, 0);
+        // A phaser can be created and stepped on a fresh runtime.
+        let ph = Phaser::new(&rt);
+        ph.arrive_and_await().expect("sole member never blocks");
+        ph.deregister().expect("creator can leave");
+        rt.shutdown();
+    }
+}
+
+/// The prelude names the sync primitives the README advertises.
+#[test]
+fn prelude_sync_primitives_construct() {
+    let rt = Runtime::unchecked();
+    let _clock: Clock = Clock::make(&rt);
+    let _barrier: CyclicBarrier = CyclicBarrier::new(&rt, 2);
+    let _latch: CountDownLatch = CountDownLatch::new(&rt, 1);
+    let _finish: Finish = Finish::new(&rt);
+    let _var: ClockedVar<u32> = ClockedVar::new(&rt, 7);
+    let _err: fn(SyncError) = |_| {};
+}

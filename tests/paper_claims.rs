@@ -10,8 +10,8 @@
 //! * the distributed checker produces no false positives on clean runs.
 
 use armus::core::{
-    adaptive, checker, grg, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId,
-    Registration, Resource, Snapshot, TaskId, VerifierConfig, DEFAULT_SG_THRESHOLD,
+    adaptive, checker, grg, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId, Registration,
+    Resource, Snapshot, TaskId, VerifierConfig, DEFAULT_SG_THRESHOLD,
 };
 use armus::prelude::*;
 use armus::workloads::course;
@@ -127,11 +127,10 @@ fn auto_tracks_the_better_model_on_both_extremes() {
 #[test]
 fn verdicts_are_identical_across_models_on_both_shapes() {
     for snap in [ps_shaped(16), fr_shaped(16)] {
-        let verdicts: Vec<bool> =
-            [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto]
-                .iter()
-                .map(|&m| checker::check(&snap, m, DEFAULT_SG_THRESHOLD).report.is_some())
-                .collect();
+        let verdicts: Vec<bool> = [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto]
+            .iter()
+            .map(|&m| checker::check(&snap, m, DEFAULT_SG_THRESHOLD).report.is_some())
+            .collect();
         assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
     }
 }
@@ -147,10 +146,7 @@ fn avoidance_checks_scale_with_blocks_detection_with_time() {
     let avoidance_checks = rt.stats().checks;
     let avoidance_blocks = rt.stats().blocks;
     assert!(avoidance_checks > 0);
-    assert_eq!(
-        avoidance_checks, avoidance_blocks,
-        "avoidance checks once per published block"
-    );
+    assert_eq!(avoidance_checks, avoidance_blocks, "avoidance checks once per published block");
 
     let rt = Runtime::new(
         RuntimeConfig::detection()
