@@ -9,11 +9,27 @@
 //!
 //! The paper notes that "maintaining the blocked status is more frequent
 //! than checking for deadlocks, so the resource-dependencies are rearranged
-//! per task to optimise updates" (§5.1). We follow that design: the registry
-//! is sharded by task id so that concurrent block/unblock operations from
-//! different tasks rarely contend, and checkers take a point-in-time copy.
+//! per task to optimise updates" (§5.1). We follow that design: the
+//! registry is sharded by task id, so map mutation from different tasks
+//! touches distinct locks.
+//!
+//! On top of the sharded map the registry keeps a **delta journal**: a
+//! bounded, monotonically versioned log of [`Delta`]s (block/unblock
+//! entries). Incremental consumers — the [`crate::engine`] maintained
+//! graph, a distributed site publisher — remember a cursor and pull only
+//! the deltas since their last read ([`Registry::deltas_since`]); a
+//! consumer that falls behind the bounded journal resyncs from a full
+//! point-in-time copy ([`Registry::snapshot_with_cursor`]).
+//!
+//! The journal append is a single cross-shard lock: concurrent publishes
+//! from different tasks now serialise briefly on it (the price of a
+//! totally ordered delta stream). The append is a few pushes — far
+//! cheaper than the full-registry clone every *check* used to pay — but
+//! if update-side scaling ever dominates, the journal can be striped per
+//! shard with a `(shard, seq)` merge cursor without changing consumers'
+//! semantics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
@@ -57,10 +73,29 @@ impl BlockedInfo {
 }
 
 /// A point-in-time copy of the registry: the input to a deadlock check.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Every constructor keeps `tasks` **sorted by task id** so that
+/// [`Snapshot::get`] — called per task during report confirmation — is a
+/// binary search rather than a linear scan, and so that graph construction
+/// over a snapshot is deterministic. Deserialisation routes through
+/// [`Snapshot::from_tasks`] and therefore sorts too; only code that
+/// mutates the public `tasks` vector by hand must call
+/// [`Snapshot::sorted`] to restore the invariant.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct Snapshot {
-    /// Blocked statuses, one per blocked task.
+    /// Blocked statuses, one per blocked task, sorted by task id.
     pub tasks: Vec<BlockedInfo>,
+}
+
+impl Deserialize for Snapshot {
+    /// Manual impl (rather than derived) so external JSON — which may list
+    /// tasks in any order — lands sorted by construction.
+    fn from_value(value: &serde::Value) -> Result<Snapshot, serde::DeError> {
+        let tasks = value
+            .get("tasks")
+            .ok_or_else(|| serde::DeError::new("missing field `tasks` in Snapshot"))?;
+        Ok(Snapshot::from_tasks(Deserialize::from_value(tasks)?))
+    }
 }
 
 impl Snapshot {
@@ -70,8 +105,9 @@ impl Snapshot {
     }
 
     /// Builds a snapshot directly from blocked statuses (used by tests, the
-    /// PL `ϕ` function and the distributed store).
-    pub fn from_tasks(tasks: Vec<BlockedInfo>) -> Snapshot {
+    /// PL `ϕ` function and the distributed store). Sorts by task id.
+    pub fn from_tasks(mut tasks: Vec<BlockedInfo>) -> Snapshot {
+        tasks.sort_by_key(|b| b.task);
         Snapshot { tasks }
     }
 
@@ -85,15 +121,73 @@ impl Snapshot {
         self.tasks.is_empty()
     }
 
-    /// Sorts tasks by id for deterministic iteration (tests, goldens).
+    /// Restores the sorted-by-task-id invariant after manual mutation of
+    /// the `tasks` vector or deserialisation from untrusted JSON.
     pub fn sorted(mut self) -> Snapshot {
         self.tasks.sort_by_key(|b| b.task);
         self
     }
 
-    /// The blocked status of `task`, if present.
+    /// The blocked status of `task`, if present. `O(log n)` thanks to the
+    /// sorted invariant.
     pub fn get(&self, task: TaskId) -> Option<&BlockedInfo> {
-        self.tasks.iter().find(|b| b.task == task)
+        self.tasks.binary_search_by_key(&task, |b| b.task).ok().map(|i| &self.tasks[i])
+    }
+}
+
+/// A single registry mutation, journaled for incremental consumers. A
+/// `Block` carries the full (epoch-stamped) blocked status so that replay
+/// is an idempotent per-task upsert.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Delta {
+    /// A task published its blocked status.
+    Block(BlockedInfo),
+    /// A task withdrew its blocked status.
+    Unblock(TaskId),
+}
+
+/// Result of reading the delta journal from a consumer's cursor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRead {
+    /// The deltas from the cursor up to the journal head, and the cursor
+    /// to resume from next time.
+    Deltas(Vec<Delta>, u64),
+    /// The cursor precedes the journal's retained window: the consumer
+    /// must resync from [`Registry::snapshot_with_cursor`].
+    Behind,
+}
+
+/// Default number of journal entries retained before the oldest are
+/// truncated (forcing slow consumers into a snapshot resync).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
+
+/// The bounded delta journal: entry `i` of `entries` has sequence number
+/// `base + i`; the next delta to be appended gets `base + entries.len()`.
+struct Journal {
+    base: u64,
+    entries: VecDeque<Delta>,
+    capacity: usize,
+}
+
+impl Journal {
+    fn push(&mut self, delta: Delta) {
+        self.entries.push_back(delta);
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn head(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    fn since(&self, cursor: u64) -> JournalRead {
+        if cursor < self.base {
+            return JournalRead::Behind;
+        }
+        let skip = (cursor - self.base) as usize;
+        JournalRead::Deltas(self.entries.iter().skip(skip).cloned().collect(), self.head())
     }
 }
 
@@ -104,11 +198,14 @@ const SHARDS: usize = 32;
 /// Sharded registry of blocked tasks: the run-time materialisation of the
 /// resource-dependency state.
 ///
-/// Updates (`block`/`unblock`) touch one shard; checks copy all shards.
+/// Updates (`block`/`unblock`) touch one shard plus the journal; the
+/// incremental engine and other consumers pull journal deltas instead of
+/// copying all shards.
 pub struct Registry {
     shards: Vec<Mutex<HashMap<TaskId, BlockedInfo>>>,
     len: AtomicUsize,
     next_epoch: AtomicU64,
+    journal: Mutex<Journal>,
 }
 
 impl Default for Registry {
@@ -118,12 +215,19 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default journal capacity.
     pub fn new() -> Registry {
+        Registry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Creates an empty registry retaining at most `capacity` journal
+    /// entries (tests use small capacities to exercise the resync path).
+    pub fn with_journal_capacity(capacity: usize) -> Registry {
         Registry {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             len: AtomicUsize::new(0),
             next_epoch: AtomicU64::new(1),
+            journal: Mutex::new(Journal { base: 0, entries: VecDeque::new(), capacity }),
         }
     }
 
@@ -133,22 +237,63 @@ impl Registry {
 
     /// Records `info.task` as blocked, assigning a fresh epoch which is
     /// returned (and stored in the registry copy).
+    ///
+    /// The shard lock is held across the journal append so that, per task,
+    /// journal order matches shard-application order — the lock order is
+    /// always shard → journal, and no journal holder takes a shard lock,
+    /// so this cannot deadlock.
     pub fn block(&self, mut info: BlockedInfo) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         info.epoch = epoch;
-        let prev = self.shard(info.task).lock().insert(info.task, info);
+        let mut shard = self.shard(info.task).lock();
+        let prev = shard.insert(info.task, info.clone());
         if prev.is_none() {
             self.len.fetch_add(1, Ordering::Relaxed);
         }
+        self.journal.lock().push(Delta::Block(info));
         epoch
     }
 
     /// Removes the blocked record of `task` (the task resumed, was
     /// deregistered, or its avoidance check failed).
     pub fn unblock(&self, task: TaskId) {
-        if self.shard(task).lock().remove(&task).is_some() {
+        let mut shard = self.shard(task).lock();
+        if shard.remove(&task).is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.journal.lock().push(Delta::Unblock(task));
         }
+    }
+
+    /// The blocked status of `task`, if currently recorded. `O(1)`: one
+    /// shard lookup, no full-registry copy.
+    pub fn get(&self, task: TaskId) -> Option<BlockedInfo> {
+        self.shard(task).lock().get(&task).cloned()
+    }
+
+    /// The journal deltas appended since `cursor`, or [`JournalRead::Behind`]
+    /// when the bounded journal has truncated past it.
+    pub fn deltas_since(&self, cursor: u64) -> JournalRead {
+        self.journal.lock().since(cursor)
+    }
+
+    /// The journal head: the cursor a consumer that is fully caught up
+    /// would hold.
+    pub fn journal_cursor(&self) -> u64 {
+        self.journal.lock().head()
+    }
+
+    /// A full copy paired with a journal cursor, for consumer resync.
+    ///
+    /// The cursor is read *before* the shards are copied: every delta with
+    /// a sequence number below the cursor is already applied to its shard
+    /// (shard insert happens-before journal append under the shard lock),
+    /// so it is reflected in the returned snapshot. Deltas at or past the
+    /// cursor may *also* already be reflected — consumers must apply
+    /// deltas idempotently (per-task upsert/remove), which
+    /// [`crate::engine::IncrementalEngine`] does.
+    pub fn snapshot_with_cursor(&self) -> (Snapshot, u64) {
+        let cursor = self.journal_cursor();
+        (self.snapshot(), cursor)
     }
 
     /// Number of currently blocked tasks (racy but monotonic per shard;
@@ -172,7 +317,7 @@ impl Registry {
             let guard = shard.lock();
             tasks.extend(guard.values().cloned());
         }
-        Snapshot { tasks }
+        Snapshot::from_tasks(tasks)
     }
 
     /// Is `task` still blocked in the same blocking operation (`epoch`) as
@@ -304,5 +449,99 @@ mod tests {
         let snap = Snapshot::from_tasks(vec![info(3), info(1), info(2)]).sorted();
         let ids: Vec<_> = snap.tasks.iter().map(|b| b.task).collect();
         assert_eq!(ids, vec![t(1), t(2), t(3)]);
+    }
+
+    #[test]
+    fn snapshot_get_is_a_binary_search_over_the_sorted_invariant() {
+        // Construction order is arbitrary; from_tasks sorts, so lookups
+        // (hits and misses) resolve correctly.
+        let snap = Snapshot::from_tasks(vec![info(30), info(10), info(20)]);
+        for present in [10, 20, 30] {
+            assert_eq!(snap.get(t(present)).unwrap().task, t(present));
+        }
+        for absent in [0, 15, 99] {
+            assert!(snap.get(t(absent)).is_none());
+        }
+    }
+
+    #[test]
+    fn deserialisation_sorts_by_construction() {
+        // External JSON may list tasks in any order; `get` must still work.
+        let unsorted = Snapshot { tasks: vec![info(3), info(1), info(2)] };
+        let json = serde_json::to_string(&unsorted).unwrap();
+        let parsed: Snapshot = serde_json::from_str(&json).unwrap();
+        let ids: Vec<_> = parsed.tasks.iter().map(|b| b.task).collect();
+        assert_eq!(ids, vec![t(1), t(2), t(3)]);
+        for id in 1..=3 {
+            assert_eq!(parsed.get(t(id)).unwrap().task, t(id));
+        }
+    }
+
+    #[test]
+    fn registry_get_reads_one_shard() {
+        let reg = Registry::new();
+        let epoch = reg.block(info(7));
+        assert_eq!(reg.get(t(7)).unwrap().epoch, epoch);
+        assert!(reg.get(t(8)).is_none());
+        reg.unblock(t(7));
+        assert!(reg.get(t(7)).is_none());
+    }
+
+    #[test]
+    fn journal_replays_blocks_and_unblocks_in_order() {
+        let reg = Registry::new();
+        reg.block(info(1));
+        reg.block(info(2));
+        reg.unblock(t(1));
+        match reg.deltas_since(0) {
+            JournalRead::Deltas(deltas, cursor) => {
+                assert_eq!(cursor, 3);
+                assert!(matches!(&deltas[0], Delta::Block(b) if b.task == t(1)));
+                assert!(matches!(&deltas[1], Delta::Block(b) if b.task == t(2)));
+                assert_eq!(deltas[2], Delta::Unblock(t(1)));
+            }
+            JournalRead::Behind => panic!("nothing truncated yet"),
+        }
+        // Resuming from the returned cursor yields only newer deltas.
+        reg.block(info(3));
+        match reg.deltas_since(3) {
+            JournalRead::Deltas(deltas, cursor) => {
+                assert_eq!(cursor, 4);
+                assert_eq!(deltas.len(), 1);
+            }
+            JournalRead::Behind => panic!("cursor 3 still retained"),
+        }
+    }
+
+    #[test]
+    fn unblock_of_unknown_task_is_not_journaled() {
+        let reg = Registry::new();
+        reg.unblock(t(42));
+        assert_eq!(reg.journal_cursor(), 0);
+    }
+
+    #[test]
+    fn bounded_journal_forces_resync() {
+        let reg = Registry::with_journal_capacity(2);
+        reg.block(info(1));
+        reg.block(info(2));
+        reg.block(info(3)); // truncates the first entry
+        assert_eq!(reg.deltas_since(0), JournalRead::Behind);
+        let (snap, cursor) = reg.snapshot_with_cursor();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(cursor, 3);
+        assert!(matches!(reg.deltas_since(cursor), JournalRead::Deltas(d, 3) if d.is_empty()));
+    }
+
+    #[test]
+    fn journaled_blocks_carry_their_epoch() {
+        let reg = Registry::new();
+        let epoch = reg.block(info(5));
+        match reg.deltas_since(0) {
+            JournalRead::Deltas(deltas, _) => {
+                assert!(matches!(&deltas[0], Delta::Block(b) if b.epoch == epoch));
+            }
+            JournalRead::Behind => panic!("retained"),
+        }
     }
 }

@@ -102,6 +102,18 @@ impl<N: Copy + Eq + Hash> DiGraph<N> {
         &self.nodes
     }
 
+    /// All distinct edges, in adjacency order (used by the incremental
+    /// engine's equivalence tests to compare edge sets).
+    pub fn edges(&self) -> Vec<(N, N)> {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(f, succs)| {
+                succs.iter().map(move |&t| (self.nodes[f], self.nodes[t as usize]))
+            })
+            .collect()
+    }
+
     /// Is `from → to` an edge?
     pub fn has_edge(&self, from: N, to: N) -> bool {
         match (self.index.get(&from), self.index.get(&to)) {

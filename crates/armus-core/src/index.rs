@@ -1,7 +1,10 @@
 //! A phaser-keyed index over a [`Snapshot`], shared by the WFG/SG/GRG
 //! constructions so each graph build is a single pass over blocked tasks.
+//! (The incremental engine maintains the same two mappings *persistently*,
+//! updated per delta; this index is the one-shot equivalent used by the
+//! from-scratch oracle builds and the canonical report path.)
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::deps::Snapshot;
 use crate::ids::{Phase, PhaserId, TaskId};
@@ -27,14 +30,14 @@ impl SnapshotIndex {
         let mut regs_by_phaser: HashMap<PhaserId, Vec<(TaskId, Phase)>> = HashMap::new();
         let mut waits_by_phaser: HashMap<PhaserId, Vec<Resource>> = HashMap::new();
         let mut wait_resources = Vec::new();
-        let mut seen: HashMap<Resource, ()> = HashMap::new();
+        let mut seen: HashSet<Resource> = HashSet::new();
 
         for info in &snapshot.tasks {
             for reg in &info.registered {
                 regs_by_phaser.entry(reg.phaser).or_default().push((info.task, reg.local_phase));
             }
             for &w in &info.waits {
-                if seen.insert(w, ()).is_none() {
+                if seen.insert(w) {
                     wait_resources.push(w);
                     waits_by_phaser.entry(w.phaser).or_default().push(w);
                 }

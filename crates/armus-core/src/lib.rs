@@ -21,6 +21,10 @@
 //!   events involved.
 //! * The **adaptive** builder ([`adaptive::build`]) picks the cheaper model
 //!   at run time.
+//! * The **incremental engine** ([`engine::IncrementalEngine`]) maintains
+//!   both graphs persistently from the registry's delta journal, so checks
+//!   cost `O(churn since the last check)` instead of `O(blocked tasks)`;
+//!   the from-scratch builders remain the oracle it is tested against.
 //! * The [`Verifier`] packages all of this behind `block`/`unblock` calls
 //!   made by a runtime (see the `armus-sync` crate) or a distributed site
 //!   (see `armus-dist`).
@@ -52,6 +56,7 @@
 pub mod adaptive;
 pub mod checker;
 pub mod deps;
+pub mod engine;
 pub mod error;
 pub mod graph;
 pub mod grg;
@@ -65,7 +70,8 @@ pub mod wfg;
 
 pub use adaptive::{GraphModel, ModelChoice, DEFAULT_SG_THRESHOLD};
 pub use checker::{CheckOutcome, CheckStats, CycleWitness, DeadlockReport};
-pub use deps::{BlockedInfo, Registry, Snapshot};
+pub use deps::{BlockedInfo, Delta, JournalRead, Registry, Snapshot, DEFAULT_JOURNAL_CAPACITY};
+pub use engine::IncrementalEngine;
 pub use error::DeadlockError;
 pub use ids::{Phase, PhaserId, TaskId};
 pub use resource::{Registration, Resource};

@@ -24,6 +24,9 @@ pub struct StatsCollector {
     sg_aborts: AtomicU64,
     blocks: AtomicU64,
     unblocks: AtomicU64,
+    deltas_applied: AtomicU64,
+    full_rebuilds: AtomicU64,
+    resyncs: AtomicU64,
 }
 
 impl StatsCollector {
@@ -62,6 +65,21 @@ impl StatsCollector {
         self.unblocks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one incremental-engine sync: how many journal deltas were
+    /// applied, and whether the engine had to resync from a full snapshot.
+    pub fn record_sync(&self, deltas_applied: usize, resynced: bool) {
+        self.deltas_applied.fetch_add(deltas_applied as u64, Ordering::Relaxed);
+        if resynced {
+            self.resyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a from-scratch graph rebuild (the engine's slow path: a
+    /// maintained-graph hit being confirmed into a canonical report).
+    pub fn record_full_rebuild(&self) {
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough copy for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -75,6 +93,9 @@ impl StatsCollector {
             sg_aborts: self.sg_aborts.load(Ordering::Relaxed),
             blocks: self.blocks.load(Ordering::Relaxed),
             unblocks: self.unblocks.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +123,14 @@ pub struct StatsSnapshot {
     pub blocks: u64,
     /// Unblocks.
     pub unblocks: u64,
+    /// Journal deltas applied to the incremental engine's maintained graph.
+    pub deltas_applied: u64,
+    /// From-scratch graph rebuilds (maintained-graph hits confirmed into
+    /// canonical reports) — the counterpart of `deltas_applied`.
+    pub full_rebuilds: u64,
+    /// Engine reloads from a full snapshot after falling behind the
+    /// bounded delta journal.
+    pub resyncs: u64,
 }
 
 impl StatsSnapshot {
@@ -165,6 +194,19 @@ mod tests {
         assert_eq!(s.blocks, 2);
         assert_eq!(s.unblocks, 1);
         assert_eq!(s.deadlocks, 1);
+    }
+
+    #[test]
+    fn engine_counters_accumulate() {
+        let c = StatsCollector::new();
+        c.record_sync(3, false);
+        c.record_sync(0, true);
+        c.record_sync(2, false);
+        c.record_full_rebuild();
+        let s = c.snapshot();
+        assert_eq!(s.deltas_applied, 5);
+        assert_eq!(s.resyncs, 1);
+        assert_eq!(s.full_rebuilds, 1);
     }
 
     #[test]

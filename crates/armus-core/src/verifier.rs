@@ -10,6 +10,12 @@
 //!   before reporting (sampling is racy; a task may have unblocked since
 //!   the snapshot was taken).
 //!
+//! Both modes check against the [`IncrementalEngine`]'s persistently
+//! maintained graph: a check consumes only the registry's journal deltas
+//! since the previous check instead of cloning the registry and rebuilding
+//! from scratch, so its cost tracks the *churn* since the last check, not
+//! the number of blocked tasks.
+//!
 //! Reports are retained for inspection and forwarded to subscribers (the
 //! runtime layer uses a subscriber to implement deadlock *recovery*).
 
@@ -19,8 +25,9 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::adaptive::{ModelChoice, DEFAULT_SG_THRESHOLD};
-use crate::checker::{self, DeadlockReport};
-use crate::deps::{BlockedInfo, Registry, Snapshot};
+use crate::checker::{self, CheckOutcome, DeadlockReport};
+use crate::deps::{BlockedInfo, JournalRead, Registry, Snapshot};
+use crate::engine::IncrementalEngine;
 use crate::error::DeadlockError;
 use crate::ids::TaskId;
 use crate::resource::{Registration, Resource};
@@ -137,6 +144,7 @@ impl MonitorSignal {
 pub struct Verifier {
     cfg: VerifierConfig,
     registry: Registry,
+    engine: Mutex<IncrementalEngine>,
     stats: StatsCollector,
     reports: Mutex<Vec<DeadlockReport>>,
     reported_sets: Mutex<Vec<Vec<TaskId>>>,
@@ -153,6 +161,7 @@ impl Verifier {
         let v = Arc::new(Verifier {
             cfg,
             registry: Registry::new(),
+            engine: Mutex::new(IncrementalEngine::new()),
             stats: StatsCollector::new(),
             reports: Mutex::new(Vec::new()),
             reported_sets: Mutex::new(Vec::new()),
@@ -204,9 +213,13 @@ impl Verifier {
             VerifyMode::Avoidance => {
                 self.stats.record_block();
                 self.registry.block(BlockedInfo::new(task, waits, registered));
-                let snapshot = self.registry.snapshot();
-                let outcome =
-                    checker::check_task(&snapshot, task, self.cfg.model, self.cfg.sg_threshold);
+                // The pre-block check runs on the maintained graph: apply
+                // the journal deltas since the last check (typically just
+                // this block), then search for a cycle through this task —
+                // no registry clone, no from-scratch rebuild.
+                let outcome = self.synced_check(|engine| {
+                    engine.check_task(task, self.cfg.model, self.cfg.sg_threshold)
+                });
                 self.stats.record_check(&outcome.stats);
                 match outcome.report {
                     None => Ok(()),
@@ -228,14 +241,37 @@ impl Verifier {
         }
     }
 
+    /// Syncs the engine with the registry (recording the delta/resync
+    /// stats) and runs `check` against the maintained graph. A returned
+    /// report means the slow path rebuilt a canonical graph — counted as a
+    /// full rebuild against the deltas applied on the fast path.
+    fn synced_check(&self, check: impl FnOnce(&IncrementalEngine) -> CheckOutcome) -> CheckOutcome {
+        let outcome = {
+            let mut engine = self.engine.lock();
+            let sync = engine.sync(&self.registry);
+            self.stats.record_sync(sync.deltas_applied, sync.resynced);
+            check(&engine)
+        };
+        if outcome.report.is_some() {
+            self.stats.record_full_rebuild();
+        }
+        outcome
+    }
+
     /// Runs a detection check right now (also used by the monitor thread).
-    /// Returns the confirmed report, if any.
+    /// Returns the confirmed report, if any. The check consumes only the
+    /// journal deltas since the previous sample.
     pub fn check_now(&self) -> Option<DeadlockReport> {
-        let snapshot = self.registry.snapshot();
-        if snapshot.is_empty() {
+        if self.registry.is_empty() {
+            // Keep the engine's cursor moving even when quiescent so a
+            // burst after a long idle stretch does not force a resync.
+            let mut engine = self.engine.lock();
+            let sync = engine.sync(&self.registry);
+            self.stats.record_sync(sync.deltas_applied, sync.resynced);
             return None;
         }
-        let outcome = checker::check(&snapshot, self.cfg.model, self.cfg.sg_threshold);
+        let outcome =
+            self.synced_check(|engine| engine.check_full(self.cfg.model, self.cfg.sg_threshold));
         self.stats.record_check(&outcome.stats);
         let report = outcome.report?;
         // Confirmation pass: every task in the cycle must still be in the
@@ -266,6 +302,23 @@ impl Verifier {
     /// sites to publish their partition).
     pub fn local_snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// The registry's journal deltas since `cursor` (used by distributed
+    /// sites to publish their partition incrementally).
+    pub fn deltas_since(&self, cursor: u64) -> JournalRead {
+        self.registry.deltas_since(cursor)
+    }
+
+    /// A full snapshot paired with a journal cursor, for delta consumers
+    /// joining or recovering (see [`Registry::snapshot_with_cursor`]).
+    pub fn snapshot_with_cursor(&self) -> (Snapshot, u64) {
+        self.registry.snapshot_with_cursor()
+    }
+
+    /// The current blocked status of one task (`O(1)`; no registry copy).
+    pub fn blocked_info(&self, task: TaskId) -> Option<BlockedInfo> {
+        self.registry.get(task)
     }
 
     /// Registers a subscriber invoked on every delivered report.
@@ -516,6 +569,51 @@ mod tests {
         let start = std::time::Instant::now();
         handle.join().unwrap();
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn avoidance_checks_consume_deltas_not_snapshots() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        for i in 0..5 {
+            v.block(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+        }
+        let s = v.stats();
+        // Each check applied exactly the one delta its block journaled.
+        assert_eq!(s.deltas_applied, 5);
+        assert_eq!(s.resyncs, 0);
+        assert_eq!(s.full_rebuilds, 0, "no deadlock, so no canonical rebuild");
+    }
+
+    #[test]
+    fn avoidance_deadlock_counts_one_full_rebuild() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        publish_example_deadlock(&v);
+        let s = v.stats();
+        assert_eq!(s.full_rebuilds, 1, "only the hit rebuilt a canonical graph");
+        assert!(s.deltas_applied >= 4);
+    }
+
+    #[test]
+    fn detection_checks_track_journal_deltas() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        publish_example_deadlock(&v);
+        assert!(v.check_now().is_some());
+        let s = v.stats();
+        assert_eq!(s.deltas_applied, 4);
+        assert_eq!(s.full_rebuilds, 1);
+        // A quiescent follow-up consumes nothing further.
+        assert!(v.check_now().is_none());
+        assert_eq!(v.stats().deltas_applied, 4);
+        v.shutdown();
+    }
+
+    #[test]
+    fn blocked_info_reads_without_a_snapshot() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        v.block(t(1), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+        let info = v.blocked_info(t(1)).expect("t1 is blocked");
+        assert_eq!(info.waits, vec![r(1, 1)]);
+        assert!(v.blocked_info(t(2)).is_none());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Equivalence suite for the incremental dependency engine: random
+//! block/unblock/check interleavings driven through the registry's delta
+//! journal, asserting after **every step** that the engine's maintained
+//! graphs equal the from-scratch `wfg`/`sg` oracle — vertex sets, edge
+//! sets, verdicts, and (for fixed models) byte-identical reports.
+//!
+//! The registry is given a tiny journal capacity so the interleavings also
+//! exercise the truncation → snapshot-resync path, and tasks re-block with
+//! changed statuses so replacement is covered too.
+
+use armus_core::engine::IncrementalEngine;
+use armus_core::{
+    checker, sg, wfg, BlockedInfo, ModelChoice, PhaserId, Registration, Registry, Resource, TaskId,
+};
+use proptest::prelude::*;
+
+/// One step of an interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    Block(BlockedInfo),
+    Unblock(TaskId),
+}
+
+/// An arbitrary blocked status over a small universe of phasers/phases
+/// (future-phase waits and unregistered-phaser waits included).
+fn arb_info(
+    max_tasks: u64,
+    max_phasers: u64,
+    max_phase: u64,
+) -> impl Strategy<Value = BlockedInfo> {
+    (
+        0..max_tasks,
+        1..=max_phasers,
+        0..=max_phase,
+        proptest::collection::vec((1..=max_phasers, 0..=max_phase), 0..4),
+    )
+        .prop_map(|(task, wait_ph, wait_phase, regs)| {
+            let mut regs: Vec<Registration> =
+                regs.into_iter().map(|(q, m)| Registration::new(PhaserId(q), m)).collect();
+            // One local phase per phaser (registry semantics).
+            regs.sort_by_key(|r| r.phaser);
+            regs.dedup_by_key(|r| r.phaser);
+            BlockedInfo::new(
+                TaskId(task),
+                vec![Resource::new(PhaserId(wait_ph), wait_phase + 1)],
+                regs,
+            )
+        })
+}
+
+fn arb_ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        arb_info(6, 4, 3).prop_map(Op::Block),
+        arb_info(6, 4, 3).prop_map(Op::Block),
+        (0u64..6).prop_map(|t| Op::Unblock(TaskId(t))),
+    ];
+    proptest::collection::vec(op, 1..=len)
+}
+
+/// Sorted copies of a DiGraph's vertex and edge sets.
+fn graph_sets<N: Copy + Ord + std::hash::Hash>(
+    g: &armus_core::graph::DiGraph<N>,
+) -> (Vec<N>, Vec<(N, N)>) {
+    let mut nodes = g.nodes().to_vec();
+    nodes.sort();
+    let mut edges = g.edges();
+    edges.sort();
+    (nodes, edges)
+}
+
+fn json<T: serde::Serialize>(value: &Option<T>) -> String {
+    match value {
+        None => "null".to_string(),
+        Some(v) => serde_json::to_string(v).expect("reports serialise"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After every step of a random interleaving, the engine's maintained
+    /// graphs and check results equal the from-scratch oracle's.
+    #[test]
+    fn engine_tracks_the_oracle_step_by_step(ops in arb_ops(24)) {
+        // Capacity 5 forces frequent Behind → snapshot resyncs.
+        let registry = Registry::with_journal_capacity(5);
+        let mut engine = IncrementalEngine::new();
+        for op in &ops {
+            let touched = match op {
+                Op::Block(info) => {
+                    registry.block(info.clone());
+                    info.task
+                }
+                Op::Unblock(task) => {
+                    registry.unblock(*task);
+                    *task
+                }
+            };
+            engine.sync(&registry);
+            let snap = registry.snapshot();
+
+            // Structural equivalence: both maintained models equal their
+            // from-scratch construction.
+            let (wfg_nodes, wfg_edges) = graph_sets(&wfg::wfg(&snap));
+            prop_assert_eq!(engine.wfg_vertex_list(), wfg_nodes);
+            prop_assert_eq!(engine.wfg_edge_list(), wfg_edges);
+            let (sg_nodes, sg_edges) = graph_sets(&sg::sg(&snap));
+            prop_assert_eq!(engine.sg_vertex_list(), sg_nodes);
+            prop_assert_eq!(engine.sg_edge_list(), sg_edges);
+            prop_assert_eq!(engine.blocked(), snap.len());
+
+            // Report equivalence: byte-identical for the fixed models,
+            // verdict-identical for Auto (whose model selection is
+            // legitimately rule-variant, see `adaptive::auto_pick`).
+            for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg] {
+                let ours = engine.check_full(choice, 2).report;
+                let oracle = checker::check(&snap, choice, 2).report;
+                prop_assert_eq!(json(&ours), json(&oracle), "full check, {}", choice);
+                let ours = engine.check_task(touched, choice, 2).report;
+                let oracle = checker::check_task(&snap, touched, choice, 2).report;
+                prop_assert_eq!(json(&ours), json(&oracle), "task check, {}", choice);
+            }
+            let ours = engine.check_full(ModelChoice::Auto, 2).report.is_some();
+            let oracle = checker::check(&snap, ModelChoice::Auto, 2).report.is_some();
+            prop_assert_eq!(ours, oracle, "auto verdict");
+        }
+
+        // Drain everything: the maintained structures must return to zero.
+        for task in 0..6 {
+            registry.unblock(TaskId(task));
+        }
+        engine.sync(&registry);
+        prop_assert_eq!(engine.blocked(), 0);
+        prop_assert_eq!(engine.sg_edge_count(), 0);
+        prop_assert_eq!(engine.wfg_edge_count(), 0);
+        prop_assert_eq!(engine.sg_vertex_list(), Vec::<Resource>::new());
+    }
+
+    /// An engine that only ever resyncs (fresh engine against the live
+    /// registry) agrees with one that followed the deltas throughout.
+    #[test]
+    fn resync_from_scratch_matches_delta_following(ops in arb_ops(16)) {
+        let registry = Registry::new();
+        let mut follower = IncrementalEngine::new();
+        for op in &ops {
+            match op {
+                Op::Block(info) => {
+                    registry.block(info.clone());
+                }
+                Op::Unblock(task) => registry.unblock(*task),
+            }
+            follower.sync(&registry);
+        }
+        let mut joiner = IncrementalEngine::new();
+        joiner.reset_to(&registry.snapshot());
+        prop_assert_eq!(joiner.wfg_edge_list(), follower.wfg_edge_list());
+        prop_assert_eq!(joiner.sg_edge_list(), follower.sg_edge_list());
+        prop_assert_eq!(joiner.sg_vertex_list(), follower.sg_vertex_list());
+        prop_assert_eq!(joiner.wfg_vertex_list(), follower.wfg_vertex_list());
+    }
+}

@@ -63,25 +63,61 @@ pub fn check_store(
     Ok(DistCheck { report: confirmed.then_some(report), stats })
 }
 
+/// Task sets a [`ReportDedup`] retains before evicting the least recently
+/// seen — bounds a long-running cluster checker's memory.
+pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
+
 /// Tracks already-reported deadlocks (by participating task set) so each
-/// site reports a given deadlock once.
-#[derive(Default)]
+/// site reports a given deadlock once. Bounded LRU: re-seeing a set
+/// refreshes it; past the capacity the least recently seen set is evicted
+/// (an evicted deadlock that somehow persists would be re-reported — the
+/// benign failure mode).
 pub struct ReportDedup {
-    seen: Vec<Vec<TaskId>>,
+    seen: std::collections::VecDeque<Vec<TaskId>>,
+    capacity: usize,
+}
+
+impl Default for ReportDedup {
+    fn default() -> Self {
+        ReportDedup::new()
+    }
 }
 
 impl ReportDedup {
-    /// Creates an empty dedup set.
+    /// Creates an empty dedup set with the default capacity.
     pub fn new() -> ReportDedup {
-        ReportDedup::default()
+        ReportDedup::with_capacity(DEFAULT_DEDUP_CAPACITY)
     }
 
-    /// Returns true when `report` is new (and records it).
+    /// Creates an empty dedup set retaining at most `capacity` task sets.
+    pub fn with_capacity(capacity: usize) -> ReportDedup {
+        assert!(capacity > 0, "dedup capacity must be positive");
+        ReportDedup { seen: std::collections::VecDeque::new(), capacity }
+    }
+
+    /// Number of retained task sets.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Returns true when `report` is new (and records it, evicting the
+    /// least recently seen set past the capacity).
     pub fn is_new(&mut self, report: &DeadlockReport) -> bool {
-        if self.seen.contains(&report.tasks) {
+        if let Some(at) = self.seen.iter().position(|s| s == &report.tasks) {
+            // Refresh recency: move to the back.
+            let set = self.seen.remove(at).expect("position is in range");
+            self.seen.push_back(set);
             return false;
         }
-        self.seen.push(report.tasks.clone());
+        self.seen.push_back(report.tasks.clone());
+        while self.seen.len() > self.capacity {
+            self.seen.pop_front();
+        }
         true
     }
 }
@@ -195,5 +231,29 @@ mod tests {
         let r2 =
             check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap().report.unwrap();
         assert!(!dedup.is_new(&r2));
+    }
+
+    fn report_over(tasks: Vec<TaskId>) -> DeadlockReport {
+        DeadlockReport {
+            tasks: tasks.clone(),
+            resources: vec![r(1, 1)],
+            model: armus_core::GraphModel::Wfg,
+            witness: armus_core::CycleWitness::Tasks(tasks.clone()),
+            task_epochs: tasks.into_iter().map(|t| (t, 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn dedup_is_bounded_with_lru_eviction() {
+        let mut dedup = ReportDedup::with_capacity(2);
+        let (a, b, c) = (report_over(vec![t(1)]), report_over(vec![t(2)]), report_over(vec![t(3)]));
+        assert!(dedup.is_new(&a));
+        assert!(dedup.is_new(&b));
+        // Re-seeing `a` refreshes it, so `b` is now least recent...
+        assert!(!dedup.is_new(&a));
+        assert!(dedup.is_new(&c)); // ...and gets evicted here.
+        assert_eq!(dedup.len(), 2);
+        assert!(dedup.is_new(&b), "evicted set is reported again");
+        assert!(!dedup.is_new(&c), "retained set still deduplicates");
     }
 }

@@ -39,6 +39,6 @@ pub mod site;
 pub mod store;
 
 pub use cluster::Cluster;
-pub use detector::{check_store, merge, DistCheck, ReportDedup};
+pub use detector::{check_store, merge, DistCheck, ReportDedup, DEFAULT_DEDUP_CAPACITY};
 pub use site::{Site, SiteConfig};
-pub use store::{FaultyStore, MemStore, SiteId, Store, StoreError};
+pub use store::{DeltaAck, FaultyStore, MemStore, SiteId, Store, StoreError};

@@ -2,18 +2,30 @@
 //! publisher thread, and an independent checker thread (paper §5.2: "all
 //! sites check for deadlocks"; "the deadlock checker executes at each site
 //! and does not depend on the cooperation of other sites").
+//!
+//! The publisher speaks the store's delta protocol: it tracks a journal
+//! cursor into its runtime's registry and normally ships only the deltas
+//! since its previous round — an empty interval when nothing changed,
+//! which doubles as a partition heartbeat. It falls back to a
+//! **full-snapshot resync** when it joins, when the bounded journal
+//! truncated past its cursor, or when the store NACKs the delta interval
+//! (partition lost, version mismatch, or a store without delta support) —
+//! so recovery never depends on delta continuity, and a lost partition is
+//! repaired within one round even from a fully quiescent site.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use armus_core::{DeadlockReport, ModelChoice, VerifierConfig, DEFAULT_SG_THRESHOLD};
+use armus_core::{
+    DeadlockReport, JournalRead, ModelChoice, Verifier, VerifierConfig, DEFAULT_SG_THRESHOLD,
+};
 use armus_sync::{Runtime, RuntimeConfig};
 use parking_lot::Mutex;
 
 use crate::detector::{check_store, ReportDedup};
-use crate::store::{SiteId, Store};
+use crate::store::{DeltaAck, SiteId, Store};
 
 /// Per-site verification configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,8 +58,49 @@ pub struct Site {
     stop: Arc<AtomicBool>,
     checker_stop: Arc<AtomicBool>,
     reports: Arc<Mutex<Vec<DeadlockReport>>>,
+    resyncs: Arc<AtomicU64>,
     publisher: Option<JoinHandle<()>>,
     checker: Option<JoinHandle<()>>,
+}
+
+/// One publisher round: ship the deltas since `cursor`, or a full
+/// versioned snapshot when not (or no longer) in sync. Returns the updated
+/// `(cursor, synced)` pair; store failures leave both untouched so the
+/// next round retries. Bumps `resyncs` per full-snapshot publish.
+fn publish_round(
+    store: &dyn Store,
+    verifier: &Verifier,
+    id: SiteId,
+    mut cursor: u64,
+    mut synced: bool,
+    resyncs: &AtomicU64,
+) -> (u64, bool) {
+    if synced {
+        match verifier.deltas_since(cursor) {
+            JournalRead::Deltas(deltas, next) => {
+                // Publish even when the interval is empty: it doubles as a
+                // partition heartbeat. A store that lost the partition
+                // NACKs it, triggering the resync below — crucial because
+                // a site whose tasks are all deadlocked is exactly
+                // quiescent, and its partition matters most then.
+                match store.publish_deltas(id, cursor, &deltas, next) {
+                    Ok(DeltaAck::Applied) => cursor = next,
+                    Ok(DeltaAck::NeedSnapshot) => synced = false,
+                    Err(_) => return (cursor, synced), // outage: retry later
+                }
+            }
+            JournalRead::Behind => synced = false,
+        }
+    }
+    if !synced {
+        let (snapshot, head) = verifier.snapshot_with_cursor();
+        if store.publish_full(id, snapshot, head).is_ok() {
+            cursor = head;
+            synced = true;
+            resyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    (cursor, synced)
 }
 
 impl Site {
@@ -59,17 +112,27 @@ impl Site {
         let stop = Arc::new(AtomicBool::new(false));
         let checker_stop = Arc::new(AtomicBool::new(false));
         let reports = Arc::new(Mutex::new(Vec::new()));
+        let resyncs = Arc::new(AtomicU64::new(0));
 
         let publisher = {
             let runtime = Arc::clone(&runtime);
             let store = Arc::clone(&store);
             let stop = Arc::clone(&stop);
+            let resyncs = Arc::clone(&resyncs);
             std::thread::Builder::new()
                 .name(format!("{id}-publisher"))
                 .spawn(move || {
+                    let mut cursor = 0u64;
+                    let mut synced = false; // first round publishes the join snapshot
                     while !stop.load(Ordering::SeqCst) {
-                        // Store failures are tolerated: skip the round.
-                        let _ = store.publish(id, runtime.verifier().local_snapshot());
+                        (cursor, synced) = publish_round(
+                            store.as_ref(),
+                            runtime.verifier(),
+                            id,
+                            cursor,
+                            synced,
+                            &resyncs,
+                        );
                         std::thread::sleep(cfg.publish_period);
                     }
                     let _ = store.remove(id);
@@ -107,6 +170,7 @@ impl Site {
             stop,
             checker_stop,
             reports,
+            resyncs,
             publisher: Some(publisher),
             checker: Some(checker),
         }
@@ -115,6 +179,12 @@ impl Site {
     /// This site's id.
     pub fn id(&self) -> SiteId {
         self.id
+    }
+
+    /// Full-snapshot publishes performed so far (the join counts as one;
+    /// anything beyond it is a recovery resync).
+    pub fn publish_resyncs(&self) -> u64 {
+        self.resyncs.load(Ordering::Relaxed)
     }
 
     /// The runtime workloads should use on this site.

@@ -9,11 +9,20 @@
 //! tolerate ("the algorithm resists (ii) because Redis itself is
 //! fault-tolerant" — here we instead *test* tolerance by making the store
 //! unavailable for windows of time).
+//!
+//! Partitions are updated **incrementally**: a site normally publishes only
+//! the journal [`Delta`]s since its previous publish
+//! ([`Store::publish_deltas`]), tagged with the journal interval they
+//! cover; the store applies them only when its recorded version matches
+//! the interval's base, and answers [`DeltaAck::NeedSnapshot`] otherwise.
+//! The full-snapshot path ([`Store::publish_full`]) remains for joins and
+//! recovery — a fresh site, a store that lost the partition, or a
+//! publisher whose journal truncated past its cursor.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use armus_core::Snapshot;
+use armus_core::{BlockedInfo, Delta, Snapshot, TaskId};
 use parking_lot::Mutex;
 
 /// A site (place) identifier.
@@ -41,10 +50,53 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// The store interface used by sites: publish-partition and fetch-all.
+/// The store's answer to a delta publish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaAck {
+    /// The deltas were applied; the partition is now at the new version.
+    Applied,
+    /// The store cannot apply the interval (unknown partition, version
+    /// mismatch, or no delta support): the site must resync with a full
+    /// snapshot via [`Store::publish_full`].
+    NeedSnapshot,
+}
+
+/// The store interface used by sites: publish-partition (full or
+/// delta-based) and fetch-all.
 pub trait Store: Send + Sync {
-    /// Replaces `site`'s partition of the global resource-dependency.
+    /// Replaces `site`'s partition of the global resource-dependency
+    /// (unversioned legacy path; a partition published this way always
+    /// NACKs subsequent delta publishes).
     fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError>;
+
+    /// Replaces `site`'s partition and records `version` (the publisher's
+    /// journal cursor) so that subsequent [`Store::publish_deltas`] calls
+    /// can resume from it. The default forwards to [`Store::publish`],
+    /// discarding the version — correct for stores without delta support.
+    fn publish_full(
+        &self,
+        site: SiteId,
+        partition: Snapshot,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        let _ = version;
+        self.publish(site, partition)
+    }
+
+    /// Applies the journal deltas covering versions `[base, next)` to
+    /// `site`'s partition, provided the stored version equals `base`. The
+    /// default declines ([`DeltaAck::NeedSnapshot`]), which makes every
+    /// site fall back to full publishes against delta-unaware stores.
+    fn publish_deltas(
+        &self,
+        site: SiteId,
+        base: u64,
+        deltas: &[Delta],
+        next: u64,
+    ) -> Result<DeltaAck, StoreError> {
+        let _ = (site, base, deltas, next);
+        Ok(DeltaAck::NeedSnapshot)
+    }
 
     /// Fetches every partition (the checker's global view).
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError>;
@@ -53,10 +105,28 @@ pub trait Store: Send + Sync {
     fn remove(&self, site: SiteId) -> Result<(), StoreError>;
 }
 
+/// One site's stored partition: the blocked map plus the journal version
+/// it is at (`None` for unversioned legacy publishes).
+#[derive(Default)]
+struct Partition {
+    version: Option<u64>,
+    tasks: HashMap<TaskId, BlockedInfo>,
+}
+
+impl Partition {
+    fn from_snapshot(snapshot: Snapshot, version: Option<u64>) -> Partition {
+        Partition { version, tasks: snapshot.tasks.into_iter().map(|b| (b.task, b)).collect() }
+    }
+
+    fn materialize(&self) -> Snapshot {
+        Snapshot::from_tasks(self.tasks.values().cloned().collect())
+    }
+}
+
 /// In-process store: the Redis stand-in.
 #[derive(Default)]
 pub struct MemStore {
-    partitions: Mutex<BTreeMap<SiteId, Snapshot>>,
+    partitions: Mutex<BTreeMap<SiteId, Partition>>,
 }
 
 impl MemStore {
@@ -68,12 +138,50 @@ impl MemStore {
 
 impl Store for MemStore {
     fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
-        self.partitions.lock().insert(site, partition);
+        self.partitions.lock().insert(site, Partition::from_snapshot(partition, None));
         Ok(())
     }
 
+    fn publish_full(
+        &self,
+        site: SiteId,
+        partition: Snapshot,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        self.partitions.lock().insert(site, Partition::from_snapshot(partition, Some(version)));
+        Ok(())
+    }
+
+    fn publish_deltas(
+        &self,
+        site: SiteId,
+        base: u64,
+        deltas: &[Delta],
+        next: u64,
+    ) -> Result<DeltaAck, StoreError> {
+        let mut partitions = self.partitions.lock();
+        let Some(partition) = partitions.get_mut(&site) else {
+            return Ok(DeltaAck::NeedSnapshot);
+        };
+        if partition.version != Some(base) {
+            return Ok(DeltaAck::NeedSnapshot);
+        }
+        for delta in deltas {
+            match delta {
+                Delta::Block(info) => {
+                    partition.tasks.insert(info.task, info.clone());
+                }
+                Delta::Unblock(task) => {
+                    partition.tasks.remove(task);
+                }
+            }
+        }
+        partition.version = Some(next);
+        Ok(DeltaAck::Applied)
+    }
+
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
-        Ok(self.partitions.lock().iter().map(|(&s, p)| (s, p.clone())).collect())
+        Ok(self.partitions.lock().iter().map(|(&s, p)| (s, p.materialize())).collect())
     }
 
     fn remove(&self, site: SiteId) -> Result<(), StoreError> {
@@ -88,6 +196,7 @@ pub struct FaultyStore<S> {
     inner: S,
     available: AtomicBool,
     publishes: AtomicU64,
+    delta_publishes: AtomicU64,
     fetches: AtomicU64,
     rejected: AtomicU64,
 }
@@ -99,6 +208,7 @@ impl<S: Store> FaultyStore<S> {
             inner,
             available: AtomicBool::new(true),
             publishes: AtomicU64::new(0),
+            delta_publishes: AtomicU64::new(0),
             fetches: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         }
@@ -114,9 +224,14 @@ impl<S: Store> FaultyStore<S> {
         self.available.load(Ordering::SeqCst)
     }
 
-    /// Successful publishes so far.
+    /// Successful full (snapshot) publishes so far.
     pub fn publish_count(&self) -> u64 {
         self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Successful delta publishes so far.
+    pub fn delta_publish_count(&self) -> u64 {
+        self.delta_publishes.load(Ordering::Relaxed)
     }
 
     /// Successful fetches so far.
@@ -144,6 +259,29 @@ impl<S: Store> Store for FaultyStore<S> {
         self.gate()?;
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.inner.publish(site, partition)
+    }
+
+    fn publish_full(
+        &self,
+        site: SiteId,
+        partition: Snapshot,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        self.gate()?;
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.inner.publish_full(site, partition, version)
+    }
+
+    fn publish_deltas(
+        &self,
+        site: SiteId,
+        base: u64,
+        deltas: &[Delta],
+        next: u64,
+    ) -> Result<DeltaAck, StoreError> {
+        self.gate()?;
+        self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+        self.inner.publish_deltas(site, base, deltas, next)
     }
 
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
@@ -205,6 +343,68 @@ mod tests {
         let all = store.fetch_all().unwrap();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].1.tasks[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn delta_publish_requires_a_versioned_base() {
+        let store = MemStore::new();
+        let block = |task: u64| {
+            Delta::Block(BlockedInfo::new(
+                TaskId(task),
+                vec![Resource::new(PhaserId(1), 1)],
+                vec![Registration::new(PhaserId(1), 1)],
+            ))
+        };
+        // No partition yet: a delta publish must demand a snapshot.
+        assert_eq!(
+            store.publish_deltas(SiteId(0), 0, &[block(1)], 1).unwrap(),
+            DeltaAck::NeedSnapshot
+        );
+        // Join: full publish at version 3, then deltas resume from it.
+        store.publish_full(SiteId(0), snap(1), 3).unwrap();
+        assert_eq!(
+            store.publish_deltas(SiteId(0), 3, &[block(2), Delta::Unblock(TaskId(1))], 5).unwrap(),
+            DeltaAck::Applied
+        );
+        let all = store.fetch_all().unwrap();
+        assert_eq!(all[0].1.tasks.iter().map(|b| b.task).collect::<Vec<_>>(), vec![TaskId(2)]);
+        // A gap (base mismatch) forces a resync instead of corrupting state.
+        assert_eq!(
+            store.publish_deltas(SiteId(0), 9, &[block(3)], 10).unwrap(),
+            DeltaAck::NeedSnapshot
+        );
+        assert_eq!(store.fetch_all().unwrap()[0].1.len(), 1, "rejected deltas must not apply");
+    }
+
+    #[test]
+    fn legacy_publish_invalidates_the_delta_stream() {
+        let store = MemStore::new();
+        store.publish_full(SiteId(0), snap(1), 1).unwrap();
+        store.publish(SiteId(0), snap(2)).unwrap(); // unversioned replace
+        assert_eq!(
+            store.publish_deltas(SiteId(0), 1, &[Delta::Unblock(TaskId(2))], 2).unwrap(),
+            DeltaAck::NeedSnapshot
+        );
+    }
+
+    #[test]
+    fn default_trait_impl_declines_deltas() {
+        // A minimal store that only implements the required methods.
+        struct SnapshotOnly(MemStore);
+        impl Store for SnapshotOnly {
+            fn publish(&self, s: SiteId, p: Snapshot) -> Result<(), StoreError> {
+                self.0.publish(s, p)
+            }
+            fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+                self.0.fetch_all()
+            }
+            fn remove(&self, s: SiteId) -> Result<(), StoreError> {
+                self.0.remove(s)
+            }
+        }
+        let store = SnapshotOnly(MemStore::new());
+        store.publish_full(SiteId(0), snap(1), 7).unwrap();
+        assert_eq!(store.publish_deltas(SiteId(0), 7, &[], 7).unwrap(), DeltaAck::NeedSnapshot);
     }
 
     #[test]

@@ -165,6 +165,41 @@ fn site_partitions_are_disjoint_and_replaced() {
 }
 
 #[test]
+fn steady_state_publishes_deltas_not_snapshots() {
+    let cluster = Cluster::start(2, fast_cfg());
+    // Churn blocked statuses so the journal has deltas to ship.
+    cluster.run_on_all(|_i, rt| clean_workload(rt).unwrap());
+    assert!(
+        eventually(Duration::from_secs(5), || cluster.store().delta_publish_count() > 0),
+        "steady-state publishing must use the delta path"
+    );
+    // Each site resynced exactly once: the join snapshot.
+    for site in cluster.sites() {
+        assert_eq!(site.publish_resyncs(), 1, "{}: no recovery resync was needed", site.id());
+    }
+    cluster.stop();
+}
+
+#[test]
+fn lost_partition_recovers_with_a_full_snapshot() {
+    let cluster = Cluster::start(1, fast_cfg());
+    // Let the join snapshot land.
+    assert!(eventually(Duration::from_secs(5), || cluster.sites()[0].publish_resyncs() == 1));
+    // Simulate store-side data loss: the partition vanishes. The site is
+    // completely quiescent (no block/unblock churn) — the worst case,
+    // since a fully-deadlocked site produces no deltas either — so the
+    // recovery must come from the heartbeat NACK alone.
+    cluster.store().remove(armus_dist::SiteId(0)).unwrap();
+    assert!(
+        eventually(Duration::from_secs(5), || cluster.sites()[0].publish_resyncs() >= 2),
+        "recovery after partition loss must resync even when quiescent"
+    );
+    // And the partition is back for the checkers to merge.
+    assert!(cluster.store().fetch_all().unwrap().iter().any(|(s, _)| *s == armus_dist::SiteId(0)));
+    cluster.stop();
+}
+
+#[test]
 fn stopping_a_site_removes_its_partition() {
     let cluster = Cluster::start(2, fast_cfg());
     let store = Arc::clone(cluster.store());

@@ -88,6 +88,8 @@ fn main() {
             buf
         }
     };
+    // Hand-written JSON may list tasks in any order; deserialisation
+    // sorts, so `Snapshot::get`'s invariant holds from here on.
     let snapshot: Snapshot = serde_json::from_str(&text).unwrap_or_else(|e| {
         eprintln!("invalid snapshot JSON: {e}");
         std::process::exit(1);

@@ -48,6 +48,43 @@ fn avoidance_and_detection_runtimes_construct() {
     }
 }
 
+/// The incremental-engine counters are part of the stats surface: the
+/// avoidance hot path applies journal deltas, and only a deadlock hit
+/// pays for a from-scratch rebuild.
+#[test]
+fn incremental_engine_stats_surface() {
+    use armus::core::{Registration, Resource};
+    let v = Verifier::new(VerifierConfig::avoidance());
+    let p = |n: u64| PhaserId(n);
+    // Three independent blocked tasks: three checks, three deltas, no hit.
+    for i in 1..=3u64 {
+        v.block(TaskId(i), vec![Resource::new(p(i), 1)], vec![Registration::new(p(i), 1)])
+            .expect("independent waits cannot deadlock");
+    }
+    let s = v.stats();
+    assert_eq!(s.deltas_applied, 3);
+    assert_eq!(s.full_rebuilds, 0);
+    assert_eq!(s.resyncs, 0);
+    // Crossed waits: the closing block is a hit, confirmed by one
+    // canonical from-scratch rebuild.
+    v.block(
+        TaskId(10),
+        vec![Resource::new(p(10), 1)],
+        vec![Registration::new(p(10), 1), Registration::new(p(11), 0)],
+    )
+    .expect("first half of the cross");
+    v.block(
+        TaskId(11),
+        vec![Resource::new(p(11), 1)],
+        vec![Registration::new(p(10), 0), Registration::new(p(11), 1)],
+    )
+    .expect_err("closing the cross must raise");
+    let s = v.stats();
+    assert_eq!(s.full_rebuilds, 1);
+    assert!(s.deltas_applied >= 5);
+    assert_eq!(s.resyncs, 0);
+}
+
 /// The prelude names the sync primitives the README advertises.
 #[test]
 fn prelude_sync_primitives_construct() {
