@@ -58,6 +58,72 @@ impl std::fmt::Display for DeadlockReport {
     }
 }
 
+/// Task sets a [`ReportDedup`] retains before evicting the least recently
+/// seen — bounds a long-running checker's memory.
+pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
+
+/// Tracks already-reported deadlocks (by participating task set) so a
+/// long-running checker reports a given deadlock once. Bounded LRU:
+/// re-seeing a set refreshes it; past the capacity the least recently seen
+/// set is evicted (an evicted deadlock that somehow persists would be
+/// re-reported — the benign failure mode). Used by the [`crate::Verifier`]
+/// in detection mode and by the distributed cluster checker.
+pub struct ReportDedup {
+    seen: std::collections::VecDeque<Vec<TaskId>>,
+    capacity: usize,
+}
+
+impl Default for ReportDedup {
+    fn default() -> Self {
+        ReportDedup::new()
+    }
+}
+
+impl ReportDedup {
+    /// Creates an empty dedup set with the default capacity.
+    pub fn new() -> ReportDedup {
+        ReportDedup::with_capacity(DEFAULT_DEDUP_CAPACITY)
+    }
+
+    /// Creates an empty dedup set retaining at most `capacity` task sets.
+    pub fn with_capacity(capacity: usize) -> ReportDedup {
+        assert!(capacity > 0, "dedup capacity must be positive");
+        ReportDedup { seen: std::collections::VecDeque::new(), capacity }
+    }
+
+    /// Number of retained task sets.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Returns true when `report` is new (and records it, evicting the
+    /// least recently seen set past the capacity).
+    pub fn is_new(&mut self, report: &DeadlockReport) -> bool {
+        self.is_new_set(&report.tasks)
+    }
+
+    /// Task-set form of [`ReportDedup::is_new`], for callers that only
+    /// have the participating tasks at hand.
+    pub fn is_new_set(&mut self, tasks: &[TaskId]) -> bool {
+        if let Some(at) = self.seen.iter().position(|s| s == tasks) {
+            // Refresh recency: move to the back.
+            let set = self.seen.remove(at).expect("position is in range");
+            self.seen.push_back(set);
+            return false;
+        }
+        self.seen.push_back(tasks.to_vec());
+        while self.seen.len() > self.capacity {
+            self.seen.pop_front();
+        }
+        true
+    }
+}
+
 /// Statistics of a single check, fed to [`crate::stats::StatsCollector`]
 /// and ultimately to Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -376,5 +442,27 @@ mod tests {
         for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
             assert!(check(&Snapshot::empty(), choice, 2).report.is_none());
         }
+    }
+
+    #[test]
+    fn report_dedup_is_a_bounded_lru() {
+        let mut dedup = ReportDedup::with_capacity(2);
+        assert!(dedup.is_new_set(&[t(1)]));
+        assert!(dedup.is_new_set(&[t(2)]));
+        assert!(!dedup.is_new_set(&[t(1)]), "re-seen set is suppressed");
+        // t1 was refreshed; inserting a third evicts t2, the least recent.
+        assert!(dedup.is_new_set(&[t(3)]));
+        assert_eq!(dedup.len(), 2);
+        assert!(dedup.is_new_set(&[t(2)]), "evicted set reports again");
+        assert!(!dedup.is_new_set(&[t(3)]));
+    }
+
+    #[test]
+    fn report_dedup_set_and_report_forms_agree() {
+        let out = check(&deadlocked_snapshot(), ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
+        let report = out.report.unwrap();
+        let mut dedup = ReportDedup::new();
+        assert!(dedup.is_new(&report));
+        assert!(!dedup.is_new_set(&report.tasks));
     }
 }

@@ -21,13 +21,38 @@
 //! consumer that falls behind the bounded journal resyncs from a full
 //! point-in-time copy ([`Registry::snapshot_with_cursor`]).
 //!
-//! The journal append is a single cross-shard lock: concurrent publishes
-//! from different tasks now serialise briefly on it (the price of a
-//! totally ordered delta stream). The append is a few pushes — far
-//! cheaper than the full-registry clone every *check* used to pay — but
-//! if update-side scaling ever dominates, the journal can be striped per
-//! shard with a `(shard, seq)` merge cursor without changing consumers'
-//! semantics.
+//! The journal is **striped per shard**: every shard keeps its own stripe
+//! of `(sequence, delta)` entries, and sequence numbers come from one
+//! global atomic counter. A publish therefore touches exactly one lock —
+//! its task's shard — plus one uncontended-by-design `fetch_add`;
+//! producers on different shards never serialise against each other.
+//! Consumers still see one totally ordered delta stream:
+//! [`Registry::deltas_since`] merges the stripes by sequence number, and
+//! the stripe append happens under the same shard lock as the sequence
+//! allocation, so every sequence number below an observed head is already
+//! visible in its stripe by the time the reader acquires that shard's
+//! lock (no gaps). Retention is a *sequence window*: an entry is
+//! guaranteed retained while it is within `capacity` of the head, and a
+//! cursor that has fallen out of the window reads [`JournalRead::Behind`]
+//! and resyncs from [`Registry::snapshot_with_cursor`].
+//!
+//! The registry additionally maintains (when enabled — see
+//! [`Registry::with_options`]) a sharded per-resource waiter count and an
+//! atomic count of **distinct currently-awaited resources**
+//! ([`Registry::distinct_waited`]). This powers the verifier's
+//! resource-cardinality fast path: a deadlock cycle over tasks that do
+//! not impede their own waits spans at least two distinct awaited
+//! resources, so an avoidance check that observes fewer than two can
+//! return "no cycle" without touching the engine lock. Publishers of the
+//! *same* resource do serialise briefly on its count entry — that exact
+//! shared count is what the fast path's soundness argument needs — but
+//! the critical section is a hash-map increment, orders of magnitude
+//! shorter than the engine lock (journal sync + graph search) it spares. The ordering
+//! argument lives on [`Registry::block`]: every blocker journals, then
+//! counts its waits, then (in the verifier) reads the distinct count, so
+//! the member whose read is latest — in particular the one that completes
+//! a cycle — observes every other member's contribution and takes the
+//! slow path, whose journal sync in turn observes their deltas.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -157,55 +182,82 @@ pub enum JournalRead {
     Behind,
 }
 
-/// Default number of journal entries retained before the oldest are
-/// truncated (forcing slow consumers into a snapshot resync).
+/// Default length of the journal's retained sequence window: entries this
+/// close to the head are guaranteed readable; older cursors must resync.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
 
-/// The bounded delta journal: entry `i` of `entries` has sequence number
-/// `base + i`; the next delta to be appended gets `base + entries.len()`.
-struct Journal {
-    base: u64,
-    entries: VecDeque<Delta>,
-    capacity: usize,
-}
-
-impl Journal {
-    fn push(&mut self, delta: Delta) {
-        self.entries.push_back(delta);
-        while self.entries.len() > self.capacity {
-            self.entries.pop_front();
-            self.base += 1;
-        }
-    }
-
-    fn head(&self) -> u64 {
-        self.base + self.entries.len() as u64
-    }
-
-    fn since(&self, cursor: u64) -> JournalRead {
-        if cursor < self.base {
-            return JournalRead::Behind;
-        }
-        let skip = (cursor - self.base) as usize;
-        JournalRead::Deltas(self.entries.iter().skip(skip).cloned().collect(), self.head())
-    }
-}
-
-/// Number of shards. A modest power of two: enough to keep unrelated tasks
-/// off each other's locks without bloating the snapshot pass.
+/// Number of task shards. A modest power of two: enough to keep unrelated
+/// tasks off each other's locks without bloating the snapshot pass.
 const SHARDS: usize = 32;
+
+/// Number of resource-count shards for the distinct-awaited tracking.
+const WAIT_SHARDS: usize = 32;
+
+/// One task shard: its slice of the blocked-task map plus its stripe of
+/// the delta journal. Sequence numbers within a stripe are strictly
+/// increasing (they are allocated under this shard's lock), so pruning
+/// from the front always drops the stripe's oldest sequences first.
+#[derive(Default)]
+struct Shard {
+    tasks: HashMap<TaskId, BlockedInfo>,
+    stripe: VecDeque<(u64, Delta)>,
+}
+
+/// Hint value announcing an append in progress (see [`ShardSlot::hint`]).
+const HINT_BUSY: u64 = u64::MAX;
+
+/// A shard and its lock-free journal hint.
+#[derive(Default)]
+struct ShardSlot {
+    state: Mutex<Shard>,
+    /// One past the stripe's highest appended sequence number (0 when the
+    /// stripe has never been appended to), or [`HINT_BUSY`] while an
+    /// append is in flight. Lets [`Registry::deltas_since`] skip shards
+    /// that cannot contain entries at or past its cursor without taking
+    /// their locks.
+    ///
+    /// Soundness of the skip (`hint <= cursor` ⇒ no stripe entry with
+    /// sequence ≥ cursor): a writer stores `HINT_BUSY` *before*
+    /// allocating its sequence number and stores `seq + 1` after
+    /// appending — all `SeqCst`, as are the allocation and the reader's
+    /// head load. A stripe entry `seq' ∈ [cursor, head)` implies its
+    /// allocation precedes the reader's head load in the `SeqCst` order,
+    /// so the writer's `HINT_BUSY` store precedes the reader's hint load;
+    /// every hint store from then on is either `HINT_BUSY` or ≥ seq' + 1
+    /// (stripe maxima are monotone; pruning never lowers the hint), so
+    /// the reader cannot read a value ≤ cursor and skip the entry.
+    hint: AtomicU64,
+}
 
 /// Sharded registry of blocked tasks: the run-time materialisation of the
 /// resource-dependency state.
 ///
-/// Updates (`block`/`unblock`) touch one shard plus the journal; the
-/// incremental engine and other consumers pull journal deltas instead of
-/// copying all shards.
+/// Updates (`block`/`unblock`) touch exactly one shard lock (map mutation
+/// and journal-stripe append together) plus per-resource count shards; the
+/// incremental engine and other consumers pull merged journal deltas
+/// instead of copying all shards.
 pub struct Registry {
-    shards: Vec<Mutex<HashMap<TaskId, BlockedInfo>>>,
+    shards: Vec<ShardSlot>,
+    /// Per-resource waiter counts, sharded by resource hash.
+    waited: Vec<Mutex<HashMap<Resource, usize>>>,
+    /// Distinct resources with at least one current waiter. `SeqCst`: the
+    /// verifier's fast path relies on the total order of count updates and
+    /// reads (see [`Registry::block`]).
+    distinct_waited: AtomicUsize,
     len: AtomicUsize,
     next_epoch: AtomicU64,
-    journal: Mutex<Journal>,
+    /// Global journal sequence: the next sequence number to allocate, and
+    /// therefore also the journal head.
+    next_seq: AtomicU64,
+    /// One past the highest sequence number any stripe has pruned — the
+    /// minimum safe consumer cursor.
+    dropped_head: AtomicU64,
+    /// Length of the retained sequence window.
+    capacity: u64,
+    /// Whether per-resource waiter counts are maintained. Only the
+    /// avoidance fast path reads them; a detection/publish-only registry
+    /// skips the bookkeeping entirely.
+    track_waited: bool,
 }
 
 impl Default for Registry {
@@ -215,81 +267,278 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry with the default journal capacity.
+    /// Creates an empty registry with the default journal capacity and
+    /// no distinct-awaited tracking (the avoidance verifier — the one
+    /// consumer of [`Registry::distinct_waited`] — opts in explicitly
+    /// via [`Registry::with_options`]; everyone else should not pay the
+    /// per-wait bookkeeping).
     pub fn new() -> Registry {
         Registry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
     }
 
-    /// Creates an empty registry retaining at most `capacity` journal
-    /// entries (tests use small capacities to exercise the resync path).
+    /// Creates an empty registry whose journal window spans `capacity`
+    /// sequence numbers (tests use small capacities to exercise the
+    /// resync path). Distinct-awaited tracking is off, as in
+    /// [`Registry::new`].
     pub fn with_journal_capacity(capacity: usize) -> Registry {
+        Registry::with_options(capacity, false)
+    }
+
+    /// Creates an empty registry, additionally controlling whether the
+    /// distinct-awaited resource counts are maintained. A consumer that
+    /// never reads [`Registry::distinct_waited`] (detection and
+    /// publish-only verifiers) passes `false` and skips the per-resource
+    /// bookkeeping on every block/unblock.
+    pub fn with_options(capacity: usize, track_waited: bool) -> Registry {
         Registry {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| ShardSlot::default()).collect(),
+            waited: (0..WAIT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            distinct_waited: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             next_epoch: AtomicU64::new(1),
-            journal: Mutex::new(Journal { base: 0, entries: VecDeque::new(), capacity }),
+            next_seq: AtomicU64::new(0),
+            dropped_head: AtomicU64::new(0),
+            capacity: capacity as u64,
+            track_waited,
         }
     }
 
-    fn shard(&self, task: TaskId) -> &Mutex<HashMap<TaskId, BlockedInfo>> {
+    fn shard(&self, task: TaskId) -> &ShardSlot {
         &self.shards[(task.0 as usize) % SHARDS]
+    }
+
+    fn wait_shard(&self, r: Resource) -> &Mutex<HashMap<Resource, usize>> {
+        // Cheap mix of phaser and phase; only distribution matters.
+        let h = r.phaser.0.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(r.phase);
+        &self.waited[(h as usize) % WAIT_SHARDS]
+    }
+
+    /// Appends `delta` to the slot's journal stripe under the shard lock,
+    /// allocating its global sequence number, and prunes stripe entries
+    /// that have left the retained window. The slot's hint is parked at
+    /// [`HINT_BUSY`] *before* the sequence allocation (see the soundness
+    /// note on [`ShardSlot::hint`]).
+    fn journal_append(&self, slot: &ShardSlot, shard: &mut Shard, delta: Delta) {
+        slot.hint.store(HINT_BUSY, Ordering::SeqCst);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        shard.stripe.push_back((seq, delta));
+        // Retained window: sequences >= head - capacity, head = seq + 1.
+        let floor = (seq + 1).saturating_sub(self.capacity);
+        self.prune_stripe(shard, floor);
+        slot.hint.store(seq + 1, Ordering::SeqCst);
+        // A stripe is otherwise only pruned by its own appends, so a
+        // shard that goes quiet would retain its out-of-window entries
+        // forever (bounding memory at SHARDS × window instead of one
+        // window). Opportunistically sweep one round-robin victim per
+        // append; `try_lock` keeps writers from ever blocking on (or
+        // deadlocking with) each other's shards.
+        let victim = &self.shards[(seq as usize) % SHARDS];
+        if !std::ptr::eq(victim, slot) {
+            if let Some(mut guard) = victim.state.try_lock() {
+                self.prune_stripe(&mut guard, floor);
+            }
+        }
+    }
+
+    /// Drops stripe entries that have left the retained window,
+    /// advancing `dropped_head` past them. Never touches in-window
+    /// entries, so the stripe's max sequence (the hint) is unaffected.
+    fn prune_stripe(&self, shard: &mut Shard, floor: u64) {
+        while shard.stripe.front().map(|&(s, _)| s < floor).unwrap_or(false) {
+            let (dropped, _) = shard.stripe.pop_front().expect("front checked");
+            self.dropped_head.fetch_max(dropped + 1, Ordering::SeqCst);
+        }
+    }
+
+    /// Bumps the waiter count of every wait occurrence in `waits`
+    /// (multiset semantics: duplicates count twice and are balanced by
+    /// [`Registry::discount_waits`]). Same-resource publishers serialise
+    /// briefly on the resource's count entry — that exact shared count is
+    /// what the fast path's ordering argument needs, and the critical
+    /// section is a hash-map increment, orders of magnitude shorter than
+    /// the engine lock it spares.
+    fn count_waits(&self, waits: &[Resource]) {
+        if !self.track_waited {
+            return;
+        }
+        for &w in waits {
+            let mut counts = self.wait_shard(w).lock();
+            let c = counts.entry(w).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                self.distinct_waited.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Exact mirror of [`Registry::count_waits`].
+    fn discount_waits(&self, waits: &[Resource]) {
+        if !self.track_waited {
+            return;
+        }
+        for &w in waits {
+            let mut counts = self.wait_shard(w).lock();
+            let c = counts.get_mut(&w).expect("discounting a wait that was never counted");
+            *c -= 1;
+            if *c == 0 {
+                counts.remove(&w);
+                self.distinct_waited.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Distinct resources currently awaited by at least one blocked task.
+    ///
+    /// The count is eventually consistent but *ordered*: a blocker's own
+    /// waits are counted before `block` returns, so a reader that blocks
+    /// first and reads afterwards sees its own contribution, and the
+    /// member whose read is latest in the `SeqCst` order sees every
+    /// already-blocked member's contribution. That is exactly the
+    /// guarantee the verifier's resource-cardinality fast path needs.
+    ///
+    /// When tracking is disabled ([`Registry::with_options`]) this
+    /// returns `usize::MAX`, so a caller that consults it anyway can
+    /// never conclude "no cycle possible" from an unmaintained count.
+    pub fn distinct_waited(&self) -> usize {
+        if !self.track_waited {
+            return usize::MAX;
+        }
+        self.distinct_waited.load(Ordering::SeqCst)
     }
 
     /// Records `info.task` as blocked, assigning a fresh epoch which is
     /// returned (and stored in the registry copy).
     ///
-    /// The shard lock is held across the journal append so that, per task,
-    /// journal order matches shard-application order — the lock order is
-    /// always shard → journal, and no journal holder takes a shard lock,
-    /// so this cannot deadlock.
+    /// Ordering (load-bearing for the lock-free consumers):
+    /// 1. *Under the task's shard lock*: sequence allocation, map upsert,
+    ///    journal-stripe append. Journal order therefore matches
+    ///    shard-application order per task, and any sequence number below
+    ///    an observed head is visible in its stripe by the time a reader
+    ///    acquires the shard lock.
+    /// 2. *After releasing the shard lock*: the new status's waits are
+    ///    counted, then (for a re-block) the replaced status's waits are
+    ///    discounted — in that order, so a resource shared by both stays
+    ///    continuously counted.
+    ///
+    /// A fast-path reader reads [`Registry::distinct_waited`] only after
+    /// its own `block` returned, i.e. after its own journal append *and*
+    /// count. Members of any deadlock cycle never unblock, so the member
+    /// whose read is latest observes every member's count (each precedes
+    /// its owner's earlier-or-equal read) — at least two distinct
+    /// resources for any cycle among non-self-impeding tasks — and takes
+    /// the slow path, whose journal sync then also observes every
+    /// member's append.
     pub fn block(&self, mut info: BlockedInfo) -> u64 {
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         info.epoch = epoch;
-        let mut shard = self.shard(info.task).lock();
-        let prev = shard.insert(info.task, info.clone());
-        if prev.is_none() {
-            self.len.fetch_add(1, Ordering::Relaxed);
+        let prev = {
+            let slot = self.shard(info.task);
+            let mut shard = slot.state.lock();
+            let prev = shard.tasks.insert(info.task, info.clone());
+            self.journal_append(slot, &mut shard, Delta::Block(info.clone()));
+            prev
+        };
+        self.count_waits(&info.waits);
+        match prev {
+            None => {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(prev) => self.discount_waits(&prev.waits),
         }
-        self.journal.lock().push(Delta::Block(info));
         epoch
     }
 
     /// Removes the blocked record of `task` (the task resumed, was
-    /// deregistered, or its avoidance check failed).
+    /// deregistered, or its avoidance check failed). The withdrawn waits
+    /// are discounted only *after* the record is gone from the shard, so
+    /// the distinct-awaited count never under-approximates live waiters.
     pub fn unblock(&self, task: TaskId) {
-        let mut shard = self.shard(task).lock();
-        if shard.remove(&task).is_some() {
+        let removed = {
+            let slot = self.shard(task);
+            let mut shard = slot.state.lock();
+            match shard.tasks.remove(&task) {
+                None => None,
+                Some(prev) => {
+                    self.journal_append(slot, &mut shard, Delta::Unblock(task));
+                    Some(prev)
+                }
+            }
+        };
+        if let Some(prev) = removed {
             self.len.fetch_sub(1, Ordering::Relaxed);
-            self.journal.lock().push(Delta::Unblock(task));
+            self.discount_waits(&prev.waits);
         }
     }
 
     /// The blocked status of `task`, if currently recorded. `O(1)`: one
     /// shard lookup, no full-registry copy.
     pub fn get(&self, task: TaskId) -> Option<BlockedInfo> {
-        self.shard(task).lock().get(&task).cloned()
+        self.shard(task).state.lock().tasks.get(&task).cloned()
     }
 
-    /// The journal deltas appended since `cursor`, or [`JournalRead::Behind`]
-    /// when the bounded journal has truncated past it.
+    /// The journal deltas appended since `cursor`, merged across the
+    /// per-shard stripes into sequence order, or [`JournalRead::Behind`]
+    /// when `cursor` has left the retained window.
+    ///
+    /// The head is read *first*: every sequence number below it was
+    /// allocated — and appended to its stripe — under a shard lock this
+    /// reader subsequently acquires, so the merged read has no gaps. A
+    /// concurrent append can advance the window past `cursor` while the
+    /// stripes are being read; the `dropped_head` re-check afterwards
+    /// turns that race into an explicit `Behind`.
     pub fn deltas_since(&self, cursor: u64) -> JournalRead {
-        self.journal.lock().since(cursor)
+        let head = self.next_seq.load(Ordering::SeqCst);
+        if cursor >= head {
+            return JournalRead::Deltas(Vec::new(), head.max(cursor));
+        }
+        if head - cursor > self.capacity {
+            return JournalRead::Behind;
+        }
+        let mut merged: Vec<(u64, Delta)> = Vec::new();
+        for slot in &self.shards {
+            // Stripes whose highest sequence precedes the cursor cannot
+            // contribute; skip them without locking (hint protocol — see
+            // `ShardSlot::hint`). On a caught-up consumer this makes the
+            // merge touch only the shards that actually published.
+            if slot.hint.load(Ordering::SeqCst) <= cursor {
+                continue;
+            }
+            let guard = slot.state.lock();
+            // Stripes are seq-sorted: binary-search to the cursor rather
+            // than scanning the whole retained window.
+            let start = guard.stripe.partition_point(|&(s, _)| s < cursor);
+            for &(s, ref delta) in guard.stripe.range(start..) {
+                if s >= head {
+                    break;
+                }
+                merged.push((s, delta.clone()));
+            }
+        }
+        if self.dropped_head.load(Ordering::SeqCst) > cursor {
+            return JournalRead::Behind;
+        }
+        merged.sort_by_key(|&(s, _)| s);
+        debug_assert!(
+            merged.iter().map(|&(s, _)| s).eq(cursor..head),
+            "merged journal read must be gap-free"
+        );
+        JournalRead::Deltas(merged.into_iter().map(|(_, d)| d).collect(), head)
     }
 
     /// The journal head: the cursor a consumer that is fully caught up
     /// would hold.
     pub fn journal_cursor(&self) -> u64 {
-        self.journal.lock().head()
+        self.next_seq.load(Ordering::SeqCst)
     }
 
     /// A full copy paired with a journal cursor, for consumer resync.
     ///
     /// The cursor is read *before* the shards are copied: every delta with
-    /// a sequence number below the cursor is already applied to its shard
-    /// (shard insert happens-before journal append under the shard lock),
-    /// so it is reflected in the returned snapshot. Deltas at or past the
-    /// cursor may *also* already be reflected — consumers must apply
-    /// deltas idempotently (per-task upsert/remove), which
+    /// a sequence number below the cursor was applied to its shard map
+    /// under the same lock hold as its sequence allocation, so it is
+    /// reflected in the returned snapshot. Deltas at or past the cursor
+    /// may *also* already be reflected — consumers must apply deltas
+    /// idempotently (per-task upsert/remove), which
     /// [`crate::engine::IncrementalEngine`] does.
     pub fn snapshot_with_cursor(&self) -> (Snapshot, u64) {
         let cursor = self.journal_cursor();
@@ -313,9 +562,9 @@ impl Registry {
     /// (paper §2.2 point 2) — the confirmation pass handles sampling races.
     pub fn snapshot(&self) -> Snapshot {
         let mut tasks = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            let guard = shard.lock();
-            tasks.extend(guard.values().cloned());
+        for slot in &self.shards {
+            let guard = slot.state.lock();
+            tasks.extend(guard.tasks.values().cloned());
         }
         Snapshot::from_tasks(tasks)
     }
@@ -323,7 +572,7 @@ impl Registry {
     /// Is `task` still blocked in the same blocking operation (`epoch`) as
     /// when a snapshot observed it? Used to confirm detected cycles.
     pub fn confirm(&self, task: TaskId, epoch: u64) -> bool {
-        self.shard(task).lock().get(&task).map(|b| b.epoch == epoch).unwrap_or(false)
+        self.shard(task).state.lock().tasks.get(&task).map(|b| b.epoch == epoch).unwrap_or(false)
     }
 }
 
@@ -531,6 +780,135 @@ mod tests {
         assert_eq!(snap.len(), 3);
         assert_eq!(cursor, 3);
         assert!(matches!(reg.deltas_since(cursor), JournalRead::Deltas(d, 3) if d.is_empty()));
+    }
+
+    /// A registry with distinct-awaited tracking on, as the avoidance
+    /// verifier constructs it.
+    fn tracking_registry() -> Registry {
+        Registry::with_options(DEFAULT_JOURNAL_CAPACITY, true)
+    }
+
+    #[test]
+    fn distinct_waited_tracks_block_unblock_and_reblock() {
+        let reg = tracking_registry();
+        assert_eq!(reg.distinct_waited(), 0);
+        reg.block(info(1)); // waits p1@1
+        reg.block(info(2)); // same resource
+        assert_eq!(reg.distinct_waited(), 1);
+        let mut moved = info(3);
+        moved.waits = vec![Resource::new(p(2), 1)];
+        reg.block(moved);
+        assert_eq!(reg.distinct_waited(), 2);
+        // Re-block t1 onto a third resource: 1's old wait survives via t2.
+        let mut reblocked = info(1);
+        reblocked.waits = vec![Resource::new(p(3), 1)];
+        reg.block(reblocked);
+        assert_eq!(reg.distinct_waited(), 3);
+        reg.unblock(t(2)); // p1@1 loses its last waiter
+        assert_eq!(reg.distinct_waited(), 2);
+        reg.unblock(t(1));
+        reg.unblock(t(3));
+        assert_eq!(reg.distinct_waited(), 0);
+    }
+
+    #[test]
+    fn disabled_wait_tracking_reads_as_saturated() {
+        // Tracking is off by default: a registry that skips the
+        // per-resource bookkeeping must never let a fast-path reader
+        // conclude "fewer than two resources".
+        let reg = Registry::new();
+        assert_eq!(reg.distinct_waited(), usize::MAX);
+        reg.block(info(1));
+        assert_eq!(reg.distinct_waited(), usize::MAX);
+        reg.unblock(t(1));
+        assert_eq!(reg.distinct_waited(), usize::MAX);
+    }
+
+    #[test]
+    fn dormant_stripes_are_swept_by_other_shards_appends() {
+        // Fill shard 1's stripe, then churn exclusively on another shard:
+        // the round-robin sweep must eventually prune shard 1's
+        // out-of-window entries even though it never publishes again.
+        let reg = Registry::with_journal_capacity(8);
+        for _ in 0..4 {
+            reg.block(info(1));
+            reg.unblock(t(1));
+        }
+        // 2 * SHARDS appends on task 2's shard: every victim index is hit
+        // at least once, and all of shard 1's entries leave the window.
+        for _ in 0..SHARDS {
+            reg.block(info(2));
+            reg.unblock(t(2));
+        }
+        let stripe_len = reg.shard(t(1)).state.lock().stripe.len();
+        assert_eq!(stripe_len, 0, "dormant stripe must have been swept");
+    }
+
+    #[test]
+    fn distinct_waited_handles_duplicate_wait_occurrences() {
+        let reg = tracking_registry();
+        let mut odd = info(1);
+        odd.waits = vec![Resource::new(p(1), 1), Resource::new(p(1), 1)];
+        reg.block(odd);
+        assert_eq!(reg.distinct_waited(), 1);
+        reg.unblock(t(1));
+        assert_eq!(reg.distinct_waited(), 0);
+    }
+
+    #[test]
+    fn merged_stripes_preserve_cross_shard_publish_order() {
+        // Tasks 1..=5 hash to five different shards; the merged read must
+        // still come back in global sequence (i.e. call) order.
+        let reg = Registry::new();
+        for task in 1..=5u64 {
+            reg.block(info(task));
+        }
+        reg.unblock(t(3));
+        reg.block(info(3));
+        match reg.deltas_since(0) {
+            JournalRead::Deltas(deltas, cursor) => {
+                assert_eq!(cursor, 7);
+                let kinds: Vec<String> = deltas
+                    .iter()
+                    .map(|d| match d {
+                        Delta::Block(b) => format!("B{}", b.task.0),
+                        Delta::Unblock(t) => format!("U{}", t.0),
+                    })
+                    .collect();
+                assert_eq!(kinds, vec!["B1", "B2", "B3", "B4", "B5", "U3", "B3"]);
+            }
+            JournalRead::Behind => panic!("window not exceeded"),
+        }
+    }
+
+    #[test]
+    fn concurrent_publishers_yield_a_gap_free_merged_journal() {
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for base in 0..4u64 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let id = base * 1000 + i;
+                    reg.block(info(id));
+                    if i % 3 == 0 {
+                        reg.unblock(t(id));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        match reg.deltas_since(0) {
+            JournalRead::Deltas(deltas, cursor) => {
+                // 4 × 200 blocks + 4 × 67 unblocks, contiguous sequences.
+                assert_eq!(deltas.len() as u64, cursor);
+                assert_eq!(cursor, 4 * 200 + 4 * 67);
+            }
+            JournalRead::Behind => panic!("default window is large enough"),
+        }
     }
 
     #[test]

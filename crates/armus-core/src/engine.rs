@@ -403,11 +403,17 @@ impl IncrementalEngine {
 
     /// Detection check on the maintained graph: is there any cycle? As
     /// with [`IncrementalEngine::check_task`], only a hit rebuilds.
+    ///
+    /// Above [`PAR_NODE_THRESHOLD`] nodes the existence pass fans out over
+    /// [`crate::graph::DiGraph::has_cycle_par`] workers (when the host has
+    /// more than one core): the maintained adjacency is flattened into a
+    /// dense graph — `O(V + E)`, the same order as the scan itself — and
+    /// peeled in parallel.
     pub fn check_full(&self, choice: ModelChoice, threshold: usize) -> CheckOutcome {
         let model = self.model_for(choice, threshold);
         let hit = match model {
-            GraphModel::Wfg => has_cycle(&self.wfg_adj),
-            GraphModel::Sg => has_cycle(&self.sg_adj),
+            GraphModel::Wfg => cycle_exists(&self.wfg_adj, self.tasks.len()),
+            GraphModel::Sg => cycle_exists(&self.sg_adj, self.sg_nodes),
         };
         let report =
             if hit { checker::check(&self.materialize(), choice, threshold).report } else { None };
@@ -508,6 +514,35 @@ impl IncrementalEngine {
     pub fn wfg_edge_count(&self) -> usize {
         self.wfg_edges
     }
+}
+
+/// Node count above which [`IncrementalEngine::check_full`]'s existence
+/// pass parallelises (when more than one core is available). Calibrated
+/// well above the paper's workloads: small graphs finish a sequential DFS
+/// faster than they can fan out.
+pub const PAR_NODE_THRESHOLD: usize = 4096;
+
+/// Worker count for the parallel existence pass: the host's available
+/// parallelism, capped — peeling is memory-bound, extra workers past a
+/// small count only contend on the frontier.
+pub fn par_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Cycle existence over refcounted adjacency: sequential DFS below
+/// [`PAR_NODE_THRESHOLD`] (or on single-core hosts), parallel peel above.
+fn cycle_exists<N: Copy + Eq + Hash>(adj: &RefCountedAdj<N>, nodes: usize) -> bool {
+    let workers = par_workers();
+    if nodes >= PAR_NODE_THRESHOLD && workers > 1 {
+        let mut dense = crate::graph::DiGraph::with_capacity(nodes);
+        for (&a, succs) in adj.iter() {
+            for &b in succs.keys() {
+                dense.add_edge(a, b);
+            }
+        }
+        return dense.has_cycle_par(workers);
+    }
+    has_cycle(adj)
 }
 
 /// Existence-only three-colour DFS over refcounted adjacency (no witness:
@@ -779,6 +814,36 @@ mod tests {
         assert_eq!(engine.model_for(ModelChoice::Auto, DEFAULT_SG_THRESHOLD), GraphModel::Wfg);
         let stats = engine.check_full(ModelChoice::Auto, DEFAULT_SG_THRESHOLD).stats;
         assert!(stats.sg_aborted);
+    }
+
+    #[test]
+    fn check_full_is_correct_above_the_parallel_threshold() {
+        // More blocked tasks than PAR_NODE_THRESHOLD, one barrier each in
+        // a long chain: task i (arrived on barrier i, lagging on barrier
+        // i-1) — acyclic. `check_full` must dispatch through the
+        // threshold branch and still agree with the oracle.
+        let mut engine = IncrementalEngine::new();
+        let n = (PAR_NODE_THRESHOLD + 128) as u64;
+        for i in 0..n {
+            let mut regs = vec![Registration::new(p(i), 1)];
+            if i > 0 {
+                regs.push(Registration::new(p(i - 1), 0));
+            }
+            engine.apply(Delta::Block(BlockedInfo::new(t(i), vec![r(i, 1)], regs)));
+        }
+        assert!(engine.blocked() >= PAR_NODE_THRESHOLD);
+        let out = engine.check_full(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
+        assert!(out.report.is_none(), "chain shape is deadlock-free");
+        // Close the chain: task 0 re-blocks with an extra lagging
+        // registration on the *last* barrier, adding the back edge
+        // t(n-1) → t(0) — a cycle spanning the whole chain.
+        engine.apply(Delta::Block(BlockedInfo::new(
+            t(0),
+            vec![r(0, 1)],
+            vec![Registration::new(p(0), 1), Registration::new(p(n - 1), 0)],
+        )));
+        let out = engine.check_full(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
+        assert!(out.report.is_some(), "closed chain must be reported");
     }
 
     #[test]

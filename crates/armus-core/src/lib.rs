@@ -69,7 +69,9 @@ pub mod verifier;
 pub mod wfg;
 
 pub use adaptive::{GraphModel, ModelChoice, DEFAULT_SG_THRESHOLD};
-pub use checker::{CheckOutcome, CheckStats, CycleWitness, DeadlockReport};
+pub use checker::{
+    CheckOutcome, CheckStats, CycleWitness, DeadlockReport, ReportDedup, DEFAULT_DEDUP_CAPACITY,
+};
 pub use deps::{BlockedInfo, Delta, JournalRead, Registry, Snapshot, DEFAULT_JOURNAL_CAPACITY};
 pub use engine::IncrementalEngine;
 pub use error::DeadlockError;

@@ -27,6 +27,9 @@ pub struct StatsCollector {
     deltas_applied: AtomicU64,
     full_rebuilds: AtomicU64,
     resyncs: AtomicU64,
+    fastpath_skips: AtomicU64,
+    engine_lock_waits: AtomicU64,
+    combined_checks: AtomicU64,
 }
 
 impl StatsCollector {
@@ -80,6 +83,24 @@ impl StatsCollector {
         self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an avoidance check answered by the resource-cardinality
+    /// fast path, without taking the engine lock.
+    pub fn record_fastpath_skip(&self) {
+        self.fastpath_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a blocker finding the engine lock held (it enqueued its
+    /// check with the combiner instead of convoying on the lock).
+    pub fn record_engine_lock_wait(&self) {
+        self.engine_lock_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a check the engine-lock holder applied on behalf of a
+    /// waiting blocker (flat combining).
+    pub fn record_combined_check(&self) {
+        self.combined_checks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough copy for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -96,6 +117,9 @@ impl StatsCollector {
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
             resyncs: self.resyncs.load(Ordering::Relaxed),
+            fastpath_skips: self.fastpath_skips.load(Ordering::Relaxed),
+            engine_lock_waits: self.engine_lock_waits.load(Ordering::Relaxed),
+            combined_checks: self.combined_checks.load(Ordering::Relaxed),
         }
     }
 }
@@ -131,6 +155,16 @@ pub struct StatsSnapshot {
     /// Engine reloads from a full snapshot after falling behind the
     /// bounded delta journal.
     pub resyncs: u64,
+    /// Avoidance checks answered by the resource-cardinality fast path
+    /// (fewer than two distinct awaited resources ⇒ no cycle possible)
+    /// without touching the engine lock.
+    pub fastpath_skips: u64,
+    /// Blockers that found the engine lock contended and enqueued their
+    /// check with the combiner instead of convoying.
+    pub engine_lock_waits: u64,
+    /// Checks the engine-lock holder applied on behalf of waiting
+    /// blockers (flat combining).
+    pub combined_checks: u64,
 }
 
 impl StatsSnapshot {
@@ -207,6 +241,19 @@ mod tests {
         assert_eq!(s.deltas_applied, 5);
         assert_eq!(s.resyncs, 1);
         assert_eq!(s.full_rebuilds, 1);
+    }
+
+    #[test]
+    fn contention_counters_accumulate() {
+        let c = StatsCollector::new();
+        c.record_fastpath_skip();
+        c.record_fastpath_skip();
+        c.record_engine_lock_wait();
+        c.record_combined_check();
+        let s = c.snapshot();
+        assert_eq!(s.fastpath_skips, 2);
+        assert_eq!(s.engine_lock_waits, 1);
+        assert_eq!(s.combined_checks, 1);
     }
 
     #[test]

@@ -16,16 +16,37 @@
 //! from scratch, so its cost tracks the *churn* since the last check, not
 //! the number of blocked tasks.
 //!
+//! The avoidance hot path scales across cores through two mechanisms:
+//!
+//! * **Resource-cardinality fast path.** A deadlock cycle among tasks
+//!   that do not impede their own waits spans at least two distinct
+//!   awaited resources (every member of a one-resource WFG cycle both
+//!   waits on and impedes that resource). The registry maintains an
+//!   atomic count of distinct awaited resources; a blocker that counts
+//!   fewer than two — and does not impede its own waits — returns "no
+//!   cycle possible" without ever touching the engine lock. The common
+//!   SPMD case (every task blocked on the *same* barrier event) never
+//!   serialises.
+//! * **Flat combining on the engine lock.** A blocker that finds the
+//!   engine lock held does not convoy on it: it enqueues its check
+//!   request and spins politely; the current lock holder drains the queue
+//!   before releasing — one journal sync amortised over the whole batch —
+//!   and publishes each outcome to its waiter.
+//!
 //! Reports are retained for inspection and forwarded to subscribers (the
 //! runtime layer uses a subscriber to implement deadlock *recovery*).
+//! Subscriber callbacks run on a snapshot of the subscriber list, outside
+//! the list lock, so a callback may itself subscribe, probe, or otherwise
+//! re-enter the verifier without self-deadlocking.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::adaptive::{ModelChoice, DEFAULT_SG_THRESHOLD};
-use crate::checker::{self, CheckOutcome, DeadlockReport};
+use crate::checker::{self, CheckOutcome, DeadlockReport, ReportDedup};
 use crate::deps::{BlockedInfo, JournalRead, Registry, Snapshot};
 use crate::engine::IncrementalEngine;
 use crate::error::DeadlockError;
@@ -121,7 +142,55 @@ impl VerifierConfig {
     }
 }
 
-type Subscriber = Box<dyn Fn(&DeadlockReport) + Send + Sync>;
+type Subscriber = Arc<dyn Fn(&DeadlockReport) + Send + Sync>;
+
+/// One enqueued avoidance check, waiting for the engine-lock holder (or
+/// its own thread, whichever gets the lock first) to apply it.
+struct CheckRequest {
+    task: TaskId,
+    /// Set (release) after `outcome` is written; the waiter acquires it.
+    done: AtomicBool,
+    outcome: Mutex<Option<CheckOutcome>>,
+    /// Signalled by [`CheckRequest::publish`]; lets a waiter park instead
+    /// of burning a core while the combiner works through its batch.
+    served: Condvar,
+}
+
+impl CheckRequest {
+    fn new(task: TaskId) -> Arc<CheckRequest> {
+        Arc::new(CheckRequest {
+            task,
+            done: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            served: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, outcome: CheckOutcome) {
+        *self.outcome.lock() = Some(outcome);
+        self.done.store(true, Ordering::Release);
+        self.served.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Parks until published or `timeout` elapses. The timed wake-up is
+    /// load-bearing for liveness, not just latency: a combiner bounds its
+    /// drain rounds, so an unserved waiter must come back to `try_lock`
+    /// and serve itself.
+    fn park(&self, timeout: Duration) {
+        let mut slot = self.outcome.lock();
+        if slot.is_none() {
+            let _ = self.served.wait_for(&mut slot, timeout);
+        }
+    }
+
+    fn take(&self) -> CheckOutcome {
+        self.outcome.lock().take().expect("combiner published an outcome before setting done")
+    }
+}
 
 /// Stop flag + wake-up for the monitor thread: shared separately from the
 /// `Verifier` so (a) `shutdown` can interrupt a sleeping monitor no matter
@@ -145,9 +214,12 @@ pub struct Verifier {
     cfg: VerifierConfig,
     registry: Registry,
     engine: Mutex<IncrementalEngine>,
+    /// Check requests from blockers that found the engine lock held,
+    /// served by the current holder before it releases (flat combining).
+    pending: Mutex<Vec<Arc<CheckRequest>>>,
     stats: StatsCollector,
     reports: Mutex<Vec<DeadlockReport>>,
-    reported_sets: Mutex<Vec<Vec<TaskId>>>,
+    reported: Mutex<ReportDedup>,
     subscribers: Mutex<Vec<Subscriber>>,
     signal: Arc<MonitorSignal>,
     monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -158,13 +230,17 @@ impl Verifier {
     /// thread, which stops when the last user `Arc` is dropped or
     /// [`Verifier::shutdown`] is called.
     pub fn new(cfg: VerifierConfig) -> Arc<Verifier> {
+        // Only the avoidance fast path reads the distinct-awaited count;
+        // other modes skip that bookkeeping on every block/unblock.
+        let track_waited = cfg.mode == VerifyMode::Avoidance;
         let v = Arc::new(Verifier {
             cfg,
-            registry: Registry::new(),
+            registry: Registry::with_options(crate::deps::DEFAULT_JOURNAL_CAPACITY, track_waited),
             engine: Mutex::new(IncrementalEngine::new()),
+            pending: Mutex::new(Vec::new()),
             stats: StatsCollector::new(),
             reports: Mutex::new(Vec::new()),
-            reported_sets: Mutex::new(Vec::new()),
+            reported: Mutex::new(ReportDedup::new()),
             subscribers: Mutex::new(Vec::new()),
             signal: Arc::new(MonitorSignal { stop: Mutex::new(false), wake: Condvar::new() }),
             monitor: Mutex::new(None),
@@ -212,15 +288,28 @@ impl Verifier {
             }
             VerifyMode::Avoidance => {
                 self.stats.record_block();
-                self.registry.block(BlockedInfo::new(task, waits, registered));
-                // The pre-block check runs on the maintained graph: apply
-                // the journal deltas since the last check (typically just
-                // this block), then search for a cycle through this task —
-                // no registry clone, no from-scratch rebuild.
-                let outcome = self.synced_check(|engine| {
-                    engine.check_task(task, self.cfg.model, self.cfg.sg_threshold)
-                });
+                let info = BlockedInfo::new(task, waits, registered);
+                // A task that impedes one of its own waits can close a
+                // cycle on a single resource; everyone else needs ≥ 2
+                // distinct awaited resources to be in any cycle.
+                let self_impeding = info.waits.iter().any(|&w| info.impedes(w));
+                self.registry.block(info);
+                // Resource-cardinality fast path: the distinct-awaited
+                // read happens *after* this task's own block (which
+                // counted its waits), so the member that completes a
+                // cycle always reads ≥ 2 and takes the slow path.
+                if !self_impeding && self.registry.distinct_waited() < 2 {
+                    self.stats.record_fastpath_skip();
+                    return Ok(());
+                }
+                // Slow path: check through the maintained graph, combining
+                // with other blockers when the engine lock is contended —
+                // no registry clone, no from-scratch rebuild either way.
+                let outcome = self.combined_check(task);
                 self.stats.record_check(&outcome.stats);
+                if outcome.report.is_some() {
+                    self.stats.record_full_rebuild();
+                }
                 match outcome.report {
                     None => Ok(()),
                     Some(report) => {
@@ -229,6 +318,92 @@ impl Verifier {
                         Err(DeadlockError { report })
                     }
                 }
+            }
+        }
+    }
+
+    /// Runs the avoidance check for `task`, flat-combining under
+    /// contention: the thread that holds the engine lock serves every
+    /// queued request (one journal sync amortised over the batch) instead
+    /// of each blocker convoying on the lock in turn.
+    fn combined_check(&self, task: TaskId) -> CheckOutcome {
+        // Uncontended: do the work ourselves — this is the single-thread
+        // hot path, one `try_lock` away from the old behaviour.
+        if let Some(mut engine) = self.engine.try_lock() {
+            let outcome = self.run_check(&mut engine, task);
+            self.drain_pending(&mut engine);
+            return outcome;
+        }
+        self.stats.record_engine_lock_wait();
+        let req = CheckRequest::new(task);
+        self.pending.lock().push(Arc::clone(&req));
+        // Spin briefly (the combiner's batch may be a few microseconds
+        // away from serving us), then park on the request's condvar
+        // instead of burning a core. The park is *timed*: a combiner
+        // bounds its drain rounds, so an unserved waiter must keep
+        // coming back to `try_lock` to guarantee its own progress.
+        let mut spins = 0u32;
+        loop {
+            if req.is_done() {
+                return req.take();
+            }
+            if let Some(mut engine) = self.engine.try_lock() {
+                if req.is_done() {
+                    // The previous holder served us while we raced for
+                    // the lock; just help drain and go.
+                    self.drain_pending(&mut engine);
+                    return req.take();
+                }
+                // We hold the lock and are unserved: our request is still
+                // queued (any combiner that took it would have published
+                // before releasing the lock we now hold, or left it in
+                // `pending` after its bounded rounds) — withdraw it and
+                // check ourselves, then serve everyone else.
+                self.pending.lock().retain(|r| !Arc::ptr_eq(r, &req));
+                let outcome = self.run_check(&mut engine, task);
+                self.drain_pending(&mut engine);
+                return outcome;
+            }
+            spins += 1;
+            if spins < 32 {
+                std::thread::yield_now();
+            } else {
+                req.park(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Syncs the engine with the registry (recording delta/resync stats)
+    /// and checks for a cycle through `task`.
+    fn run_check(&self, engine: &mut IncrementalEngine, task: TaskId) -> CheckOutcome {
+        let sync = engine.sync(&self.registry);
+        self.stats.record_sync(sync.deltas_applied, sync.resynced);
+        engine.check_task(task, self.cfg.model, self.cfg.sg_threshold)
+    }
+
+    /// Rounds a combiner serves before releasing the lock even if the
+    /// queue keeps refilling. Unbounded draining would hold the lock
+    /// holder captive under sustained contention (every served requester
+    /// can re-enqueue while the batch runs); anything left after the last
+    /// round is picked up by its own thread's timed-wake `try_lock` loop,
+    /// whose winner becomes the next combiner.
+    const MAX_DRAIN_ROUNDS: usize = 4;
+
+    /// Serves queued check requests in batches — one journal sync
+    /// amortised over each batch — for at most
+    /// [`Verifier::MAX_DRAIN_ROUNDS`] rounds.
+    fn drain_pending(&self, engine: &mut IncrementalEngine) {
+        for _ in 0..Self::MAX_DRAIN_ROUNDS {
+            let batch: Vec<Arc<CheckRequest>> = std::mem::take(&mut *self.pending.lock());
+            if batch.is_empty() {
+                return;
+            }
+            let sync = engine.sync(&self.registry);
+            self.stats.record_sync(sync.deltas_applied, sync.resynced);
+            for req in batch {
+                let outcome = engine.check_task(req.task, self.cfg.model, self.cfg.sg_threshold);
+                self.stats.record_combined_check();
+                req.publish(outcome);
             }
         }
     }
@@ -250,7 +425,10 @@ impl Verifier {
             let mut engine = self.engine.lock();
             let sync = engine.sync(&self.registry);
             self.stats.record_sync(sync.deltas_applied, sync.resynced);
-            check(&engine)
+            let outcome = check(&engine);
+            // Serve any avoidance blockers that queued behind this check.
+            self.drain_pending(&mut engine);
+            outcome
         };
         if outcome.report.is_some() {
             self.stats.record_full_rebuild();
@@ -323,7 +501,7 @@ impl Verifier {
 
     /// Registers a subscriber invoked on every delivered report.
     pub fn subscribe(&self, f: impl Fn(&DeadlockReport) + Send + Sync + 'static) {
-        self.subscribers.lock().push(Box::new(f));
+        self.subscribers.lock().push(Arc::new(f));
     }
 
     /// Drains the retained reports.
@@ -357,20 +535,20 @@ impl Verifier {
         // Retain before notifying: subscribers wake interrupted victims,
         // which may immediately call `take_reports` and must see this one.
         self.reports.lock().push(report.clone());
-        for sub in self.subscribers.lock().iter() {
+        // Snapshot the subscriber list before invoking: a callback that
+        // re-enters the verifier (subscribes, probes, reads reports) must
+        // not find the subscriber lock already held by its own thread.
+        let subscribers: Vec<Subscriber> = self.subscribers.lock().clone();
+        for sub in subscribers {
             sub(&report);
         }
     }
 
-    /// Deduplicates detection reports by participating task set. Returns
-    /// true when this task set has not been reported before.
+    /// Deduplicates detection reports by participating task set (bounded
+    /// LRU — see [`ReportDedup`]). Returns true when this task set has
+    /// not been reported recently.
     fn mark_reported(&self, tasks: &[TaskId]) -> bool {
-        let mut sets = self.reported_sets.lock();
-        if sets.iter().any(|s| s == tasks) {
-            return false;
-        }
-        sets.push(tasks.to_vec());
-        true
+        self.reported.lock().is_new_set(tasks)
     }
 }
 
@@ -528,14 +706,29 @@ mod tests {
     }
 
     #[test]
-    fn avoidance_stats_count_checks_per_block() {
+    fn avoidance_accounts_every_block_as_check_or_fastpath_skip() {
+        // All five tasks blocked on the same barrier event: one distinct
+        // awaited resource, so every check after the first is answered by
+        // the cardinality fast path — and so is the first.
         let v = Verifier::new(VerifierConfig::avoidance());
         for i in 0..5 {
             v.block(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
         }
         let s = v.stats();
         assert_eq!(s.blocks, 5);
-        assert_eq!(s.checks, 5, "avoidance checks on every block");
+        assert_eq!(s.fastpath_skips, 5, "single-resource blocks never take the engine lock");
+        assert_eq!(s.checks, 0);
+        // Spread over distinct phasers instead: only the very first block
+        // (cardinality still 1) skips; the rest run engine checks.
+        let v = Verifier::new(VerifierConfig::avoidance());
+        for i in 0..5 {
+            v.block(t(i), vec![r(i + 1, 1)], vec![Registration::new(p(i + 1), 1)]).unwrap();
+        }
+        let s = v.stats();
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.fastpath_skips, 1);
+        assert_eq!(s.checks, 4);
+        assert_eq!(s.checks + s.fastpath_skips, s.blocks, "every block is accounted");
         v.shutdown();
     }
 
@@ -575,13 +768,112 @@ mod tests {
     fn avoidance_checks_consume_deltas_not_snapshots() {
         let v = Verifier::new(VerifierConfig::avoidance());
         for i in 0..5 {
-            v.block(t(i), vec![r(1, 1)], vec![Registration::new(p(1), 1)]).unwrap();
+            v.block(t(i), vec![r(i + 1, 1)], vec![Registration::new(p(i + 1), 1)]).unwrap();
         }
         let s = v.stats();
-        // Each check applied exactly the one delta its block journaled.
+        // The first block fast-paths (cardinality 1, no sync); the second
+        // check applies that backlog delta plus its own; the rest apply
+        // exactly the one delta their block journaled: 0+2+1+1+1.
         assert_eq!(s.deltas_applied, 5);
         assert_eq!(s.resyncs, 0);
         assert_eq!(s.full_rebuilds, 0, "no deadlock, so no canonical rebuild");
+        assert_eq!(s.engine_lock_waits, 0, "single-threaded: try_lock always wins");
+    }
+
+    #[test]
+    fn fastpath_never_skips_a_self_impeding_wait() {
+        // A task waiting on an event it impedes is a self-deadlock on ONE
+        // resource — the cardinality fast path must not claim it safe.
+        let v = Verifier::new(VerifierConfig::avoidance());
+        let err = v
+            .block(t(1), vec![r(1, 5)], vec![Registration::new(p(1), 2)])
+            .expect_err("self-wait must raise despite cardinality 1");
+        assert_eq!(err.report.tasks, vec![t(1)]);
+        let s = v.stats();
+        assert_eq!(s.fastpath_skips, 0);
+        assert_eq!(s.checks, 1);
+    }
+
+    #[test]
+    fn fastpath_engine_backlog_is_applied_by_the_next_slow_check() {
+        let v = Verifier::new(VerifierConfig::avoidance());
+        // Three fast-path blocks on one event build journal backlog...
+        for i in 1..=3 {
+            v.block(
+                t(i),
+                vec![r(1, 1)],
+                vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+            )
+            .unwrap();
+        }
+        assert_eq!(v.stats().fastpath_skips, 3);
+        assert_eq!(v.stats().deltas_applied, 0, "fast path never syncs");
+        // ...and the driver's slow-path check (cardinality 2) consumes
+        // the whole backlog and still catches the cycle it closes.
+        let err = v
+            .block(
+                t(4),
+                vec![r(2, 1)],
+                vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+            )
+            .expect_err("the closing block reads cardinality 2 and checks");
+        assert!(err.report.tasks.contains(&t(4)));
+        assert_eq!(v.stats().deltas_applied, 4, "backlog of 3 + the driver's own block");
+    }
+
+    #[test]
+    fn subscribers_may_reenter_the_verifier() {
+        // A subscriber that probes, reads stats, and subscribes again —
+        // all verifier re-entries — must not self-deadlock on the
+        // subscriber list lock.
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        let v2 = Arc::clone(&v);
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        v.subscribe(move |_| {
+            let _ = v2.probe();
+            let _ = v2.stats();
+            v2.subscribe(|_| {});
+            f2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        publish_example_deadlock(&v);
+        assert!(v.check_now().is_some());
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
+        v.shutdown();
+    }
+
+    #[test]
+    fn concurrent_crossed_blocks_raise_for_at_least_one_loser() {
+        // Two threads repeatedly publish the two halves of a crossed wait
+        // (a 2-cycle). Whatever the interleaving, they must never BOTH be
+        // told "no deadlock": the member whose cardinality read is latest
+        // is guaranteed to run a slow-path check that sees both blocks.
+        for round in 0..64 {
+            let v = Verifier::new(VerifierConfig::avoidance());
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let results = std::thread::scope(|s| {
+                let spawn_half = |flip: bool| {
+                    let v = Arc::clone(&v);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        let (mine, other) = if flip { (1, 2) } else { (2, 1) };
+                        barrier.wait();
+                        v.block(
+                            t(mine),
+                            vec![r(mine, 1)],
+                            vec![Registration::new(p(mine), 1), Registration::new(p(other), 0)],
+                        )
+                    })
+                };
+                let a = spawn_half(true);
+                let b = spawn_half(false);
+                (a.join().unwrap(), b.join().unwrap())
+            });
+            assert!(
+                results.0.is_err() || results.1.is_err(),
+                "round {round}: both halves of a crossed wait were admitted"
+            );
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! present — deadlocked tasks can never unblock, so confirmation is
 //! conclusive, while in-flight unblockings disappear.
 
-use armus_core::{checker, CheckStats, DeadlockReport, ModelChoice, Snapshot, TaskId};
+#[cfg(test)]
+use armus_core::TaskId;
+use armus_core::{checker, CheckStats, DeadlockReport, ModelChoice, Snapshot};
 
 use crate::store::{SiteId, Store, StoreError};
 
@@ -63,64 +65,11 @@ pub fn check_store(
     Ok(DistCheck { report: confirmed.then_some(report), stats })
 }
 
-/// Task sets a [`ReportDedup`] retains before evicting the least recently
-/// seen — bounds a long-running cluster checker's memory.
-pub const DEFAULT_DEDUP_CAPACITY: usize = 1024;
-
-/// Tracks already-reported deadlocks (by participating task set) so each
-/// site reports a given deadlock once. Bounded LRU: re-seeing a set
-/// refreshes it; past the capacity the least recently seen set is evicted
-/// (an evicted deadlock that somehow persists would be re-reported — the
-/// benign failure mode).
-pub struct ReportDedup {
-    seen: std::collections::VecDeque<Vec<TaskId>>,
-    capacity: usize,
-}
-
-impl Default for ReportDedup {
-    fn default() -> Self {
-        ReportDedup::new()
-    }
-}
-
-impl ReportDedup {
-    /// Creates an empty dedup set with the default capacity.
-    pub fn new() -> ReportDedup {
-        ReportDedup::with_capacity(DEFAULT_DEDUP_CAPACITY)
-    }
-
-    /// Creates an empty dedup set retaining at most `capacity` task sets.
-    pub fn with_capacity(capacity: usize) -> ReportDedup {
-        assert!(capacity > 0, "dedup capacity must be positive");
-        ReportDedup { seen: std::collections::VecDeque::new(), capacity }
-    }
-
-    /// Number of retained task sets.
-    pub fn len(&self) -> usize {
-        self.seen.len()
-    }
-
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.seen.is_empty()
-    }
-
-    /// Returns true when `report` is new (and records it, evicting the
-    /// least recently seen set past the capacity).
-    pub fn is_new(&mut self, report: &DeadlockReport) -> bool {
-        if let Some(at) = self.seen.iter().position(|s| s == &report.tasks) {
-            // Refresh recency: move to the back.
-            let set = self.seen.remove(at).expect("position is in range");
-            self.seen.push_back(set);
-            return false;
-        }
-        self.seen.push_back(report.tasks.clone());
-        while self.seen.len() > self.capacity {
-            self.seen.pop_front();
-        }
-        true
-    }
-}
+// The deadlock-report LRU dedup now lives in armus-core (the local
+// verifier's detection monitor bounds its reported-set memory with the
+// same scheme); re-exported here for the cluster checker's historical
+// import path.
+pub use armus_core::checker::{ReportDedup, DEFAULT_DEDUP_CAPACITY};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,52 @@
+//! `concurrent` — measures multi-threaded block/unblock throughput of the
+//! verifier hot path (see `armus_bench::concurrent`).
+//!
+//! ```text
+//! cargo run --release -p armus-bench --bin concurrent_bench -- [options]
+//!
+//! options:
+//!   --threads a,b,c       worker-thread counts (default: 1,2,4,8)
+//!   --millis-per-cell N   measurement budget per cell (default: 500)
+//!   --json PATH           dump the cells as JSON (e.g. BENCH_concurrent.json)
+//! ```
+
+use std::time::Duration;
+
+use armus_bench::concurrent;
+
+fn main() {
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut millis: u64 = 500;
+    let mut json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads a,b,c")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads a,b,c"))
+                    .collect();
+            }
+            "--millis-per-cell" => {
+                millis =
+                    args.next().expect("--millis-per-cell N").parse().expect("--millis-per-cell N");
+            }
+            "--json" => json = args.next(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = concurrent::run(&threads, Duration::from_millis(millis));
+    concurrent::print_table(&results);
+    if let Some(path) = json {
+        std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,285 @@
+//! The `concurrent` experiment: multi-threaded block/unblock throughput
+//! of the verifier hot path at 1/2/4/8 threads, in avoidance and
+//! detection mode, over two workload shapes:
+//!
+//! * **single-barrier** — every task blocks on the *same* barrier event
+//!   (the paper's common SPMD case). One distinct awaited resource, so
+//!   every avoidance check is answered by the resource-cardinality fast
+//!   path without touching the engine lock; the shape that used to
+//!   serialise hardest now shares only the event's waiter-count entry,
+//!   held for a hash-map increment per publish.
+//! * **spread** — tasks blocked across many phasers with real SG/WFG
+//!   edges (the `incremental` bench's background shape). Avoidance
+//!   checks take the slow path and contend on the engine lock, which is
+//!   where flat combining earns its keep; detection-mode publishes
+//!   contend only on their own journal stripes.
+//!
+//! Per cell the experiment also captures the contention-visibility
+//! counters (`fastpath_skips`, `engine_lock_waits`, `combined_checks`),
+//! so the JSON shows *why* a configuration scaled, not just whether.
+//!
+//! Throughput on a single-core host cannot rise with thread count —
+//! `host_cores` is recorded in the JSON so readers can interpret the
+//! scaling column honestly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use armus_core::{PhaserId, Registration, Resource, TaskId, Verifier, VerifierConfig};
+use serde::Serialize;
+
+/// Phasers the spread shape is distributed over.
+const SPREAD_PHASERS: u64 = 64;
+
+/// Background blocked tasks populating the spread shape's graph.
+const SPREAD_BACKGROUND: u64 = 256;
+
+/// Which verifier mode a cell measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Check on every block (the paper's avoidance).
+    Avoidance,
+    /// Publish-only blocks with a periodic monitor (the paper's detection).
+    Detection,
+}
+
+impl BenchMode {
+    fn config(self) -> VerifierConfig {
+        match self {
+            BenchMode::Avoidance => VerifierConfig::avoidance(),
+            // The paper's local default period (100 ms): the monitor runs
+            // but publishes dominate.
+            BenchMode::Detection => VerifierConfig::detection(),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            BenchMode::Avoidance => "avoidance",
+            BenchMode::Detection => "detection",
+        }
+    }
+}
+
+/// Which dependency shape a cell measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchShape {
+    /// Everyone on one barrier event: the fast-path shape.
+    SingleBarrier,
+    /// Tasks across many phasers with real edges: the engine-lock shape.
+    Spread,
+}
+
+impl BenchShape {
+    fn name(self) -> &'static str {
+        match self {
+            BenchShape::SingleBarrier => "single-barrier",
+            BenchShape::Spread => "spread",
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConcurrentCell {
+    /// `avoidance` or `detection`.
+    pub mode: String,
+    /// `single-barrier` or `spread`.
+    pub shape: String,
+    /// Worker threads issuing block/unblock.
+    pub threads: usize,
+    /// Aggregate operations per second (each block and each unblock is
+    /// one operation) across all workers.
+    pub ops_per_sec: f64,
+    /// `ops_per_sec` relative to this (mode, shape)'s cell with the
+    /// fewest threads (its first measured cell) — "vs one thread" when,
+    /// as in the default grid, the thread list starts at 1.
+    pub speedup_vs_base: f64,
+    /// Checks answered by the resource-cardinality fast path.
+    pub fastpath_skips: u64,
+    /// Engine checks run (slow path).
+    pub checks: u64,
+    /// Blockers that found the engine lock held and enqueued.
+    pub engine_lock_waits: u64,
+    /// Checks the lock holder applied for waiting blockers.
+    pub combined_checks: u64,
+}
+
+/// The whole experiment, for `--json` export (`BENCH_concurrent.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ConcurrentResults {
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// the ceiling on any real scaling.
+    pub host_cores: usize,
+    /// One cell per (mode, shape, thread-count).
+    pub cells: Vec<ConcurrentCell>,
+}
+
+/// The blocked status a worker publishes, per shape. Worker tasks never
+/// deadlock: single-barrier tasks have no edges at all; spread tasks
+/// follow the `incremental` bench's acyclic background chain.
+fn publish(v: &Verifier, shape: BenchShape, task: u64) {
+    let (waits, regs) = match shape {
+        BenchShape::SingleBarrier => {
+            (vec![Resource::new(PhaserId(1), 1)], vec![Registration::new(PhaserId(1), 1)])
+        }
+        BenchShape::Spread => {
+            let own = task % SPREAD_PHASERS;
+            let mut regs = vec![Registration::new(PhaserId(own), 1)];
+            if own > 0 {
+                regs.push(Registration::new(PhaserId(own - 1), 0));
+            }
+            (vec![Resource::new(PhaserId(own), 1)], regs)
+        }
+    };
+    v.block(TaskId(task), waits, regs).expect("bench shapes are deadlock-free");
+}
+
+/// Measures one (mode, shape, threads) cell: workers block/unblock
+/// distinct tasks as fast as they can for `budget`.
+/// `speedup_vs_base` is left at 1.0 for [`run`] to fill in.
+pub fn run_cell(
+    mode: BenchMode,
+    shape: BenchShape,
+    threads: usize,
+    budget: Duration,
+) -> ConcurrentCell {
+    let v = Verifier::new(mode.config());
+    if shape == BenchShape::Spread {
+        // A standing population so checks walk a real graph.
+        for task in 0..SPREAD_BACKGROUND {
+            publish(&v, shape, 1_000_000 + task);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..threads {
+            let v = &v;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            s.spawn(move || {
+                let base = 10_000 * (worker as u64 + 1);
+                let mut ops = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let task = base + (i % 64);
+                    publish(v, shape, task);
+                    v.unblock(TaskId(task));
+                    ops += 2;
+                    i += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(budget);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+    let stats = v.stats();
+    v.shutdown();
+
+    let ops_per_sec = total_ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64();
+    ConcurrentCell {
+        mode: mode.name().to_string(),
+        shape: shape.name().to_string(),
+        threads,
+        ops_per_sec,
+        speedup_vs_base: 1.0,
+        fastpath_skips: stats.fastpath_skips,
+        checks: stats.checks,
+        engine_lock_waits: stats.engine_lock_waits,
+        combined_checks: stats.combined_checks,
+    }
+}
+
+/// Runs the full grid.
+pub fn run(threads: &[usize], budget: Duration) -> ConcurrentResults {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cells = Vec::new();
+    // Measure in ascending thread order so the speedup base is the
+    // fewest-thread cell regardless of how --threads was spelled.
+    let mut threads = threads.to_vec();
+    threads.sort_unstable();
+    threads.dedup();
+    for mode in [BenchMode::Avoidance, BenchMode::Detection] {
+        for shape in [BenchShape::SingleBarrier, BenchShape::Spread] {
+            let mut base = None;
+            for &t in &threads {
+                eprintln!("  [concurrent] {} / {} / {t} thread(s)", mode.name(), shape.name());
+                let mut cell = run_cell(mode, shape, t, budget);
+                let base = *base.get_or_insert(cell.ops_per_sec);
+                cell.speedup_vs_base = cell.ops_per_sec / base;
+                cells.push(cell);
+            }
+        }
+    }
+    ConcurrentResults { host_cores, cells }
+}
+
+/// Prints the results as a table.
+pub fn print_table(results: &ConcurrentResults) {
+    println!(
+        "\nConcurrent verifier throughput (block+unblock ops/sec, host cores: {}).",
+        results.host_cores
+    );
+    println!(
+        "  {:>10} {:>14} {:>8} {:>14} {:>8} {:>10} {:>9} {:>9}",
+        "mode", "shape", "threads", "ops/s", "speedup", "fastpath", "lockwait", "combined"
+    );
+    for cell in &results.cells {
+        println!(
+            "  {:>10} {:>14} {:>8} {:>14.0} {:>7.2}x {:>10} {:>9} {:>9}",
+            cell.mode,
+            cell.shape,
+            cell.threads,
+            cell.ops_per_sec,
+            cell.speedup_vs_base,
+            cell.fastpath_skips,
+            cell.engine_lock_waits,
+            cell.combined_checks
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_core::VerifyMode;
+
+    #[test]
+    fn all_cells_produce_throughput_and_expected_paths() {
+        let results = run(&[1, 2], Duration::from_millis(15));
+        assert_eq!(results.cells.len(), 8);
+        for cell in &results.cells {
+            assert!(cell.ops_per_sec > 0.0, "{cell:?}");
+            assert!(cell.speedup_vs_base > 0.0);
+            if cell.mode == "avoidance" && cell.shape == "single-barrier" {
+                assert!(cell.fastpath_skips > 0, "fast path must fire: {cell:?}");
+                assert_eq!(cell.checks, 0, "single-barrier never reaches the engine: {cell:?}");
+            }
+            if cell.mode == "avoidance" && cell.shape == "spread" {
+                assert!(cell.checks > 0, "spread shape must exercise the engine: {cell:?}");
+            }
+            if cell.mode == "detection" {
+                assert_eq!(
+                    cell.engine_lock_waits, 0,
+                    "detection blocks never touch the engine lock: {cell:?}"
+                );
+            }
+        }
+        print_table(&results);
+    }
+
+    #[test]
+    fn mode_and_shape_names_are_stable() {
+        assert_eq!(BenchMode::Avoidance.name(), "avoidance");
+        assert_eq!(BenchMode::Detection.name(), "detection");
+        assert_eq!(BenchShape::SingleBarrier.name(), "single-barrier");
+        assert_eq!(BenchShape::Spread.name(), "spread");
+        assert_eq!(BenchMode::Avoidance.config().mode, VerifyMode::Avoidance);
+        assert!(matches!(BenchMode::Detection.config().mode, VerifyMode::Detection { .. }));
+    }
+}

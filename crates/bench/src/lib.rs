@@ -3,13 +3,16 @@
 //! The experiment harness that regenerates every table and figure of the
 //! Armus evaluation (§6). The `paper` binary drives the functions in
 //! [`experiments`]; the `incremental` binary measures the incremental
-//! dependency engine against rebuild-per-check; the criterion benches
-//! under `benches/` micro-measure the verification layer itself (graph
-//! construction, cycle detection, registry throughput, and the
-//! adaptive-threshold ablation).
+//! dependency engine against rebuild-per-check; the `concurrent` binary
+//! measures multi-threaded block/unblock throughput across verifier
+//! modes and workload shapes; the criterion benches under `benches/`
+//! micro-measure the verification layer itself (graph construction,
+//! cycle detection, registry throughput, and the adaptive-threshold
+//! ablation).
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod experiments;
 pub mod incremental;
 pub mod synth;
