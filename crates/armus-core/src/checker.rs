@@ -458,6 +458,43 @@ mod tests {
     }
 
     #[test]
+    fn report_dedup_eviction_follows_recency_order_exactly() {
+        // Insert 1..=3 into capacity 3, refresh in the order 2, 1, 3:
+        // recency (least → most) is now 2, 1, 3. Each new set must evict
+        // in exactly that order.
+        let mut dedup = ReportDedup::with_capacity(3);
+        for n in 1..=3 {
+            assert!(dedup.is_new_set(&[t(n)]));
+        }
+        for n in [2, 1, 3] {
+            assert!(!dedup.is_new_set(&[t(n)]), "refresh of a retained set");
+        }
+        assert!(dedup.is_new_set(&[t(4)])); // evicts 2
+        assert!(dedup.is_new_set(&[t(2)]), "2 was evicted first");
+        // That re-insert evicted 1 (now the least recent of {1, 3, 4}).
+        assert!(dedup.is_new_set(&[t(1)]), "1 was evicted second");
+        assert!(!dedup.is_new_set(&[t(2)]), "2 is retained again");
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn report_dedup_reports_again_after_eviction_round_trip() {
+        // A set that cycles out of the window and back reports each time
+        // it returns — the benign failure mode for a persisting deadlock.
+        let mut dedup = ReportDedup::with_capacity(2);
+        assert!(dedup.is_new_set(&[t(1), t(2)]));
+        for round in 0..3 {
+            // Two fresh sets flush the window completely.
+            assert!(dedup.is_new_set(&[t(10 + round)]), "round {round}");
+            assert!(dedup.is_new_set(&[t(20 + round)]), "round {round}");
+            assert!(dedup.is_new_set(&[t(1), t(2)]), "round {round}: evicted set must re-report");
+        }
+        // Distinct task sets never alias: subsets and supersets are new.
+        assert!(dedup.is_new_set(&[t(1)]));
+        assert!(!dedup.is_new_set(&[t(1), t(2)]), "the exact set stays deduplicated");
+    }
+
+    #[test]
     fn report_dedup_set_and_report_forms_agree() {
         let out = check(&deadlocked_snapshot(), ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
         let report = out.report.unwrap();

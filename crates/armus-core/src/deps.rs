@@ -186,9 +186,37 @@ pub enum JournalRead {
 /// close to the head are guaranteed readable; older cursors must resync.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
 
-/// Number of task shards. A modest power of two: enough to keep unrelated
-/// tasks off each other's locks without bloating the snapshot pass.
-const SHARDS: usize = 32;
+/// Default number of task shards. A modest power of two: enough to keep
+/// unrelated tasks off each other's locks without bloating the snapshot
+/// pass. Injectable per registry via [`RegistryConfig::shards`] — the
+/// simulation testkit pins it to 1 so every interleaving is reachable
+/// deterministically.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// Construction-time tuning of a [`Registry`]. Everything here exists so
+/// tests and the deterministic simulation testkit can force otherwise
+/// probabilistic branches (journal truncation, cross-shard merges) to
+/// happen on demand; the defaults reproduce production behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Length of the journal's retained sequence window.
+    pub journal_capacity: usize,
+    /// Number of task shards (and journal stripes). Must be positive.
+    pub shards: usize,
+    /// Whether per-resource waiter counts (the avoidance fast path's
+    /// input) are maintained.
+    pub track_waited: bool,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            shards: DEFAULT_SHARDS,
+            track_waited: false,
+        }
+    }
+}
 
 /// Number of resource-count shards for the distinct-awaited tracking.
 const WAIT_SHARDS: usize = 32;
@@ -254,6 +282,8 @@ pub struct Registry {
     dropped_head: AtomicU64,
     /// Length of the retained sequence window.
     capacity: u64,
+    /// Number of task shards (`shards.len()`, cached as the modulus).
+    shard_count: usize,
     /// Whether per-resource waiter counts are maintained. Only the
     /// avoidance fast path reads them; a detection/publish-only registry
     /// skips the bookkeeping entirely.
@@ -290,21 +320,33 @@ impl Registry {
     /// publish-only verifiers) passes `false` and skips the per-resource
     /// bookkeeping on every block/unblock.
     pub fn with_options(capacity: usize, track_waited: bool) -> Registry {
+        Registry::with_config(RegistryConfig {
+            journal_capacity: capacity,
+            track_waited,
+            ..RegistryConfig::default()
+        })
+    }
+
+    /// Creates an empty registry from an explicit [`RegistryConfig`]
+    /// (shard count included — the deterministic-simulation hook).
+    pub fn with_config(cfg: RegistryConfig) -> Registry {
+        assert!(cfg.shards > 0, "registry needs at least one shard");
         Registry {
-            shards: (0..SHARDS).map(|_| ShardSlot::default()).collect(),
+            shards: (0..cfg.shards).map(|_| ShardSlot::default()).collect(),
             waited: (0..WAIT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             distinct_waited: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             next_epoch: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             dropped_head: AtomicU64::new(0),
-            capacity: capacity as u64,
-            track_waited,
+            capacity: cfg.journal_capacity as u64,
+            shard_count: cfg.shards,
+            track_waited: cfg.track_waited,
         }
     }
 
     fn shard(&self, task: TaskId) -> &ShardSlot {
-        &self.shards[(task.0 as usize) % SHARDS]
+        &self.shards[(task.0 as usize) % self.shard_count]
     }
 
     fn wait_shard(&self, r: Resource) -> &Mutex<HashMap<Resource, usize>> {
@@ -332,7 +374,7 @@ impl Registry {
         // window). Opportunistically sweep one round-robin victim per
         // append; `try_lock` keeps writers from ever blocking on (or
         // deadlocking with) each other's shards.
-        let victim = &self.shards[(seq as usize) % SHARDS];
+        let victim = &self.shards[(seq as usize) % self.shard_count];
         if !std::ptr::eq(victim, slot) {
             if let Some(mut guard) = victim.state.try_lock() {
                 self.prune_stripe(&mut guard, floor);
@@ -834,9 +876,10 @@ mod tests {
             reg.block(info(1));
             reg.unblock(t(1));
         }
-        // 2 * SHARDS appends on task 2's shard: every victim index is hit
-        // at least once, and all of shard 1's entries leave the window.
-        for _ in 0..SHARDS {
+        // 2 * DEFAULT_SHARDS appends on task 2's shard: every victim index
+        // is hit at least once, and all of shard 1's entries leave the
+        // window.
+        for _ in 0..DEFAULT_SHARDS {
             reg.block(info(2));
             reg.unblock(t(2));
         }

@@ -79,8 +79,12 @@ fn drop_edge<N: Copy + Eq + Hash>(adj: &mut RefCountedAdj<N>, edges: &mut usize,
 
 /// The long-lived maintained graph. One per [`crate::Verifier`]; updates
 /// are applied by whichever thread holds the verifier's engine lock.
-#[derive(Default)]
 pub struct IncrementalEngine {
+    /// Node count above which [`IncrementalEngine::check_full`]
+    /// parallelises its existence pass (defaults to
+    /// [`PAR_NODE_THRESHOLD`]; injectable so tests and the simulation
+    /// testkit can force the parallel branch on small graphs).
+    par_threshold: usize,
     /// Journal position: the next delta sequence number to consume.
     cursor: u64,
     /// The engine's materialised view of the registry.
@@ -104,10 +108,34 @@ pub struct IncrementalEngine {
     wfg_edges: usize,
 }
 
+impl Default for IncrementalEngine {
+    fn default() -> Self {
+        IncrementalEngine {
+            par_threshold: PAR_NODE_THRESHOLD,
+            cursor: 0,
+            tasks: HashMap::new(),
+            awaited: HashMap::new(),
+            sg_nodes: 0,
+            sg_adj: HashMap::new(),
+            sg_edges: 0,
+            regs_by_phaser: HashMap::new(),
+            waiters_by_phaser: HashMap::new(),
+            wfg_adj: HashMap::new(),
+            wfg_edges: 0,
+        }
+    }
+}
+
 impl IncrementalEngine {
     /// An empty engine at journal position 0.
     pub fn new() -> IncrementalEngine {
         IncrementalEngine::default()
+    }
+
+    /// An empty engine whose parallel-existence threshold is `threshold`
+    /// instead of [`PAR_NODE_THRESHOLD`].
+    pub fn with_par_threshold(threshold: usize) -> IncrementalEngine {
+        IncrementalEngine { par_threshold: threshold.max(1), ..IncrementalEngine::default() }
     }
 
     /// Brings the maintained graph up to date with `registry`: applies the
@@ -147,7 +175,11 @@ impl IncrementalEngine {
     /// (consumer joins and journal-truncation recovery). The journal
     /// cursor is preserved — [`IncrementalEngine::sync`] manages it.
     pub fn reset_to(&mut self, snapshot: &Snapshot) {
-        *self = IncrementalEngine { cursor: self.cursor, ..IncrementalEngine::default() };
+        *self = IncrementalEngine {
+            cursor: self.cursor,
+            par_threshold: self.par_threshold,
+            ..IncrementalEngine::default()
+        };
         for info in &snapshot.tasks {
             self.apply_block(info.clone());
         }
@@ -412,8 +444,8 @@ impl IncrementalEngine {
     pub fn check_full(&self, choice: ModelChoice, threshold: usize) -> CheckOutcome {
         let model = self.model_for(choice, threshold);
         let hit = match model {
-            GraphModel::Wfg => cycle_exists(&self.wfg_adj, self.tasks.len()),
-            GraphModel::Sg => cycle_exists(&self.sg_adj, self.sg_nodes),
+            GraphModel::Wfg => cycle_exists(&self.wfg_adj, self.tasks.len(), self.par_threshold),
+            GraphModel::Sg => cycle_exists(&self.sg_adj, self.sg_nodes, self.par_threshold),
         };
         let report =
             if hit { checker::check(&self.materialize(), choice, threshold).report } else { None };
@@ -529,11 +561,12 @@ pub fn par_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
-/// Cycle existence over refcounted adjacency: sequential DFS below
-/// [`PAR_NODE_THRESHOLD`] (or on single-core hosts), parallel peel above.
-fn cycle_exists<N: Copy + Eq + Hash>(adj: &RefCountedAdj<N>, nodes: usize) -> bool {
+/// Cycle existence over refcounted adjacency: sequential DFS below the
+/// engine's parallel threshold (or on single-core hosts), parallel peel
+/// above.
+fn cycle_exists<N: Copy + Eq + Hash>(adj: &RefCountedAdj<N>, nodes: usize, par: usize) -> bool {
     let workers = par_workers();
-    if nodes >= PAR_NODE_THRESHOLD && workers > 1 {
+    if nodes >= par && workers > 1 {
         let mut dense = crate::graph::DiGraph::with_capacity(nodes);
         for (&a, succs) in adj.iter() {
             for &b in succs.keys() {

@@ -72,8 +72,11 @@ pub use adaptive::{GraphModel, ModelChoice, DEFAULT_SG_THRESHOLD};
 pub use checker::{
     CheckOutcome, CheckStats, CycleWitness, DeadlockReport, ReportDedup, DEFAULT_DEDUP_CAPACITY,
 };
-pub use deps::{BlockedInfo, Delta, JournalRead, Registry, Snapshot, DEFAULT_JOURNAL_CAPACITY};
-pub use engine::IncrementalEngine;
+pub use deps::{
+    BlockedInfo, Delta, JournalRead, Registry, RegistryConfig, Snapshot, DEFAULT_JOURNAL_CAPACITY,
+    DEFAULT_SHARDS,
+};
+pub use engine::{IncrementalEngine, PAR_NODE_THRESHOLD};
 pub use error::DeadlockError;
 pub use ids::{Phase, PhaserId, TaskId};
 pub use resource::{Registration, Resource};

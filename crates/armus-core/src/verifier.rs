@@ -84,25 +84,43 @@ pub struct VerifierConfig {
     pub model: ModelChoice,
     /// SG-abort multiplier for `Auto` (paper default: 2).
     pub sg_threshold: usize,
+    /// Journal window of the underlying registry. Small values force the
+    /// engine's `Behind`/resync branch deterministically (testkit hook).
+    pub journal_capacity: usize,
+    /// Shard count of the underlying registry (testkit hook; the default
+    /// is [`crate::deps::DEFAULT_SHARDS`]).
+    pub shards: usize,
+    /// Whether avoidance uses the resource-cardinality fast path. Off, a
+    /// single-resource block runs a full engine check like any other —
+    /// used by the differential testkit to exercise both code paths.
+    pub fastpath: bool,
+    /// Node count above which full checks parallelise their existence
+    /// pass (defaults to [`crate::engine::PAR_NODE_THRESHOLD`]; a small
+    /// value makes the parallel branch reachable on tiny graphs).
+    pub par_threshold: usize,
 }
 
 impl VerifierConfig {
-    /// Disabled verification.
-    pub fn disabled() -> Self {
+    fn with_mode(mode: VerifyMode) -> Self {
         VerifierConfig {
-            mode: VerifyMode::Disabled,
+            mode,
             model: ModelChoice::Auto,
             sg_threshold: DEFAULT_SG_THRESHOLD,
+            journal_capacity: crate::deps::DEFAULT_JOURNAL_CAPACITY,
+            shards: crate::deps::DEFAULT_SHARDS,
+            fastpath: true,
+            par_threshold: crate::engine::PAR_NODE_THRESHOLD,
         }
+    }
+
+    /// Disabled verification.
+    pub fn disabled() -> Self {
+        Self::with_mode(VerifyMode::Disabled)
     }
 
     /// Avoidance with the adaptive model.
     pub fn avoidance() -> Self {
-        VerifierConfig {
-            mode: VerifyMode::Avoidance,
-            model: ModelChoice::Auto,
-            sg_threshold: DEFAULT_SG_THRESHOLD,
-        }
+        Self::with_mode(VerifyMode::Avoidance)
     }
 
     /// Detection with the paper's local default period (100 ms).
@@ -112,21 +130,13 @@ impl VerifierConfig {
 
     /// Detection with an explicit period.
     pub fn detection_every(period: Duration) -> Self {
-        VerifierConfig {
-            mode: VerifyMode::Detection { period },
-            model: ModelChoice::Auto,
-            sg_threshold: DEFAULT_SG_THRESHOLD,
-        }
+        Self::with_mode(VerifyMode::Detection { period })
     }
 
     /// Publish-only: maintain the registry for an external (distributed)
     /// checker.
     pub fn publish_only() -> Self {
-        VerifierConfig {
-            mode: VerifyMode::PublishOnly,
-            model: ModelChoice::Auto,
-            sg_threshold: DEFAULT_SG_THRESHOLD,
-        }
+        Self::with_mode(VerifyMode::PublishOnly)
     }
 
     /// Overrides the graph model.
@@ -138,6 +148,30 @@ impl VerifierConfig {
     /// Overrides the SG-abort threshold.
     pub fn with_sg_threshold(mut self, threshold: usize) -> Self {
         self.sg_threshold = threshold;
+        self
+    }
+
+    /// Overrides the registry's journal window (deterministic-resync hook).
+    pub fn with_journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
+        self
+    }
+
+    /// Overrides the registry's shard count (deterministic-sharding hook).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables or disables the avoidance resource-cardinality fast path.
+    pub fn with_fastpath(mut self, fastpath: bool) -> Self {
+        self.fastpath = fastpath;
+        self
+    }
+
+    /// Overrides the parallel-existence node threshold of full checks.
+    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = threshold;
         self
     }
 }
@@ -232,11 +266,15 @@ impl Verifier {
     pub fn new(cfg: VerifierConfig) -> Arc<Verifier> {
         // Only the avoidance fast path reads the distinct-awaited count;
         // other modes skip that bookkeeping on every block/unblock.
-        let track_waited = cfg.mode == VerifyMode::Avoidance;
+        let track_waited = cfg.mode == VerifyMode::Avoidance && cfg.fastpath;
         let v = Arc::new(Verifier {
             cfg,
-            registry: Registry::with_options(crate::deps::DEFAULT_JOURNAL_CAPACITY, track_waited),
-            engine: Mutex::new(IncrementalEngine::new()),
+            registry: Registry::with_config(crate::deps::RegistryConfig {
+                journal_capacity: cfg.journal_capacity,
+                shards: cfg.shards,
+                track_waited,
+            }),
+            engine: Mutex::new(IncrementalEngine::with_par_threshold(cfg.par_threshold)),
             pending: Mutex::new(Vec::new()),
             stats: StatsCollector::new(),
             reports: Mutex::new(Vec::new()),
@@ -298,7 +336,19 @@ impl Verifier {
                 // read happens *after* this task's own block (which
                 // counted its waits), so the member that completes a
                 // cycle always reads ≥ 2 and takes the slow path.
-                if !self_impeding && self.registry.distinct_waited() < 2 {
+                //
+                // `verifier-mutation` is a deliberately planted soundness
+                // bug (the bound reads 3 instead of 2) used to prove the
+                // testkit's differential oracle catches real verifier
+                // defects; it must never be enabled in production builds.
+                #[cfg(not(feature = "verifier-mutation"))]
+                const CARDINALITY_BOUND: usize = 2;
+                #[cfg(feature = "verifier-mutation")]
+                const CARDINALITY_BOUND: usize = 3;
+                if self.cfg.fastpath
+                    && !self_impeding
+                    && self.registry.distinct_waited() < CARDINALITY_BOUND
+                {
                     self.stats.record_fastpath_skip();
                     return Ok(());
                 }

@@ -4,9 +4,16 @@
 //! nothing is lost, duplicated, or torn — the merged journal view equals
 //! a from-scratch snapshot at quiesce, and detection reports a concurrent
 //! deadlock exactly once.
+//!
+//! Synchronisation is by explicit rendezvous only: a start barrier puts
+//! every producer and the consumer in the contended region together, and
+//! quiesce is the producers' scope join — no sleeps, no yield loops, so
+//! the assertions cannot race on slow CI machines. The same three
+//! invariants also run as deterministic simulation scenarios in
+//! `armus-testkit/tests/invariants.rs`.
 
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use armus_core::engine::IncrementalEngine;
@@ -58,14 +65,18 @@ fn merged_journal_view_equals_snapshot_at_quiesce() {
     // under full-speed producers and exercise the snapshot resync path.
     let registry = Arc::new(Registry::with_journal_capacity(64));
     let mut follower = IncrementalEngine::new();
+    // Rendezvous: every producer and the consumer enter the contended
+    // region together, so the follower provably overlaps the churn.
+    let start = Barrier::new(PRODUCERS as usize + 1);
     let finished = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|s| {
         for producer in 0..PRODUCERS {
             let registry = Arc::clone(&registry);
-            let finished = &finished;
+            let (start, finished) = (&start, &finished);
             s.spawn(move || {
                 let mut rng = Lcg(0x9e3779b9 ^ producer);
+                start.wait();
                 for _ in 0..OPS {
                     // Task ids overlap across producers (shard-lock
                     // serialised) and span every shard.
@@ -80,10 +91,13 @@ fn merged_journal_view_equals_snapshot_at_quiesce() {
             });
         }
         // The consumer follows the journal concurrently; every sync must
-        // leave the engine internally consistent even mid-churn.
+        // leave the engine internally consistent even mid-churn. Each
+        // sync does real work (deltas or a resync), so the loop needs no
+        // yield; it exits when the last producer has flagged completion,
+        // and the scope join below is the quiesce rendezvous.
+        start.wait();
         while finished.load(Ordering::Acquire) < PRODUCERS {
             follower.sync(&registry);
-            std::thread::yield_now();
         }
     });
 
@@ -132,13 +146,15 @@ fn detection_under_churn_loses_and_duplicates_nothing() {
     )
     .unwrap();
 
+    let start = Barrier::new(PRODUCERS as usize + 1);
     let produced = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|s| {
         for producer in 0..PRODUCERS {
             let v = &v;
-            let produced = &produced;
+            let (start, produced) = (&start, &produced);
             s.spawn(move || {
                 let mut rng = Lcg(0xdeadbeef ^ producer);
+                start.wait();
                 for _ in 0..OPS {
                     let id = 1000 + producer * 1000 + rng.next() % 64;
                     if rng.next() % 2 == 0 {
@@ -155,7 +171,10 @@ fn detection_under_churn_loses_and_duplicates_nothing() {
                 }
             });
         }
-        // The checker samples as fast as it can while producers churn.
+        // The checker samples as fast as it can while producers churn,
+        // entering the contended region with them (start rendezvous) and
+        // leaving it at the scope join (quiesce rendezvous).
+        start.wait();
         while produced.load(Ordering::Relaxed) < PRODUCERS * OPS {
             let _ = v.check_now();
         }
@@ -177,11 +196,14 @@ fn concurrent_avoidance_accounts_every_block() {
     const THREADS: u64 = 4;
     const OPS: u64 = 500;
     let v = Verifier::new(VerifierConfig::avoidance());
+    let start = Barrier::new(THREADS as usize);
     std::thread::scope(|s| {
         for worker in 0..THREADS {
             let v = &v;
+            let start = &start;
             s.spawn(move || {
                 let mut rng = Lcg(42 ^ worker);
+                start.wait();
                 for i in 0..OPS {
                     let id = worker * 10_000 + i;
                     // Distinct per-thread phasers: plenty of distinct

@@ -205,4 +205,38 @@ mod tests {
         assert!(dedup.is_new(&b), "evicted set is reported again");
         assert!(!dedup.is_new(&c), "retained set still deduplicates");
     }
+
+    #[test]
+    fn reexported_dedup_is_the_armus_core_type_with_identical_lru_order() {
+        // The distributed checker deduplicates with armus-core's type:
+        // the re-export must be the same type, and the eviction order a
+        // site checker observes must match the core semantics exactly.
+        let mut core: armus_core::ReportDedup = crate::ReportDedup::with_capacity(3);
+        for n in 1..=3 {
+            assert!(core.is_new(&report_over(vec![t(n)])));
+        }
+        // Refresh order 3, 1 → least-recent is now 2.
+        assert!(!core.is_new(&report_over(vec![t(3)])));
+        assert!(!core.is_new(&report_over(vec![t(1)])));
+        assert!(core.is_new(&report_over(vec![t(4)]))); // evicts 2
+        assert!(core.is_new(&report_over(vec![t(2)])), "2 was evicted first");
+        assert!(core.is_new(&report_over(vec![t(3)])), "3 was evicted next");
+    }
+
+    #[test]
+    fn persisting_distributed_deadlock_rereports_after_eviction() {
+        // A deadlock that outlives a full dedup window is re-reported on
+        // the next check round — loud beats silent for a stuck cluster.
+        let store = MemStore::new();
+        split_example(&store);
+        let mut dedup = ReportDedup::with_capacity(1);
+        let round = || {
+            check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap().report.unwrap()
+        };
+        assert!(dedup.is_new(&round()));
+        assert!(!dedup.is_new(&round()), "retained: suppressed");
+        // An unrelated report on another site flushes the 1-entry window.
+        assert!(dedup.is_new(&report_over(vec![t(99)])));
+        assert!(dedup.is_new(&round()), "the still-live deadlock re-reports after eviction");
+    }
 }

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod cluster;
 pub mod detector;
 pub mod site;
 pub mod store;
 
+pub use chaos::{ChaosConfig, ChaosStore};
 pub use cluster::Cluster;
 pub use detector::{check_store, merge, DistCheck, ReportDedup, DEFAULT_DEDUP_CAPACITY};
 pub use site::{Site, SiteConfig};

@@ -93,6 +93,7 @@ pub mod phi;
 pub mod semantics;
 pub mod state;
 pub mod syntax;
+pub mod trace;
 pub mod wf;
 
 pub use deadlock::{deadlocked_tasks, is_deadlocked, is_totally_deadlocked};
@@ -101,4 +102,5 @@ pub use phi::{phi, NameTable};
 pub use semantics::{apply, enabled, Outcome, RandomScheduler, Rule, Transition};
 pub use state::{PhaserState, State};
 pub use syntax::{free_vars, pretty, subst_seq, Instr, Seq, Var};
+pub use trace::{analyse, first_deadlock, StateVerdict};
 pub use wf::{check as check_wellformed, UnboundUse};

@@ -1,0 +1,109 @@
+//! The model side of the differential oracle: public entry points for
+//! checking a *lowered trace* — the sequence of PL states a scheduler
+//! (notably the `armus-testkit` simulation harness) reaches while driving
+//! the runtime primitives through the matching PL transitions.
+//!
+//! Each state is analysed twice, independently:
+//!
+//! * by the **coinductive oracle** of Definition 3.2
+//!   ([`crate::deadlock::deadlocked_tasks`]), and
+//! * by the **canonical checker** over `ϕ(S)` ([`crate::phi::phi`] +
+//!   [`armus_core::checker::check`]) — the exact analysis the runtime
+//!   verifier implements incrementally.
+//!
+//! Soundness (Thm 4.10) and completeness (Thm 4.15) say the two must
+//! agree on every reachable state; [`analyse`] returns both verdicts so a
+//! differential harness can assert that agreement *and* compare either
+//! against a third implementation (the run-time `Verifier`).
+
+use std::collections::BTreeSet;
+
+use armus_core::{checker, DeadlockReport, ModelChoice, DEFAULT_SG_THRESHOLD};
+
+use crate::deadlock::deadlocked_tasks;
+use crate::phi::{phi, NameTable};
+use crate::state::State;
+use crate::syntax::Var;
+
+/// The PL model's verdict on one state of a lowered trace.
+pub struct StateVerdict {
+    /// Definition 3.2: the largest deadlocked task set, or `None` when the
+    /// state is not deadlocked (the coinductive oracle's answer).
+    pub deadlocked_tasks: Option<BTreeSet<Var>>,
+    /// The canonical checker's report over `ϕ(S)` (adaptive model) — the
+    /// graph analysis' answer. Task/phaser ids are interned by `names`.
+    pub report: Option<DeadlockReport>,
+    /// Interner translating the report's ids back to PL names.
+    pub names: NameTable,
+}
+
+impl StateVerdict {
+    /// Is the state deadlocked according to the coinductive oracle?
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked_tasks.is_some()
+    }
+
+    /// Do the coinductive oracle and the graph analysis agree? (They must,
+    /// on reachable states — Theorems 4.10/4.15; a differential harness
+    /// treats disagreement as a model bug.)
+    pub fn internally_consistent(&self) -> bool {
+        self.deadlocked() == self.report.is_some()
+    }
+}
+
+/// Analyses one state of a lowered trace: coinductive oracle and canonical
+/// checker, side by side.
+pub fn analyse(state: &State) -> StateVerdict {
+    let deadlocked = deadlocked_tasks(state);
+    let (snapshot, names) = phi(state);
+    let report = checker::check(&snapshot, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).report;
+    StateVerdict { deadlocked_tasks: deadlocked, report, names }
+}
+
+/// Checks a whole lowered trace: returns the index of the first deadlocked
+/// state, or `None` when no state of the trace is deadlocked. Deadlocks
+/// are permanent (deadlocked tasks can never unblock), so the first index
+/// is the interesting one.
+pub fn first_deadlock<'a>(states: impl IntoIterator<Item = &'a State>) -> Option<usize> {
+    states.into_iter().position(|s| analyse(s).deadlocked())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::semantics::{Outcome, RandomScheduler};
+
+    #[test]
+    fn analyse_agrees_with_itself_on_the_figure_3_run() {
+        let src = "
+            pc = newPhaser();
+            pb = newPhaser();
+            t = newTid();
+            reg(pc, t); reg(pb, t);
+            fork(t) { adv(pc); await(pc); dereg(pc); dereg(pb); }
+            adv(pb); await(pb);
+        ";
+        let program = parse(src).unwrap();
+        let mut trace = vec![State::initial(program)];
+        let (outcome, stuck) =
+            RandomScheduler::new(1).run(trace[0].clone(), 10_000, |s| trace.push(s.clone()));
+        assert_eq!(outcome, Outcome::Stuck);
+        let verdict = analyse(&stuck);
+        assert!(verdict.deadlocked());
+        assert!(verdict.internally_consistent());
+        let at = first_deadlock(trace.iter()).expect("the run deadlocks");
+        // Every state from the first deadlock onwards stays deadlocked.
+        assert!(trace[at..].iter().all(|s| analyse(s).deadlocked()));
+        assert!(trace[..at].iter().all(|s| !analyse(s).deadlocked()));
+    }
+
+    #[test]
+    fn analyse_of_a_healthy_state_is_empty() {
+        let program = parse("p = newPhaser(); adv(p); await(p); dereg(p);").unwrap();
+        let verdict = analyse(&State::initial(program));
+        assert!(!verdict.deadlocked());
+        assert!(verdict.report.is_none());
+        assert!(verdict.internally_consistent());
+    }
+}

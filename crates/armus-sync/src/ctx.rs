@@ -97,6 +97,24 @@ pub fn install(ctx: Arc<TaskCtx>) -> Option<Arc<TaskCtx>> {
     CURRENT.with(|slot| slot.borrow_mut().replace(ctx))
 }
 
+/// Runs `f` with `ctx` installed as the current task, restoring the
+/// previous context afterwards (also on panic). This is the seam that
+/// lets a cooperative scheduler multiplex many task identities over one
+/// OS thread: each simulated step runs inside `scoped` so every
+/// registration and blocked-status publication is attributed to the
+/// simulated task, not the driving thread.
+pub fn scoped<R>(ctx: &Arc<TaskCtx>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<TaskCtx>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(install(Arc::clone(ctx)));
+    f()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@
 pub mod barrier;
 pub mod clock;
 pub mod clocked;
-mod ctx;
+pub mod ctx;
 pub mod error;
 pub mod finish;
 pub mod latch;
@@ -45,11 +45,11 @@ pub mod runtime;
 pub use barrier::CyclicBarrier;
 pub use clock::Clock;
 pub use clocked::ClockedVar;
-pub use ctx::current as current_ctx;
+pub use ctx::{current as current_ctx, TaskCtx};
 pub use error::SyncError;
 pub use finish::Finish;
 pub use latch::CountDownLatch;
-pub use phaser::{Phaser, RegMode};
+pub use phaser::{Phaser, RegMode, WaitStep};
 pub use runtime::{OnDeadlock, Runtime, RuntimeConfig, TaskHandle};
 
 // Re-export the verification-layer types users interact with.

@@ -50,6 +50,37 @@ struct Member {
     mode: RegMode,
 }
 
+/// One step of a wait driven through the poll seam ([`Phaser::begin_await`]
+/// / [`Phaser::poll_await`]): either the wait resolved — observed, or the
+/// error already surfaced through the `Result` — or it is still pending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitStep {
+    /// The wait completed (its blocked status, if published, has been
+    /// withdrawn).
+    Ready,
+    /// The wait has not resolved; its blocked status stays published.
+    Pending,
+}
+
+/// A wait that has been begun through the poll seam and not yet resolved.
+#[derive(Clone, Copy)]
+struct PendingWait {
+    phase: Phase,
+    /// Whether the blocked status was published to the verifier (and so
+    /// must be withdrawn when the wait resolves).
+    published: bool,
+}
+
+/// How a pending wait resolved (still under the state lock; the
+/// verifier/deregistration side effects run outside it, in
+/// [`PhaserCore::settle_wait`]).
+enum WaitFate {
+    Observed,
+    Poisoned(Box<DeadlockReport>),
+    Interrupted(Box<DeadlockReport>),
+    Pending,
+}
+
 struct PhState {
     members: HashMap<TaskId, Member>,
     poisoned: Option<Box<DeadlockReport>>,
@@ -58,6 +89,11 @@ struct PhState {
     /// (paper §2.1: "an exception is raised in Lines 8 and 11"), keyed here
     /// by the victim's task id on the phaser it waits on.
     interrupts: HashMap<TaskId, Box<DeadlockReport>>,
+    /// Waits begun (blocked status published) but not yet resolved, for
+    /// the poll-driven seam. The OS-blocking [`PhaserCore::await_phase`]
+    /// and an external scheduler polling [`PhaserCore::poll_wait`] share
+    /// this state, so the wait machine has exactly one implementation.
+    pending: HashMap<TaskId, PendingWait>,
 }
 
 impl PhState {
@@ -212,10 +248,14 @@ impl PhaserCore {
         Ok(phase)
     }
 
-    /// Blocks until phase `n` is observed (every signalling member arrived
-    /// at `≥ n`). Non-members may wait: the predicate ranges over members
-    /// only. Signal-only members may not wait (HJ mode discipline).
-    pub(crate) fn await_phase(&self, ctx: &TaskCtx, n: Phase) -> Result<(), SyncError> {
+    /// Begins a wait for phase `n`: the fast path (nothing to wait for —
+    /// and nothing to verify, the Armus hook fires only on operations
+    /// that actually block) resolves to [`WaitStep::Ready`]; otherwise the
+    /// blocked status is published (in avoidance mode this is where a
+    /// would-deadlock verdict surfaces — the task is deregistered from
+    /// this phaser so the remaining members can progress, paper §2.1) and
+    /// the wait is recorded as pending.
+    pub(crate) fn begin_wait(&self, ctx: &TaskCtx, n: Phase) -> Result<WaitStep, SyncError> {
         if self.mode_of(ctx.id()) == Some(RegMode::Sig) {
             return Err(SyncError::InvalidMode {
                 phaser: self.id,
@@ -223,8 +263,6 @@ impl PhaserCore {
                 operation: "await",
             });
         }
-        // Fast path: nothing to wait for (and nothing to verify — the
-        // Armus hook fires only on operations that actually block).
         {
             let mut st = self.state.lock();
             if let Some(report) = &st.poisoned {
@@ -233,61 +271,139 @@ impl PhaserCore {
             if st.observed(n) {
                 // Drop any stale interrupt aimed at a wait we never enter.
                 st.interrupts.remove(&ctx.id());
-                return Ok(());
+                return Ok(WaitStep::Ready);
             }
         }
-
-        // Slow path: publish the blocked status, then wait.
         let verifier = self.verifier();
         let published = verifier.is_enabled();
         if published {
             let waits = vec![Resource::new(self.id, n)];
             let registered = ctx.registration_vector(verifier);
             if let Err(err) = verifier.block(ctx.id(), waits, registered) {
-                // Avoidance verdict: do not block; deregister from this
-                // phaser so the remaining members can progress (paper
-                // §2.1), then surface the report.
                 let _ = self.deregister(ctx);
                 return Err(SyncError::WouldDeadlock(Box::new(err.report)));
             }
         }
+        self.state.lock().pending.insert(ctx.id(), PendingWait { phase: n, published });
+        Ok(WaitStep::Pending)
+    }
 
-        let mut st = self.state.lock();
-        loop {
-            if let Some(report) = &st.poisoned {
-                let report = report.clone();
-                st.interrupts.remove(&ctx.id());
-                drop(st);
+    /// How `task`'s pending wait stands right now. Checked under the state
+    /// lock; the caller performs the side effects via
+    /// [`PhaserCore::settle_wait`] *outside* it. The priority order is
+    /// load-bearing: poisoning beats interrupts beats a racing normal
+    /// release — an interrupt is an epoch-confirmed avoidance verdict for
+    /// exactly this blocking operation, so *every* task of the cycle
+    /// observes the exception (paper §2.1), deterministically.
+    fn wait_fate_locked(&self, st: &mut PhState, task: TaskId, n: Phase) -> WaitFate {
+        if let Some(report) = &st.poisoned {
+            let report = report.clone();
+            st.interrupts.remove(&task);
+            return WaitFate::Poisoned(report);
+        }
+        if let Some(report) = st.interrupts.remove(&task) {
+            return WaitFate::Interrupted(report);
+        }
+        if st.observed(n) {
+            WaitFate::Observed
+        } else {
+            WaitFate::Pending
+        }
+    }
+
+    /// Applies a resolved fate's side effects (verifier withdrawal; for
+    /// interrupts also the paper's deregistration from the awaited
+    /// phaser) and maps it to the caller-visible result.
+    fn settle_wait(
+        &self,
+        ctx: &TaskCtx,
+        fate: WaitFate,
+        published: bool,
+    ) -> Result<WaitStep, SyncError> {
+        match fate {
+            WaitFate::Pending => Ok(WaitStep::Pending),
+            WaitFate::Observed => {
                 if published {
-                    verifier.unblock(ctx.id());
+                    self.verifier().unblock(ctx.id());
                 }
-                return Err(SyncError::Poisoned(report));
+                Ok(WaitStep::Ready)
             }
-            // An interrupt is an epoch-confirmed avoidance verdict for
-            // exactly this blocking operation: it takes priority over a
-            // racing normal release, so that *every* task of the cycle
-            // observes the exception (paper §2.1: the exception is raised
-            // at all the deadlocked operations), deterministically.
-            if let Some(report) = st.interrupts.remove(&ctx.id()) {
-                drop(st);
+            WaitFate::Poisoned(report) => {
                 if published {
-                    verifier.unblock(ctx.id());
+                    self.verifier().unblock(ctx.id());
+                }
+                Err(SyncError::Poisoned(report))
+            }
+            WaitFate::Interrupted(report) => {
+                if published {
+                    self.verifier().unblock(ctx.id());
                 }
                 // Paper: the interrupted tasks become deregistered from
                 // the phaser they were waiting on.
                 let _ = self.deregister(ctx);
-                return Err(SyncError::WouldDeadlock(report));
+                Err(SyncError::WouldDeadlock(report))
             }
-            if st.observed(n) {
-                break;
+        }
+    }
+
+    /// Polls a wait begun with [`PhaserCore::begin_wait`]: resolves it if
+    /// poisoning, an interrupt, or the awaited phase allows, withdrawing
+    /// the published status; otherwise leaves it pending. A task with no
+    /// pending wait reads [`WaitStep::Ready`].
+    pub(crate) fn poll_wait(&self, ctx: &TaskCtx) -> Result<WaitStep, SyncError> {
+        let (fate, published) = {
+            let mut st = self.state.lock();
+            let Some(w) = st.pending.get(&ctx.id()).copied() else {
+                return Ok(WaitStep::Ready);
+            };
+            let fate = self.wait_fate_locked(&mut st, ctx.id(), w.phase);
+            if !matches!(fate, WaitFate::Pending) {
+                st.pending.remove(&ctx.id());
             }
-            self.cond.wait(&mut st);
+            (fate, w.published)
+        };
+        self.settle_wait(ctx, fate, published)
+    }
+
+    /// Would [`PhaserCore::poll_wait`] resolve `task`'s pending wait right
+    /// now (by release, poison, or interrupt)? Pure peek — no state
+    /// changes — so a scheduler can enumerate its runnable set without
+    /// committing. A task with no pending wait reads `true`.
+    pub(crate) fn wait_would_resolve(&self, task: TaskId) -> bool {
+        let st = self.state.lock();
+        match st.pending.get(&task) {
+            None => true,
+            Some(w) => {
+                st.poisoned.is_some() || st.interrupts.contains_key(&task) || st.observed(w.phase)
+            }
         }
-        drop(st);
-        if published {
-            verifier.unblock(ctx.id());
+    }
+
+    /// Blocks until phase `n` is observed (every signalling member arrived
+    /// at `≥ n`). Non-members may wait: the predicate ranges over members
+    /// only. Signal-only members may not wait (HJ mode discipline).
+    ///
+    /// This is the OS-thread driver of the begin/poll wait machine: begin,
+    /// then park on the condvar until the fate resolves.
+    pub(crate) fn await_phase(&self, ctx: &TaskCtx, n: Phase) -> Result<(), SyncError> {
+        if let WaitStep::Ready = self.begin_wait(ctx, n)? {
+            return Ok(());
         }
-        Ok(())
+        let (fate, published) = {
+            let mut st = self.state.lock();
+            let w =
+                st.pending.get(&ctx.id()).copied().expect("begin_wait recorded the pending wait");
+            loop {
+                match self.wait_fate_locked(&mut st, ctx.id(), n) {
+                    WaitFate::Pending => self.cond.wait(&mut st),
+                    fate => {
+                        st.pending.remove(&ctx.id());
+                        break (fate, w.published);
+                    }
+                }
+            }
+        };
+        self.settle_wait(ctx, fate, published).map(|_| ())
     }
 
     /// Delivers an avoidance verdict to a blocked victim: wakes `task`'s
@@ -376,6 +492,7 @@ impl PhaserCore {
                 members: HashMap::new(),
                 poisoned: None,
                 interrupts: HashMap::new(),
+                pending: HashMap::new(),
             }),
             cond: Condvar::new(),
         });
@@ -455,6 +572,52 @@ impl Phaser {
     /// arbitrary phases).
     pub fn await_phase(&self, phase: Phase) -> Result<(), SyncError> {
         self.core.await_phase(&ctx::current(), phase)
+    }
+
+    /// Poll-seam entry: begins a wait for `phase` without blocking. On
+    /// [`WaitStep::Pending`] the current task's blocked status is
+    /// published and the wait is driven by [`Phaser::poll_await`]; in
+    /// avoidance mode a would-deadlock verdict surfaces here. Used by
+    /// cooperative schedulers (the simulation testkit) in place of
+    /// [`Phaser::await_phase`].
+    pub fn begin_await(&self, phase: Phase) -> Result<WaitStep, SyncError> {
+        self.core.begin_wait(&ctx::current(), phase)
+    }
+
+    /// Poll-seam step: resolves the current task's pending wait if it can
+    /// (release, poison, or avoidance interrupt), otherwise leaves it
+    /// pending. See [`Phaser::begin_await`].
+    pub fn poll_await(&self) -> Result<WaitStep, SyncError> {
+        self.core.poll_wait(&ctx::current())
+    }
+
+    /// Would [`Phaser::poll_await`] resolve the current task's pending
+    /// wait right now? Pure peek; lets a scheduler enumerate runnable
+    /// steps without committing them.
+    pub fn await_would_resolve(&self) -> bool {
+        self.await_would_resolve_of(ctx::current().id())
+    }
+
+    /// Task-explicit form of [`Phaser::await_would_resolve`], for
+    /// schedulers peeking at waits other than the current task's.
+    pub fn await_would_resolve_of(&self, task: TaskId) -> bool {
+        self.core.wait_would_resolve(task)
+    }
+
+    /// Poll-seam form of [`Phaser::arrive_and_await`]: arrives, then
+    /// begins the wait for the arrived phase.
+    pub fn begin_arrive_and_await(&self) -> Result<WaitStep, SyncError> {
+        let ctx = ctx::current();
+        let n = self.core.arrive(&ctx)?;
+        self.core.begin_wait(&ctx, n)
+    }
+
+    /// Registers `child` at the current task's phase (the same inheritance
+    /// as [`crate::Runtime::spawn_clocked`], without spawning a thread) —
+    /// the seam cooperative schedulers use to model clocked forks. The
+    /// current task must be a member.
+    pub fn register_child(&self, child: &Arc<crate::ctx::TaskCtx>) -> Result<(), SyncError> {
+        self.core.register_child(&ctx::current(), child)
     }
 
     /// The cyclic-barrier step: arrive and wait for everyone (X10

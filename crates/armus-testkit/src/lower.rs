@@ -1,0 +1,167 @@
+//! Lowering `armus-pl` programs into executable scenarios: the bridge
+//! that turns the formal model's *program generator* (`armus_pl::gen`)
+//! into fuel for the simulation harness.
+//!
+//! The registration prefix of the main task — `newPhaser` / `newTid` /
+//! `reg` / `fork` — is evaluated symbolically through the PL semantics
+//! (it is deterministic: only the main task reduces and each rule
+//! instance is unique); what remains is a set of straight-line task
+//! bodies over `skip`/`adv`/`await`/`dereg`, which map 1:1 onto scenario
+//! ops. The lowered scenario's [`Scenario::initial_pl_state`] is
+//! semantically identical to the post-prefix PL state modulo the
+//! canonical renaming, so the differential oracle's lockstep starts from
+//! the very state the program denotes.
+
+use armus_pl::{apply, enabled, Instr, Rule, Seq, State, Transition};
+
+use crate::scenario::{Op, Scenario};
+
+/// Why a program cannot be lowered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// The main task's registration prefix got stuck (a `reg`/`fork`
+    /// premise failed before any barrier work started).
+    StuckPrefix(String),
+    /// A residual task body contains an instruction outside the
+    /// `skip`/`adv`/`await`/`dereg` core (e.g. a loop or a nested fork).
+    Unsupported(String),
+    /// A residual body uses a phaser the task is not a member of at that
+    /// point (the op's PL premise would fail at run time).
+    BadPremise(String),
+    /// A membership is not at phase 0 after the prefix (the lowering's
+    /// initial-state shape assumes registration precedes all arrivals).
+    NonZeroPhase(String),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::StuckPrefix(m) => write!(f, "stuck registration prefix: {m}"),
+            LowerError::Unsupported(m) => write!(f, "unsupported instruction: {m}"),
+            LowerError::BadPremise(m) => write!(f, "failing premise: {m}"),
+            LowerError::NonZeroPhase(m) => write!(f, "non-zero phase after prefix: {m}"),
+        }
+    }
+}
+
+/// Lowers a PL program into a [`Scenario`]. Supports the (large) fragment
+/// where the main task performs all registration up front — exactly the
+/// shape [`armus_pl::gen::gen_program`] emits.
+pub fn lower_program(program: &Seq) -> Result<Scenario, LowerError> {
+    let mut state = State::initial(program.clone());
+
+    // Evaluate the main task's registration prefix.
+    while let Some(instr) = state.tasks.get("#main").and_then(|seq| seq.first()).cloned() {
+        let rule = match &instr {
+            Instr::NewPhaser(_) => Rule::NewPhaser,
+            Instr::NewTid(_) => Rule::NewTid,
+            Instr::Reg(_, _) => Rule::Reg,
+            Instr::Fork(_, _) => Rule::Fork,
+            _ => break,
+        };
+        let transition = Transition { task: "#main".to_string(), rule };
+        if !enabled(&state).contains(&transition) {
+            return Err(LowerError::StuckPrefix(format!("{instr}")));
+        }
+        state = apply(&state, &transition);
+    }
+
+    // Canonical indices: BTreeMap order of the post-prefix state.
+    let phaser_names: Vec<String> = state.phasers.keys().cloned().collect();
+    let task_names: Vec<String> = state.tasks.keys().cloned().collect();
+    let phaser_ix = |name: &str| phaser_names.iter().position(|p| p == name).expect("known phaser");
+
+    let mut scenario = Scenario::new(phaser_names.len());
+    let mut defs = Vec::new();
+    for t in &task_names {
+        let mut members = Vec::new();
+        for (ix, p) in phaser_names.iter().enumerate() {
+            if let Some(phase) = state.phasers[p].phase_of(t) {
+                if phase != 0 {
+                    return Err(LowerError::NonZeroPhase(format!("{t} on {p} at {phase}")));
+                }
+                members.push(ix);
+            }
+        }
+        let mut script = Vec::new();
+        let mut membership: Vec<bool> =
+            (0..phaser_names.len()).map(|ix| members.contains(&ix)).collect();
+        for instr in &state.tasks[t] {
+            let op = match instr {
+                Instr::Skip => Op::Skip,
+                Instr::Adv(p) => Op::Arrive(phaser_ix(p)),
+                Instr::Await(p) => Op::Await(phaser_ix(p)),
+                Instr::Dereg(p) => Op::Dereg(phaser_ix(p)),
+                other => return Err(LowerError::Unsupported(format!("{t}: {other}"))),
+            };
+            // Premise check (membership only changes via the task's own
+            // dereg, so a straight-line walk is exact).
+            match op {
+                Op::Skip => {}
+                Op::Arrive(p) | Op::Await(p) => {
+                    if !membership[p] {
+                        return Err(LowerError::BadPremise(format!("{t}: {instr}")));
+                    }
+                }
+                Op::Dereg(p) => {
+                    if !membership[p] {
+                        return Err(LowerError::BadPremise(format!("{t}: {instr}")));
+                    }
+                    membership[p] = false;
+                }
+            }
+            script.push(op);
+        }
+        defs.push((t.clone(), members, script));
+    }
+    for (name, members, script) in defs {
+        scenario.push_task(name, members, script);
+    }
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_pl::gen::{gen_program, ProgGenConfig};
+    use armus_pl::parse;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure1_lowers_to_a_two_task_scenario() {
+        let program = parse(
+            "pc = newPhaser();
+             pb = newPhaser();
+             t = newTid();
+             reg(pc, t); reg(pb, t);
+             fork(t) { adv(pc); await(pc); dereg(pc); dereg(pb); }
+             adv(pb); await(pb);",
+        )
+        .unwrap();
+        let scenario = lower_program(&program).unwrap();
+        assert_eq!(scenario.phasers, 2);
+        assert_eq!(scenario.tasks.len(), 2);
+        assert_eq!(scenario.total_ops(), 6);
+        // The denoted PL state reaches the Figure 1 deadlock.
+        let stuck = armus_pl::semantics::explore_stuck_states(scenario.initial_pl_state(), 100_000);
+        assert!(stuck.iter().any(armus_pl::is_deadlocked));
+    }
+
+    #[test]
+    fn loops_are_rejected() {
+        let program = parse("p = newPhaser(); loop { adv(p); } dereg(p);").unwrap();
+        assert!(matches!(lower_program(&program), Err(LowerError::Unsupported(_))));
+    }
+
+    #[test]
+    fn every_generated_program_lowers() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for i in 0..200 {
+            let program = gen_program(&mut rng, &ProgGenConfig::default());
+            lower_program(&program).unwrap_or_else(|e| {
+                panic!("generated program {i} failed to lower: {e}\n{program:?}")
+            });
+        }
+    }
+}

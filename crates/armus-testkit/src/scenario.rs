@@ -1,0 +1,238 @@
+//! The scenario DSL: a declarative description of a small barrier program
+//! — phasers, tasks, initial memberships, and per-task op scripts — that
+//! both sides of the differential oracle execute.
+//!
+//! The op set maps 1:1 onto the PL instructions of the paper's Figure 4
+//! (`skip`/`adv`/`await`/`dereg`), so a scenario denotes simultaneously:
+//!
+//! * a **runtime program** the simulation harness drives through real
+//!   `armus-sync` phasers (via the poll-based wait seam), and
+//! * a **PL state** ([`Scenario::initial_pl_state`]) the `armus-pl`
+//!   semantics steps through in lockstep.
+//!
+//! Scenario names are canonical (`t0, t1, …` / `p0, p1, …`), so index
+//! arithmetic translates between the two worlds.
+
+use armus_pl::{Instr, PhaserState, Seq, State};
+
+/// Index of a phaser declared by a scenario.
+pub type PhaserIx = usize;
+
+/// One instruction of a task script, mapping 1:1 onto PL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// PL `skip`: a local computation step.
+    Skip,
+    /// PL `adv(p)`: arrive at the next phase without waiting.
+    Arrive(PhaserIx),
+    /// PL `await(p)`: wait — at the task's current local phase — until
+    /// every signalling member has arrived at it.
+    Await(PhaserIx),
+    /// PL `dereg(p)`: revoke membership.
+    Dereg(PhaserIx),
+}
+
+/// One task of a scenario: its initial memberships (all at phase 0, as
+/// after PL's registration prefix) and its straight-line script.
+#[derive(Clone, Debug)]
+pub struct TaskDef {
+    /// Display name (canonical `t{i}` unless lowered from a PL program,
+    /// which records the original PL name for readable failures).
+    pub name: String,
+    /// Phasers the task is initially a member of, at phase 0.
+    pub members: Vec<PhaserIx>,
+    /// The task's instruction script.
+    pub script: Vec<Op>,
+}
+
+/// A scenario: `phasers` phasers and a fixed set of tasks.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Number of phasers (indexed `0..phasers`).
+    pub phasers: usize,
+    /// The tasks, indexed by position.
+    pub tasks: Vec<TaskDef>,
+}
+
+impl Scenario {
+    /// An empty scenario over `phasers` phasers.
+    pub fn new(phasers: usize) -> Scenario {
+        Scenario { phasers, tasks: Vec::new() }
+    }
+
+    /// Adds a task with the given initial memberships and script,
+    /// returning the scenario for chaining. Panics on an out-of-range
+    /// phaser index or a script op referencing a phaser the task never
+    /// joins (the static premise the simulation relies on).
+    pub fn task(mut self, members: &[PhaserIx], script: Vec<Op>) -> Scenario {
+        let name = format!("t{}", self.tasks.len());
+        self.push_task(name, members.to_vec(), script);
+        self
+    }
+
+    /// Named-task form of [`Scenario::task`], used by the PL lowering.
+    pub fn push_task(&mut self, name: String, members: Vec<PhaserIx>, script: Vec<Op>) {
+        for &p in &members {
+            assert!(p < self.phasers, "membership references phaser {p} of {}", self.phasers);
+        }
+        // Static validity: every Arrive/Await/Dereg targets a phaser the
+        // task is a member of at that point of its straight-line script
+        // (membership only changes through the task's own Dereg).
+        let mut member: Vec<bool> = (0..self.phasers).map(|p| members.contains(&p)).collect();
+        for op in &script {
+            match *op {
+                Op::Skip => {}
+                Op::Arrive(p) | Op::Await(p) => {
+                    assert!(member[p], "{name}: op {op:?} on phaser p{p} without membership");
+                }
+                Op::Dereg(p) => {
+                    assert!(member[p], "{name}: dereg of p{p} without membership");
+                    member[p] = false;
+                }
+            }
+        }
+        self.tasks.push(TaskDef { name, members, script });
+    }
+
+    /// Total ops across every script (the maximum number of PL-visible
+    /// steps a run can take).
+    pub fn total_ops(&self) -> usize {
+        self.tasks.iter().map(|t| t.script.len()).sum()
+    }
+
+    /// Canonical name of task `i`.
+    pub fn task_name(i: usize) -> String {
+        format!("t{i}")
+    }
+
+    /// Canonical name of phaser `p`.
+    pub fn phaser_name(p: usize) -> String {
+        format!("p{p}")
+    }
+
+    /// The PL state this scenario denotes: tasks `t{i}` holding their
+    /// scripts as instruction sequences, phasers `p{j}` with the declared
+    /// members at phase 0 — the state reached after a PL program's
+    /// registration prefix.
+    pub fn initial_pl_state(&self) -> State {
+        let mut st = State::initial(vec![]);
+        st.tasks.clear();
+        for p in 0..self.phasers {
+            let mut ph = PhaserState::default();
+            for (i, task) in self.tasks.iter().enumerate() {
+                if task.members.contains(&p) {
+                    ph.0.insert(Self::task_name(i), 0);
+                }
+            }
+            st.phasers.insert(Self::phaser_name(p), ph);
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            let seq: Seq = task.script.iter().map(|op| op_to_instr(*op)).collect();
+            st.tasks.insert(Self::task_name(i), seq);
+        }
+        st
+    }
+}
+
+/// The PL instruction an op denotes.
+pub fn op_to_instr(op: Op) -> Instr {
+    match op {
+        Op::Skip => Instr::Skip,
+        Op::Arrive(p) => Instr::Adv(Scenario::phaser_name(p)),
+        Op::Await(p) => Instr::Await(Scenario::phaser_name(p)),
+        Op::Dereg(p) => Instr::Dereg(Scenario::phaser_name(p)),
+    }
+}
+
+/// Canonical small scenarios for the bounded-exhaustive tier: each stays
+/// within 4 tasks and 3 resources, with scripts short enough that *every*
+/// interleaving fits the exploration budget.
+pub fn canonical_scenarios() -> Vec<(&'static str, Scenario)> {
+    use Op::*;
+    vec![
+        (
+            // Two tasks, crossed waits over two phasers — the minimal
+            // 2-resource deadlock (and the shape the planted fast-path
+            // mutation hides).
+            "crossed-wait",
+            Scenario::new(2)
+                .task(&[0, 1], vec![Arrive(0), Await(0)])
+                .task(&[0, 1], vec![Arrive(1), Await(1)]),
+        ),
+        (
+            // Figure 1 in miniature: one worker steps pc while the driver
+            // joins on pb without ever advancing pc.
+            "figure1-mini",
+            Scenario::new(2)
+                .task(&[0, 1], vec![Arrive(0), Await(0), Dereg(0), Dereg(1)])
+                .task(&[0, 1], vec![Arrive(1), Await(1)]),
+        ),
+        (
+            // The fixed variant: the driver drops pc first — deadlock-free
+            // under every interleaving.
+            "figure1-fixed",
+            Scenario::new(2)
+                .task(&[0, 1], vec![Arrive(0), Await(0), Dereg(0), Dereg(1)])
+                .task(&[0, 1], vec![Dereg(0), Arrive(1), Await(1)]),
+        ),
+        (
+            // Three tasks on one barrier: the SPMD shape the avoidance
+            // fast path answers without ever taking the engine lock.
+            "spmd-3",
+            Scenario::new(1)
+                .task(&[0], vec![Arrive(0), Await(0)])
+                .task(&[0], vec![Arrive(0), Await(0)])
+                .task(&[0], vec![Arrive(0), Await(0)]),
+        ),
+        (
+            // A missing participant: t1 terminates registered and without
+            // arriving — t0 hangs, but on a *non-cycle*: stuck yet not
+            // deadlocked, so no side may report.
+            "missing-participant",
+            Scenario::new(1).task(&[0], vec![Arrive(0), Await(0)]).task(&[0], vec![Skip]),
+        ),
+        (
+            // A 3-cycle across 3 phasers: each task arrives on its own
+            // phaser and waits on it while lagging on its neighbour's.
+            "ring-3",
+            Scenario::new(3)
+                .task(&[0, 1], vec![Arrive(0), Await(0)])
+                .task(&[1, 2], vec![Arrive(1), Await(1)])
+                .task(&[2, 0], vec![Arrive(2), Await(2)]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_pl::deadlock::is_deadlocked;
+    use armus_pl::semantics::explore_stuck_states;
+
+    #[test]
+    fn canonical_scenarios_denote_the_expected_pl_behaviour() {
+        for (name, scenario) in canonical_scenarios() {
+            let stuck = explore_stuck_states(scenario.initial_pl_state(), 500_000);
+            let any_deadlock = stuck.iter().any(is_deadlocked);
+            match name {
+                "crossed-wait" | "figure1-mini" | "ring-3" => {
+                    assert!(any_deadlock, "{name}: must reach a deadlock on some schedule")
+                }
+                "figure1-fixed" | "spmd-3" => {
+                    assert!(stuck.is_empty(), "{name}: must be stuck-free: {stuck:?}")
+                }
+                "missing-participant" => {
+                    assert!(!stuck.is_empty(), "{name}: must hang");
+                    assert!(!any_deadlock, "{name}: the hang is not a cycle")
+                }
+                other => panic!("unclassified canonical scenario {other}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without membership")]
+    fn scripts_must_respect_membership() {
+        let _ = Scenario::new(1).task(&[], vec![Op::Arrive(0)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Schedule choosers: how the virtual-time scheduler picks among enabled
+//! steps. Seeded-random for the statistical tier, scripted replay for
+//! repros and shrinking, and a depth-first enumerator for the
+//! bounded-exhaustive tier (classic stateless model checking: each
+//! schedule re-executes the scenario from scratch along a recorded choice
+//! prefix).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks one of `options` enabled steps (indices `0..options`); called
+/// once per scheduling round with `options ≥ 1`.
+pub trait Chooser {
+    /// The chosen index.
+    fn choose(&mut self, options: usize) -> usize;
+}
+
+/// Uniform seeded-random chooser: the statistical tier's scheduler. Same
+/// seed ⇒ same schedule, which is the whole repro story.
+pub struct SeededChooser {
+    rng: SmallRng,
+}
+
+impl SeededChooser {
+    /// A chooser from a 64-bit seed.
+    pub fn new(seed: u64) -> SeededChooser {
+        SeededChooser { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Chooser for SeededChooser {
+    fn choose(&mut self, options: usize) -> usize {
+        self.rng.gen_range(0..options)
+    }
+}
+
+/// Follows a scripted choice prefix, then defaults to the first option;
+/// records what it actually took and how many options each round offered.
+/// This is both the replay chooser (script = a recorded schedule) and the
+/// exhaustive enumerator's probe.
+pub struct ScriptedChooser {
+    script: Vec<usize>,
+    at: usize,
+    /// The choice actually taken each round (script clamped to range).
+    pub taken: Vec<usize>,
+    /// The number of options offered each round.
+    pub offered: Vec<usize>,
+}
+
+impl ScriptedChooser {
+    /// A chooser that follows `script` and then picks index 0.
+    pub fn new(script: Vec<usize>) -> ScriptedChooser {
+        ScriptedChooser { script, at: 0, taken: Vec::new(), offered: Vec::new() }
+    }
+}
+
+impl Chooser for ScriptedChooser {
+    fn choose(&mut self, options: usize) -> usize {
+        let raw = self.script.get(self.at).copied().unwrap_or(0);
+        self.at += 1;
+        let pick = raw.min(options - 1);
+        self.taken.push(pick);
+        self.offered.push(options);
+        pick
+    }
+}
+
+/// Records the schedule an inner chooser produces (for printing a failing
+/// run's schedule in repros).
+pub struct RecordingChooser<C> {
+    inner: C,
+    /// The recorded schedule.
+    pub taken: Vec<usize>,
+}
+
+impl<C> RecordingChooser<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> RecordingChooser<C> {
+        RecordingChooser { inner, taken: Vec::new() }
+    }
+}
+
+impl<C: Chooser> Chooser for RecordingChooser<C> {
+    fn choose(&mut self, options: usize) -> usize {
+        let pick = self.inner.choose(options);
+        self.taken.push(pick);
+        pick
+    }
+}
+
+/// Outcome of a bounded-exhaustive exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exploration {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Whether the whole tree was covered (false: the budget ran out).
+    pub complete: bool,
+}
+
+/// Depth-first enumeration of *every* schedule of a deterministic
+/// `run`: each call re-executes the scenario under a [`ScriptedChooser`]
+/// whose prefix encodes the path; backtracking increments the deepest
+/// choice with unexplored siblings. `run` may return early (e.g. on a
+/// detected failure) — exploration stops at the first `Err`.
+pub fn explore_all<E>(
+    mut run: impl FnMut(&mut ScriptedChooser) -> Result<(), E>,
+    budget: usize,
+) -> Result<Exploration, E> {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let mut chooser = ScriptedChooser::new(prefix.clone());
+        run(&mut chooser)?;
+        schedules += 1;
+        // Backtrack: the deepest round with an unexplored sibling.
+        let (taken, offered) = (chooser.taken, chooser.offered);
+        let Some(depth) = (0..taken.len()).rev().find(|&i| taken[i] + 1 < offered[i]) else {
+            return Ok(Exploration { schedules, complete: true });
+        };
+        if schedules >= budget {
+            return Ok(Exploration { schedules, complete: false });
+        }
+        prefix = taken[..depth].to_vec();
+        prefix.push(taken[depth] + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_chooser_is_deterministic() {
+        let picks = |seed| {
+            let mut ch = SeededChooser::new(seed);
+            (0..32).map(|i| ch.choose(2 + i % 5)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn explore_all_enumerates_the_full_tree() {
+        // A synthetic 3-round tree with branching 2×3×2 = 12 schedules.
+        let mut seen = std::collections::HashSet::new();
+        let out = explore_all::<()>(
+            |ch| {
+                let a = ch.choose(2);
+                let b = ch.choose(3);
+                let c = ch.choose(2);
+                assert!(seen.insert((a, b, c)), "schedule repeated");
+                Ok(())
+            },
+            1000,
+        )
+        .unwrap();
+        assert_eq!(out, Exploration { schedules: 12, complete: true });
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn explore_all_respects_the_budget() {
+        let out = explore_all::<()>(
+            |ch| {
+                for _ in 0..4 {
+                    ch.choose(3);
+                }
+                Ok(())
+            },
+            10,
+        )
+        .unwrap();
+        assert_eq!(out.schedules, 10);
+        assert!(!out.complete);
+    }
+
+    #[test]
+    fn explore_all_stops_on_error() {
+        let mut runs = 0;
+        let out = explore_all(
+            |ch| {
+                runs += 1;
+                if ch.choose(2) == 1 {
+                    return Err("boom");
+                }
+                ch.choose(2);
+                Ok(())
+            },
+            1000,
+        );
+        assert_eq!(out, Err("boom"));
+        assert!(runs >= 2);
+    }
+}

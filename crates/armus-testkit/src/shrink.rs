@@ -1,0 +1,143 @@
+//! Failure minimisation: given a scenario whose differential run fails,
+//! greedily remove tasks and ops while the failure persists, then record
+//! the shrunk run's schedule and print a replayable one-liner.
+//!
+//! Removals never invalidate a scenario: membership is only ever revoked
+//! by a task's *own* `Dereg`, so deleting ops or whole tasks leaves every
+//! remaining op's premise intact.
+
+use crate::scenario::{Scenario, TaskDef};
+
+/// A minimised failing run, ready to be printed as a repro.
+pub struct Repro {
+    /// The shrunk scenario.
+    pub scenario: Scenario,
+    /// The failure it still produces.
+    pub failure: crate::oracle::Failure,
+    /// The seed that drives the failing schedule.
+    pub seed: u64,
+    /// Steps the failing run takes under the seed (its schedule length).
+    pub schedule_len: u64,
+}
+
+impl std::fmt::Display for Repro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "differential failure: {}", self.failure)?;
+        writeln!(f, "schedule length: {} steps", self.schedule_len)?;
+        writeln!(f, "shrunk scenario ({} phasers):", self.scenario.phasers)?;
+        for (i, t) in self.scenario.tasks.iter().enumerate() {
+            writeln!(f, "  t{i} ({}) members {:?}: {:?}", t.name, t.members, t.script)?;
+        }
+        write!(
+            f,
+            "replay: ARMUS_TESTKIT_SEED={} cargo test -p armus-testkit seeded -- --nocapture",
+            self.seed
+        )
+    }
+}
+
+/// Greedily shrinks `scenario` while `check` keeps failing. `check`
+/// returns the failure a candidate still produces, or `None` when the
+/// candidate passes (candidate rejected). Returns the minimal scenario
+/// and its failure.
+pub fn shrink(
+    scenario: &Scenario,
+    failure: crate::oracle::Failure,
+    mut check: impl FnMut(&Scenario) -> Option<crate::oracle::Failure>,
+) -> (Scenario, crate::oracle::Failure) {
+    let mut best = scenario.clone();
+    let mut best_failure = failure;
+    loop {
+        let mut improved = false;
+        // Try dropping a whole task.
+        for i in 0..best.tasks.len() {
+            let mut candidate = best.clone();
+            candidate.tasks.remove(i);
+            if let Some(f) = check(&candidate) {
+                best = candidate;
+                best_failure = f;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+        // Try dropping a single op.
+        'ops: for i in 0..best.tasks.len() {
+            for j in 0..best.tasks[i].script.len() {
+                let mut candidate = best.clone();
+                candidate.tasks[i].script.remove(j);
+                if let Some(f) = check(&candidate) {
+                    best = candidate;
+                    best_failure = f;
+                    improved = true;
+                    break 'ops;
+                }
+            }
+        }
+        // Try dropping an unused membership (shrinks the printed repro).
+        if !improved {
+            'members: for i in 0..best.tasks.len() {
+                let TaskDef { members, script, .. } = &best.tasks[i];
+                for (k, &p) in members.iter().enumerate() {
+                    let referenced = script.iter().any(|op| match *op {
+                        crate::scenario::Op::Skip => false,
+                        crate::scenario::Op::Arrive(q)
+                        | crate::scenario::Op::Await(q)
+                        | crate::scenario::Op::Dereg(q) => q == p,
+                    });
+                    if referenced {
+                        continue;
+                    }
+                    let mut candidate = best.clone();
+                    candidate.tasks[i].members.remove(k);
+                    if let Some(f) = check(&candidate) {
+                        best = candidate;
+                        best_failure = f;
+                        improved = true;
+                        break 'members;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return (best, best_failure);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Failure;
+    use crate::scenario::Op::*;
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        // Synthetic property: "fails" while at least two tasks still
+        // await on phaser 0 — the minimum is exactly two two-op tasks.
+        let scenario = Scenario::new(2)
+            .task(&[0, 1], vec![Skip, Arrive(0), Await(0), Dereg(1)])
+            .task(&[0], vec![Arrive(0), Skip, Await(0)])
+            .task(&[0, 1], vec![Arrive(1), Await(1)])
+            .task(&[0], vec![Arrive(0), Await(0), Skip]);
+        let fails = |s: &Scenario| {
+            let awaiting = s
+                .tasks
+                .iter()
+                .filter(|t| t.script.contains(&Await(0)) && t.script.contains(&Arrive(0)))
+                .count();
+            (awaiting >= 2).then(|| Failure {
+                config: "synthetic".into(),
+                step: 0,
+                message: format!("{awaiting} tasks still await p0"),
+            })
+        };
+        let seed_failure = fails(&scenario).expect("initial scenario fails");
+        let (best, _) = shrink(&scenario, seed_failure, fails);
+        assert_eq!(best.tasks.len(), 2, "only the two awaiting tasks survive");
+        assert!(best.tasks.iter().all(|t| t.script.len() == 2));
+        assert!(best.tasks.iter().all(|t| t.members == vec![0]));
+    }
+}

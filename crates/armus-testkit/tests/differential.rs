@@ -1,0 +1,120 @@
+//! The two main differential tiers:
+//!
+//! * **seeded-random** — `ARMUS_TESTKIT_SEEDS` seeds (default 400, CI
+//!   10 000); each seed generates a buggy-by-construction PL program,
+//!   lowers it to a scenario, and runs every oracle configuration under
+//!   the seed's schedule stream. Failures shrink and print an
+//!   `ARMUS_TESTKIT_SEED=…` repro line.
+//! * **bounded-exhaustive** — every canonical scenario (≤ 4 tasks, ≤ 3
+//!   resources) is explored through *every* interleaving, under every
+//!   oracle configuration.
+//!
+//! Both tiers are compiled out under the `verifier-mutation` feature: a
+//! planted verifier bug makes them fail by design (that run belongs to
+//! `tests/mutation.rs`).
+#![cfg(not(feature = "verifier-mutation"))]
+
+use armus_pl::gen::{gen_program, ProgGenConfig};
+use armus_testkit::{
+    canonical_scenarios, explore_all, lower_program, oracle_configs, run_config, run_seeded,
+    seeds_from_env, shrink, write_repro, Repro, Scenario, SeededChooser,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The generator configuration of the seeded tier: bug-heavy, so a large
+/// fraction of scenarios actually deadlock and the verifier's positive
+/// paths get real coverage.
+fn gen_config() -> ProgGenConfig {
+    ProgGenConfig { missing_adv_prob: 0.8, missing_dereg_prob: 0.8, ..ProgGenConfig::default() }
+}
+
+/// The scenario seed `seed` denotes (generation and lowering are pure
+/// functions of it).
+fn scenario_for(seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let program = gen_program(&mut rng, &gen_config());
+    lower_program(&program).expect("generated programs always lower")
+}
+
+#[test]
+fn seeded_random_tier() {
+    let seeds = seeds_from_env();
+    let mut deadlocked = 0usize;
+    for &seed in &seeds {
+        let scenario = scenario_for(seed);
+        if let Err(failure) = run_seeded(&scenario, seed) {
+            let (shrunk, failure) =
+                shrink(&scenario, failure, |candidate| run_seeded(candidate, seed).err());
+            // Measure the schedule under the configuration that actually
+            // failed, so the repro describes the failing run.
+            let oc = oracle_configs()
+                .into_iter()
+                .find(|c| c.name == failure.config)
+                .expect("failure names a known oracle config");
+            let mut sim = armus_testkit::Sim::new(&shrunk, oc.verifier);
+            let (_, steps) = sim.run_to_end(&mut SeededChooser::new(seed));
+            let repro = Repro { scenario: shrunk, failure, seed, schedule_len: steps };
+            panic!("seeded tier failed\n{}", write_repro(&repro));
+        }
+        // Cheap coverage telemetry: how many seeds actually deadlock
+        // (the tier is only meaningful if a healthy fraction do).
+        let mut sim =
+            armus_testkit::Sim::new(&scenario, armus_core::VerifierConfig::publish_only());
+        sim.run_to_end(&mut SeededChooser::new(seed));
+        let _ = sim.verifier().check_now();
+        if sim.verifier().found_deadlock() {
+            deadlocked += 1;
+        }
+    }
+    // With the bug-heavy generator a substantial share of runs deadlock;
+    // guard against a silent generator regression that would turn the
+    // tier into a no-op.
+    if seeds.len() >= 100 {
+        assert!(
+            deadlocked * 20 >= seeds.len(),
+            "only {deadlocked}/{} seeded runs deadlocked — generator regressed?",
+            seeds.len()
+        );
+    }
+}
+
+#[test]
+fn bounded_exhaustive_tier() {
+    // Budget per (scenario, config): high enough that every canonical
+    // scenario's full interleaving tree fits (the largest is ~20k
+    // schedules); `complete` is asserted, so growth in the canonical set
+    // that overflows the budget fails loudly instead of silently
+    // truncating coverage.
+    const BUDGET: usize = 200_000;
+    for (name, scenario) in canonical_scenarios() {
+        for oc in oracle_configs() {
+            let explored = explore_all(|chooser| run_config(&scenario, &oc, chooser), BUDGET)
+                .unwrap_or_else(|f| panic!("exhaustive tier: {name}: {f}"));
+            assert!(
+                explored.complete,
+                "{name}/{}: exploration incomplete after {} schedules",
+                oc.name, explored.schedules
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_tier_covers_every_interleaving_of_the_crossed_wait() {
+    // Sanity-check the enumerator against a hand-countable tree: the
+    // crossed wait has 2 tasks × 2 ops and deadlocks on *every* complete
+    // schedule; the detection oracle must agree on each one.
+    let scenario = canonical_scenarios().into_iter().find(|(n, _)| *n == "crossed-wait").unwrap().1;
+    let oc = &oracle_configs()[2];
+    let explored = explore_all(|chooser| run_config(&scenario, oc, chooser), 10_000).unwrap();
+    assert!(explored.complete);
+    // 4 ops over 2 tasks: at most C(4,2)=6 maximal interleavings (fewer
+    // rounds offer choices once tasks park); the tree must be small and
+    // fully covered.
+    assert!(
+        (2..=24).contains(&explored.schedules),
+        "unexpected schedule count {}",
+        explored.schedules
+    );
+}

@@ -1,0 +1,83 @@
+//! Proof that the differential oracle catches real verifier bugs: built
+//! with `--features verifier-mutation`, armus-core's avoidance fast path
+//! is deliberately off by one (cardinality bound 3 instead of 2), which
+//! silently admits every two-resource deadlock cycle. The oracle must
+//! flag it, and the shrinker must reduce the failure to a hand-readable
+//! scenario with a ≤ 10-step schedule.
+//!
+//! Run with: `cargo test -p armus-testkit --features verifier-mutation`
+//! (the regular tiers are compiled out under the feature — they would
+//! fail by design).
+#![cfg(feature = "verifier-mutation")]
+
+use armus_pl::gen::{gen_program, ProgGenConfig};
+use armus_testkit::{
+    canonical_scenarios, lower_program, oracle_configs, run_config, run_seeded, shrink,
+    write_repro, Repro, SeededChooser, Sim,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The canonical two-resource cycle the mutation hides.
+fn crossed_wait() -> armus_testkit::Scenario {
+    canonical_scenarios().into_iter().find(|(n, _)| *n == "crossed-wait").unwrap().1
+}
+
+#[test]
+fn oracle_catches_the_planted_bug_on_the_crossed_wait() {
+    let scenario = crossed_wait();
+    let failure = run_seeded(&scenario, 0)
+        .expect_err("the mutated fast path admits the two-resource cycle; the oracle must notice");
+    assert_eq!(failure.config, "avoidance", "the bug lives in the fast path: {failure}");
+    assert!(failure.message.contains("admitted a deadlock"), "unexpected failure shape: {failure}");
+    // The no-fastpath config is immune: the mutation is *in* the fast
+    // path, so the full-check configuration must still pass.
+    let oc = oracle_configs().into_iter().find(|c| c.name == "avoidance-nofastpath").unwrap();
+    run_config(&scenario, &oc, &mut SeededChooser::new(0))
+        .expect("the mutation must not affect the slow path");
+}
+
+#[test]
+fn seed_scan_finds_the_bug_and_shrinks_it_below_ten_steps() {
+    // Scan generated scenarios the way the seeded tier does; the planted
+    // bug must surface quickly, and the shrunk repro must be tiny.
+    let cfg = ProgGenConfig {
+        missing_adv_prob: 0.8,
+        missing_dereg_prob: 0.8,
+        ..ProgGenConfig::default()
+    };
+    let mut found = None;
+    for seed in 0..500u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &cfg);
+        let scenario = lower_program(&program).expect("generated programs lower");
+        if let Err(failure) = run_seeded(&scenario, seed) {
+            found = Some((scenario, seed, failure));
+            break;
+        }
+    }
+    let (scenario, seed, failure) =
+        found.expect("500 buggy-generator seeds must trip the planted mutation");
+
+    let (shrunk, failure) =
+        shrink(&scenario, failure, |candidate| run_seeded(candidate, seed).err());
+
+    // The minimal shape of a two-resource cycle: two tasks, two phasers,
+    // two ops each.
+    assert!(shrunk.tasks.len() <= 3, "shrunk to {} tasks", shrunk.tasks.len());
+    assert!(shrunk.total_ops() <= 6, "shrunk to {} ops", shrunk.total_ops());
+
+    // Replay the shrunk scenario under the failing config and count the
+    // schedule: the acceptance bar is a ≤ 10-step repro.
+    let oc = oracle_configs().into_iter().find(|c| c.name == failure.config).unwrap();
+    let mut sim = Sim::new(&shrunk, oc.verifier);
+    let (_, steps) = sim.run_to_end(&mut SeededChooser::new(seed));
+    assert!(steps <= 10, "shrunk schedule takes {steps} steps (> 10)");
+
+    let repro = Repro { scenario: shrunk, failure, seed, schedule_len: steps };
+    // Exercise the repro path end to end (this is what CI uploads when a
+    // *real* bug slips through).
+    let text = write_repro(&repro);
+    assert!(text.contains("ARMUS_TESTKIT_SEED="));
+    println!("shrunk repro:\n{text}");
+}

@@ -5,44 +5,55 @@
 //!
 //! ```text
 //! cargo run --example distributed_detection
+//! cargo run --example distributed_detection -- --simulated
 //! ```
+//!
+//! With `--simulated` the sites publish through the seeded fault-injecting
+//! [`ChaosStore`] (dropped, duplicated, and reordered delta publishes on
+//! the site↔store transport) instead of the outage-only [`FaultyStore`];
+//! the run asserts the detected report has exactly the same shape as the
+//! in-process path's — message-level chaos costs resyncs, never verdicts.
 
-use armus::dist::{Cluster, SiteConfig};
+use armus::dist::{
+    chaos::{ChaosConfig, ChaosStore},
+    store::MemStore,
+    Cluster, Site, SiteConfig, SiteId, Store,
+};
 use armus::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn main() {
-    let cfg = SiteConfig {
-        publish_period: Duration::from_millis(10),
-        check_period: Duration::from_millis(25),
-        ..Default::default()
-    };
+/// The per-site workload: healthy barrier rounds everywhere except site
+/// 1, which plants the Figure 1 deadlock (3 workers + driver).
+fn workload(site: usize, rt: &Arc<Runtime>) {
+    if site == 1 {
+        // Buggy: plant and return (the tasks stay blocked).
+        armus::workloads::deadlocky::figure1(rt, 3);
+        return;
+    }
+    let ph = Phaser::new(rt);
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let p2 = ph.clone();
+        handles.push(rt.spawn_clocked(&[&ph], move || {
+            for _ in 0..50 {
+                p2.arrive_and_await().unwrap();
+            }
+            p2.deregister().unwrap();
+        }));
+    }
+    ph.deregister().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// The in-process path: a [`Cluster`] over the outage-injecting store.
+/// Returns the first report (tasks, resources) shape.
+fn run_in_process(cfg: SiteConfig) -> (usize, usize) {
     let cluster = Cluster::start(3, cfg);
     println!("started {} sites over one store", cluster.len());
-
-    // Healthy workloads on sites 0 and 2; the Figure-1 bug on site 1.
-    cluster.run_on_all(|site, rt| {
-        if site == 1 {
-            // Buggy: plant and return (the tasks stay blocked).
-            armus::workloads::deadlocky::figure1(rt, 3);
-            return;
-        }
-        let ph = Phaser::new(rt);
-        let mut handles = Vec::new();
-        for _ in 0..3 {
-            let p2 = ph.clone();
-            handles.push(rt.spawn_clocked(&[&ph], move || {
-                for _ in 0..50 {
-                    p2.arrive_and_await().unwrap();
-                }
-                p2.deregister().unwrap();
-            }));
-        }
-        ph.deregister().unwrap();
-        for h in handles {
-            h.join().unwrap();
-        }
-    });
+    cluster.run_on_all(workload);
 
     // Inject a store outage — detection must resume afterwards.
     println!("store outage for 300 ms…");
@@ -66,5 +77,66 @@ fn main() {
         "sites that independently detected it: {:?} (no designated control site)",
         cluster.reporting_sites()
     );
+    let report = cluster.all_reports().into_iter().next().unwrap();
+    let shape = (report.tasks.len(), report.resources.len());
     cluster.stop();
+    shape
+}
+
+/// The simulated-transport path: the same three sites over a
+/// [`ChaosStore`] dropping/duplicating/reordering delta publishes.
+fn run_simulated(cfg: SiteConfig, seed: u64) -> (usize, usize) {
+    let store = Arc::new(ChaosStore::new(MemStore::new(), ChaosConfig::default(), seed));
+    let sites: Vec<Site> =
+        (0..3).map(|i| Site::start(SiteId(i), Arc::clone(&store) as Arc<dyn Store>, cfg)).collect();
+    println!("started {} sites over the chaos store (seed {seed})", sites.len());
+    std::thread::scope(|scope| {
+        for (i, site) in sites.iter().enumerate() {
+            let rt = site.runtime();
+            scope.spawn(move || workload(i, rt));
+        }
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sites.iter().any(|s| s.found_deadlock()) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(
+        "transport chaos: {} dropped, {} duplicated, {} reordered, {} stale NACKs; {} resyncs",
+        store.dropped(),
+        store.duplicated(),
+        store.delayed(),
+        store.stale_nacks(),
+        sites.iter().map(Site::publish_resyncs).sum::<u64>(),
+    );
+    let report = sites
+        .iter()
+        .flat_map(|s| s.reports())
+        .next()
+        .expect("the planted deadlock must be detected through the chaos");
+    println!("simulated path reported: {report}");
+    let shape = (report.tasks.len(), report.resources.len());
+    for site in sites {
+        site.stop();
+    }
+    shape
+}
+
+fn main() {
+    let simulated = std::env::args().any(|a| a == "--simulated");
+    let cfg = SiteConfig {
+        publish_period: Duration::from_millis(10),
+        check_period: Duration::from_millis(25),
+        ..Default::default()
+    };
+    let in_process = run_in_process(cfg);
+    println!("in-process report shape: {} tasks over {} events", in_process.0, in_process.1);
+    if simulated {
+        let sim = run_simulated(cfg, 42);
+        assert_eq!(
+            sim, in_process,
+            "the chaos-store path must report the same deadlock shape as the in-process path"
+        );
+        println!("simulated path agrees: {} tasks over {} events", sim.0, sim.1);
+    }
 }
