@@ -158,6 +158,27 @@ impl Snapshot {
     pub fn get(&self, task: TaskId) -> Option<&BlockedInfo> {
         self.tasks.binary_search_by_key(&task, |b| b.task).ok().map(|i| &self.tasks[i])
     }
+
+    /// Site-namespaces every task id in this snapshot (see
+    /// [`TaskId::with_site`]): the injective renaming a networked merge
+    /// applies to each site's partition so that colliding process-local
+    /// ids stay distinct in the global view. Phaser ids are left alone —
+    /// a phaser is a *distributed* clock, so the same phaser id on two
+    /// sites genuinely names the same synchronisation object. Re-sorts,
+    /// since the tag lands in the high bits.
+    ///
+    /// Returns `None` when any id cannot be injectively renamed (too
+    /// wide, already namespaced, or a site beyond the tag range) — the
+    /// snapshot may have travelled over the wire, so an out-of-protocol
+    /// id must not panic the checker that merges it.
+    pub fn with_site_namespace(self, site: u32) -> Option<Snapshot> {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for mut b in self.tasks {
+            b.task = b.task.checked_with_site(site)?;
+            tasks.push(b);
+        }
+        Some(Snapshot::from_tasks(tasks))
+    }
 }
 
 /// A single registry mutation, journaled for incremental consumers. A

@@ -25,6 +25,18 @@ pub type Phase = u64;
 static NEXT_TASK: AtomicU64 = AtomicU64::new(1);
 static NEXT_PHASER: AtomicU64 = AtomicU64::new(1);
 
+/// Number of low bits of a [`TaskId`] that hold the site-local id when the
+/// id is site-namespaced (see [`TaskId::with_site`]). The high bits hold
+/// the site tag.
+pub const SITE_TAG_SHIFT: u32 = 48;
+
+/// Largest site-local task id that can be site-namespaced.
+pub const MAX_LOCAL_TASK: u64 = (1 << SITE_TAG_SHIFT) - 1;
+
+/// Largest site number that can be encoded in a namespaced [`TaskId`]
+/// (the tag stores `site + 1` so that tag `0` means "not namespaced").
+pub const MAX_SITE_TAG: u32 = (u16::MAX - 1) as u32;
+
 impl TaskId {
     /// Returns a process-wide fresh task id.
     pub fn fresh() -> TaskId {
@@ -34,6 +46,51 @@ impl TaskId {
     /// Raw numeric value; useful for dense indexing in workloads.
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Site-namespaces this task id: an **injective** renaming of
+    /// `(site, local)` pairs into the task-id space, used when merging
+    /// partitions published by independent processes whose local ids may
+    /// collide. The site tag (`site + 1`, so plain ids read as tag `0`)
+    /// lands in the bits above [`SITE_TAG_SHIFT`].
+    ///
+    /// Panics when the renaming cannot be injective: a local id wider than
+    /// [`MAX_LOCAL_TASK`], an already-namespaced id, or a site beyond
+    /// [`MAX_SITE_TAG`]. Loud beats unsound — a silent wrap would let two
+    /// distinct tasks alias and manufacture (or hide) deadlock cycles.
+    /// Code handling ids from an untrusted source (the wire) must use
+    /// [`TaskId::checked_with_site`] instead.
+    pub fn with_site(self, site: u32) -> TaskId {
+        self.checked_with_site(site).unwrap_or_else(|| {
+            panic!("cannot site-namespace task id {:#x} under site {site}", self.0)
+        })
+    }
+
+    /// Non-panicking form of [`TaskId::with_site`]: `None` when the
+    /// renaming could not be injective (id too wide or already
+    /// namespaced, site beyond [`MAX_SITE_TAG`]). The form to use on ids
+    /// a remote peer supplied.
+    pub fn checked_with_site(self, site: u32) -> Option<TaskId> {
+        if self.0 > MAX_LOCAL_TASK || site > MAX_SITE_TAG {
+            return None;
+        }
+        Some(TaskId(((site as u64 + 1) << SITE_TAG_SHIFT) | self.0))
+    }
+
+    /// The site a namespaced id was tagged with, or `None` for plain ids.
+    pub fn site_tag(self) -> Option<u32> {
+        let tag = self.0 >> SITE_TAG_SHIFT;
+        if tag == 0 {
+            None
+        } else {
+            Some((tag - 1) as u32)
+        }
+    }
+
+    /// Strips the site tag, recovering the site-local id (identity for
+    /// plain ids).
+    pub fn local(self) -> TaskId {
+        TaskId(self.0 & MAX_LOCAL_TASK)
     }
 }
 
@@ -51,13 +108,18 @@ impl PhaserId {
 
 impl fmt::Debug for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}", self.0)
+        fmt::Display::fmt(self, f)
     }
 }
 
 impl fmt::Display for TaskId {
+    /// Plain ids render as `t7`; site-namespaced ids render as `s2:t7`
+    /// so distributed reports name the owning site.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}", self.0)
+        match self.site_tag() {
+            None => write!(f, "t{}", self.0),
+            Some(site) => write!(f, "s{site}:t{}", self.local().0),
+        }
     }
 }
 
@@ -110,5 +172,45 @@ mod tests {
         assert_eq!(PhaserId(9).to_string(), "p9");
         assert_eq!(format!("{:?}", TaskId(7)), "t7");
         assert_eq!(format!("{:?}", PhaserId(9)), "p9");
+    }
+
+    #[test]
+    fn site_namespacing_is_injective_and_invertible() {
+        let mut seen = HashSet::new();
+        for site in [0u32, 1, 2, 77, MAX_SITE_TAG] {
+            for local in [1u64, 2, 1000, MAX_LOCAL_TASK] {
+                let global = TaskId(local).with_site(site);
+                assert!(seen.insert(global), "collision at ({site}, {local})");
+                assert_eq!(global.site_tag(), Some(site));
+                assert_eq!(global.local(), TaskId(local));
+            }
+        }
+    }
+
+    #[test]
+    fn plain_ids_never_alias_namespaced_ids() {
+        assert_eq!(TaskId(7).site_tag(), None);
+        assert_eq!(TaskId(7).local(), TaskId(7));
+        assert_ne!(TaskId(7).with_site(0), TaskId(7));
+    }
+
+    #[test]
+    fn namespaced_display_names_the_site() {
+        assert_eq!(TaskId(7).with_site(2).to_string(), "s2:t7");
+        assert_eq!(format!("{:?}", TaskId(7).with_site(0)), "s0:t7");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot site-namespace")]
+    fn renaming_an_already_namespaced_id_panics() {
+        let _ = TaskId(7).with_site(1).with_site(2);
+    }
+
+    #[test]
+    fn checked_namespacing_refuses_instead_of_panicking() {
+        assert_eq!(TaskId(7).checked_with_site(0), Some(TaskId(7).with_site(0)));
+        assert_eq!(TaskId(7).with_site(1).checked_with_site(2), None, "already namespaced");
+        assert_eq!(TaskId(MAX_LOCAL_TASK + 1).checked_with_site(0), None, "id too wide");
+        assert_eq!(TaskId(7).checked_with_site(MAX_SITE_TAG + 1), None, "site too large");
     }
 }

@@ -78,7 +78,7 @@ pub use deps::{
 };
 pub use engine::{IncrementalEngine, PAR_NODE_THRESHOLD};
 pub use error::DeadlockError;
-pub use ids::{Phase, PhaserId, TaskId};
+pub use ids::{Phase, PhaserId, TaskId, MAX_LOCAL_TASK, MAX_SITE_TAG, SITE_TAG_SHIFT};
 pub use resource::{Registration, Resource};
 pub use stats::{StatsCollector, StatsSnapshot};
 pub use verifier::{Verifier, VerifierConfig, VerifyMode};

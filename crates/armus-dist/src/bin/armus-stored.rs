@@ -1,0 +1,82 @@
+//! `armus-stored` — the standalone networked global store (paper §5.2's
+//! Redis role), serving the Armus wire protocol.
+//!
+//! ```text
+//! armus-stored [--listen ADDR] [--lease-ms N | --no-lease]
+//!              [--read-timeout-ms N] [--write-timeout-ms N]
+//!
+//!   --listen ADDR          bind address (default 127.0.0.1:7007; use
+//!                          port 0 for an ephemeral port)
+//!   --lease-ms N           partition lease TTL (default 5000); a site
+//!                          that stops publishing for N ms expires
+//!   --no-lease             disable partition expiry
+//!   --read-timeout-ms N    reap connections idle for N ms (default 30000)
+//!   --write-timeout-ms N   bound on writing one response (default 5000)
+//! ```
+//!
+//! On startup the server prints `armus-stored listening on ADDR` to
+//! stdout (parents scrape the ephemeral port from it) and logs to stderr.
+//! It exits on the in-band [`Request::Shutdown`] drain command — the
+//! SIGTERM equivalent — finishing in-flight requests first.
+//!
+//! [`Request::Shutdown`]: armus_dist::wire::Request::Shutdown
+
+use std::io::Write;
+use std::time::Duration;
+
+use armus_dist::server::{StoredConfig, StoredServer};
+
+fn usage(err: &str) -> ! {
+    eprintln!("armus-stored: {err}");
+    eprintln!(
+        "usage: armus-stored [--listen ADDR] [--lease-ms N | --no-lease] \
+         [--read-timeout-ms N] [--write-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn millis(args: &mut impl Iterator<Item = String>, flag: &str) -> Duration {
+    match args.next().and_then(|v| v.parse::<u64>().ok()) {
+        Some(n) => Duration::from_millis(n),
+        None => usage(&format!("{flag} needs a millisecond count")),
+    }
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7007".to_string();
+    let mut cfg = StoredConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => usage("--listen needs an address"),
+            },
+            "--lease-ms" => cfg.lease = Some(millis(&mut args, "--lease-ms")),
+            "--no-lease" => cfg.lease = None,
+            "--read-timeout-ms" => cfg.read_timeout = millis(&mut args, "--read-timeout-ms"),
+            "--write-timeout-ms" => cfg.write_timeout = millis(&mut args, "--write-timeout-ms"),
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+
+    let server = match StoredServer::bind(listen.as_str(), cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("armus-stored: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The banner parents scrape the (possibly ephemeral) port from.
+    println!("armus-stored listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "armus-stored: serving on {} (lease {:?}, read timeout {:?})",
+        server.local_addr(),
+        cfg.lease,
+        cfg.read_timeout
+    );
+    server.wait();
+    eprintln!("armus-stored: drained, exiting");
+}

@@ -16,16 +16,42 @@ use armus_core::{checker, CheckStats, DeadlockReport, ModelChoice, Snapshot};
 
 use crate::store::{SiteId, Store, StoreError};
 
-/// Merges per-site partitions into one global snapshot. Task ids are
-/// process-unique in this embedding, so a plain concatenation is the
-/// correct join (in a networked deployment ids would be namespaced by
-/// site, which is an injective renaming — nothing else changes).
+/// Merges per-site partitions into one global snapshot, **site-namespacing
+/// every task id** ([`armus_core::TaskId::with_site`]): the injective
+/// `(site, local id)` renaming that keeps tasks from independent processes
+/// distinct even when their process-local ids collide. Phaser ids are left
+/// alone — a phaser is a distributed clock, so the same phaser id on two
+/// sites names the same synchronisation object, and the cross-site edges
+/// of a distributed cycle run exactly through that shared identity.
+/// Reports therefore carry namespaced ids (rendered `s1:t4`); strip them
+/// with [`armus_core::TaskId::local`]/`site_tag` when mapping a report
+/// back to one site's tasks.
+///
+/// A partition whose ids cannot be injectively renamed (an
+/// out-of-protocol peer shipped a too-wide or already-namespaced id, or
+/// a site id beyond the tag range) is **skipped**, not panicked on: ids
+/// arrive over the wire, and a checker thread dying on hostile input
+/// would silently end detection cluster-wide. Skipping can only delay a
+/// report (the site reads as absent), never fabricate one — and the
+/// `armus-stored` server additionally rejects such publishes up front.
 pub fn merge(partitions: &[(SiteId, Snapshot)]) -> Snapshot {
     let mut tasks = Vec::with_capacity(partitions.iter().map(|(_, s)| s.len()).sum());
-    for (_, snap) in partitions {
-        tasks.extend(snap.tasks.iter().cloned());
+    for (site, snap) in partitions {
+        match snap.clone().with_site_namespace(site.0) {
+            Some(namespaced) => tasks.extend(namespaced.tasks),
+            None => continue, // out-of-protocol partition: treat as absent
+        }
     }
-    Snapshot::from_tasks(tasks)
+    let merged = Snapshot::from_tasks(tasks);
+    // The renaming is injective and a store partition holds at most one
+    // status per task, so the merged (sorted) view has no duplicate ids —
+    // a duplicate would mean two statuses for one task, i.e. a nonsense
+    // graph over aliased nodes.
+    debug_assert!(
+        merged.tasks.windows(2).all(|w| w[0].task != w[1].task),
+        "merged view must have unique task ids"
+    );
+    merged
 }
 
 /// Outcome of one distributed check round.
@@ -117,12 +143,83 @@ mod tests {
     }
 
     #[test]
+    fn merge_namespaces_task_ids_by_site() {
+        let store = MemStore::new();
+        split_example(&store);
+        let merged = merge(&store.fetch_all().unwrap());
+        // Workers live on site 0, the driver on site 1.
+        for worker in 1..=3 {
+            let global = t(worker).with_site(0);
+            assert_eq!(merged.get(global).unwrap().task.local(), t(worker));
+        }
+        assert_eq!(merged.get(t(4).with_site(1)).unwrap().task.site_tag(), Some(1));
+        assert!(merged.get(t(4)).is_none(), "un-namespaced ids must not appear");
+    }
+
+    #[test]
+    fn colliding_local_ids_stay_distinct_in_the_merge() {
+        // Two independent processes may both host a local task 1; the
+        // injective renaming keeps both statuses. Before the namespacing
+        // this silently kept both under one id — a nonsense merged view.
+        let store = MemStore::new();
+        let local = |waits: Resource| {
+            Snapshot::from_tasks(vec![BlockedInfo::new(
+                t(1),
+                vec![waits],
+                vec![Registration::new(p(1), 0)],
+            )])
+        };
+        store.publish(SiteId(0), local(r(1, 1))).unwrap();
+        store.publish(SiteId(1), local(r(1, 2))).unwrap();
+        let merged = merge(&store.fetch_all().unwrap());
+        assert_eq!(merged.len(), 2, "both colliding tasks must survive the merge");
+        let ids: Vec<_> = merged.tasks.iter().map(|b| b.task).collect();
+        assert_eq!(ids, vec![t(1).with_site(0), t(1).with_site(1)]);
+        assert!(ids.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn out_of_protocol_partitions_are_skipped_not_panicked_on() {
+        // A hostile or buggy peer can put any u64 in a published task id
+        // and any u32 in a site id; the merge — which runs on every
+        // checker thread — must stay total. The rogue partition reads as
+        // absent; the healthy ones still merge.
+        let store = MemStore::new();
+        split_example(&store);
+        let rogue = Snapshot::from_tasks(vec![BlockedInfo::new(
+            // Already-namespaced (too-wide) id: cannot be renamed again.
+            t(1).with_site(3),
+            vec![r(1, 1)],
+            vec![Registration::new(p(1), 0)],
+        )]);
+        store.publish(SiteId(7), rogue).unwrap();
+        let merged = merge(&store.fetch_all().unwrap());
+        assert_eq!(merged.len(), 4, "the rogue partition is skipped, the rest survive");
+        // Detection still works on the healthy partitions.
+        let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(out.report.is_some());
+        // An out-of-range *site id* is likewise skipped, not panicked on.
+        let store2 = MemStore::new();
+        store2
+            .publish(
+                SiteId(armus_core::MAX_SITE_TAG + 1),
+                Snapshot::from_tasks(vec![BlockedInfo::new(
+                    t(1),
+                    vec![r(1, 1)],
+                    vec![Registration::new(p(1), 0)],
+                )]),
+            )
+            .unwrap();
+        assert!(merge(&store2.fetch_all().unwrap()).is_empty());
+    }
+
+    #[test]
     fn cross_site_deadlock_is_found_and_confirmed() {
         let store = MemStore::new();
         split_example(&store);
         let out = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
         let report = out.report.expect("cross-site cycle");
-        assert!(report.tasks.contains(&t(4)));
+        assert!(report.tasks.contains(&t(4).with_site(1)), "driver participates, namespaced");
         assert!(out.stats.is_some());
     }
 

@@ -3,16 +3,27 @@
 //! Distributed deadlock detection for barrier synchronisation (paper
 //! §5.2): each *site* (place) runs its workload on a local runtime whose
 //! verifier only maintains blocked statuses; a publisher thread pushes the
-//! site's partition to a shared fault-tolerant store (the paper uses
-//! Redis; here an in-process [`store::MemStore`], wrapped in a
-//! fault-injecting [`store::FaultyStore`]); and every site independently
-//! pulls the merged view and runs the graph analysis — the adapted
-//! one-phase algorithm with a confirmation pass.
+//! site's partition to a shared fault-tolerant store; and every site
+//! independently pulls the merged view — task ids injectively
+//! site-namespaced by [`detector::merge`] — and runs the graph analysis:
+//! the adapted one-phase algorithm with a confirmation pass.
+//!
+//! The store (the paper uses Redis) comes in two embeddings:
+//! * **in-process** — [`store::MemStore`], wrapped in the outage-injecting
+//!   [`store::FaultyStore`] or the message-chaos [`chaos::ChaosStore`];
+//! * **networked** — the `armus-stored` server ([`server::StoredServer`]
+//!   and the binary under `src/bin/`) speaking the length-prefixed binary
+//!   protocol of [`wire`], with [`tcp::TcpStore`] as the client-side
+//!   [`store::Store`]; [`cluster::NetCluster`] wires a true multi-process
+//!   cluster (one spawned server + N site processes).
 //!
 //! Fault tolerance, as claimed by the paper and tested here:
 //! * a site's checker can die — the other sites still detect;
 //! * the store can be unavailable for windows — rounds are skipped and
-//!   detection resumes after the outage.
+//!   detection resumes after the outage;
+//! * a whole site can crash without cleanup — its partition's lease
+//!   ([`store::MemStore::with_lease`]) expires instead of its ghost
+//!   blocked statuses confirming deadlocks that no longer exist.
 //!
 //! ```no_run
 //! use armus_dist::{Cluster, SiteConfig};
@@ -36,11 +47,16 @@ pub mod baseline;
 pub mod chaos;
 pub mod cluster;
 pub mod detector;
+pub mod server;
 pub mod site;
 pub mod store;
+pub mod tcp;
+pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosStore};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, NetCluster};
 pub use detector::{check_store, merge, DistCheck, ReportDedup, DEFAULT_DEDUP_CAPACITY};
+pub use server::{StoredConfig, StoredProcess, StoredServer};
 pub use site::{Site, SiteConfig};
 pub use store::{DeltaAck, FaultyStore, MemStore, SiteId, Store, StoreError};
+pub use tcp::{TcpStore, TcpStoreConfig};

@@ -1,0 +1,670 @@
+//! `armus-stored`: the networked global store (paper §5.2's Redis role),
+//! embeddable in-process ([`StoredServer`]) or run standalone (the
+//! `armus-stored` binary in `src/bin/`).
+//!
+//! The server is a thread-per-connection loop over the same [`MemStore`]
+//! core the in-process cluster uses, speaking the versioned frame protocol
+//! of [`crate::wire`]. Per-connection read/write timeouts reap dead peers,
+//! partitions carry a lease TTL refreshed by every publish (crashed sites
+//! expire instead of ghosting the merged view), and shutdown is a graceful
+//! drain: a flag — set in-band by [`crate::wire::Request::Shutdown`], the
+//! SIGTERM equivalent — stops the accept loop, lets in-flight requests
+//! finish, and joins every connection thread.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::store::{MemStore, Store};
+use crate::wire::{self, Request, Response, WireError};
+
+/// Default partition lease: a site that has not published for this long is
+/// considered dead and its partition stops contributing to fetches. Must
+/// comfortably exceed the sites' publish period (50 ms by default).
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(5);
+
+/// Default idle timeout before a silent connection is reaped.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default bound on writing one response back to a peer.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Granularity of the accept loop's shutdown poll and of a connection's
+/// first-byte wait (bounds drain latency without burning CPU).
+const POLL_PERIOD: Duration = Duration::from_millis(25);
+
+/// Tuning of a [`StoredServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoredConfig {
+    /// Partition lease TTL; `None` disables expiry.
+    pub lease: Option<Duration>,
+    /// Reap a connection that sends nothing for this long.
+    pub read_timeout: Duration,
+    /// Bound on writing one response.
+    pub write_timeout: Duration,
+}
+
+impl Default for StoredConfig {
+    fn default() -> Self {
+        StoredConfig {
+            lease: Some(DEFAULT_LEASE),
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
+        }
+    }
+}
+
+/// A running store server.
+pub struct StoredServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// State shared between the accept loop and connection threads.
+struct Shared {
+    store: MemStore,
+    cfg: StoredConfig,
+    shutdown: Arc<AtomicBool>,
+    /// Finished-or-running connection threads, joined on drain.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Served requests (all kinds), for observability and tests.
+    served: AtomicU64,
+    /// Connections dropped for protocol violations (malformed frames,
+    /// version mismatches) — never panics, always a clean close.
+    protocol_errors: AtomicU64,
+}
+
+impl StoredServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: StoredConfig) -> io::Result<StoredServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let store = match cfg.lease {
+            Some(ttl) => MemStore::with_lease(ttl),
+            None => MemStore::new(),
+        };
+        let shared = Arc::new(Shared {
+            store,
+            cfg,
+            shutdown: Arc::clone(&shutdown),
+            conns: Mutex::new(Vec::new()),
+            served: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("armus-stored-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept loop")
+        };
+        Ok(StoredServer { addr, shutdown, accept: Some(accept), shared })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests received so far (across all connections).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed on protocol violations so far.
+    pub fn protocol_errors(&self) -> u64 {
+        self.shared.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Has a drain been requested (locally or via
+    /// [`Request::Shutdown`][crate::wire::Request::Shutdown])?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain and blocks until the accept loop and all
+    /// connection threads have exited.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Blocks until the server drains (a peer sent
+    /// [`Request::Shutdown`][crate::wire::Request::Shutdown], or
+    /// [`StoredServer::shutdown`] ran) — the standalone binary's main
+    /// loop.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // After the accept loop exits no new connection threads appear;
+        // drain the ones that ran.
+        let conns = std::mem::take(&mut *self.shared.conns.lock());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StoredServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("armus-stored-conn".into())
+                    .spawn(move || serve_connection(stream, shared2))
+                    .expect("spawn connection thread");
+                let mut conns = shared.conns.lock();
+                // Reap finished handles so a long-lived server does not
+                // accumulate one per past connection.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_PERIOD);
+            }
+            Err(_) => std::thread::sleep(POLL_PERIOD),
+        }
+    }
+}
+
+/// Serves one connection until the peer hangs up, violates the protocol,
+/// idles past the read timeout, or the server drains.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_request(&mut stream, &shared) {
+            Ok(Some(request)) => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                let (response, drain) = handle(&request, &shared);
+                if drain {
+                    // Set the flag *before* answering: a drain must not
+                    // be lost to a failed response write (the peer may
+                    // fire-and-close), or the server lives forever.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                }
+                if stream.set_write_timeout(Some(shared.cfg.write_timeout)).is_err() {
+                    break;
+                }
+                if wire::write_message(&mut stream, &response).is_err() || drain {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean hangup, idle timeout, or drain
+            Err(_) => {
+                // Malformed traffic: close, never panic. The length
+                // prefix has already been consumed, so there is no
+                // resync point — the peer reconnects.
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Reads one request, polling in [`POLL_PERIOD`] slices throughout so the
+/// shutdown flag stays observed even mid-frame (a stalled peer must not
+/// pin a drain for a whole read timeout). While waiting for a frame's
+/// first byte the bound is the idle (read) timeout; once a frame is in
+/// flight its remainder must arrive within the read timeout too. Returns
+/// `Ok(None)` for "stop serving without noise": clean EOF, idle timeout,
+/// or drain.
+fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Request>, WireError> {
+    if stream.set_read_timeout(Some(POLL_PERIOD)).is_err() {
+        return Ok(None);
+    }
+    // Wait for the first byte of the length prefix.
+    let mut first = [0u8; 1];
+    let idle_start = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None), // peer hung up between frames
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if idle_start.elapsed() >= shared.cfg.read_timeout {
+                    return Ok(None); // reap the idle peer
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    // A frame is in flight: the rest must arrive within the read timeout,
+    // still in poll slices so a drain interrupts promptly.
+    let deadline = Instant::now() + shared.cfg.read_timeout;
+    let mut rest_len = [0u8; 3];
+    if read_polled(stream, &mut rest_len, shared, deadline)?.is_none() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([first[0], rest_len[0], rest_len[1], rest_len[2]]);
+    if len > wire::MAX_FRAME_LEN {
+        return Err(WireError::Malformed(format!("length prefix {len} exceeds MAX_FRAME_LEN")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if read_polled(stream, &mut payload, shared, deadline)?.is_none() {
+        return Ok(None);
+    }
+    wire::decode_payload(&payload).map(Some)
+}
+
+/// `read_exact` in [`POLL_PERIOD`] slices (the stream's read timeout is
+/// already set to it): keeps checking the drain flag mid-frame, and
+/// enforces `deadline` on the frame as a whole. `Ok(None)` means "stop
+/// serving quietly" (drain); a peer that stalls past the deadline or
+/// hangs up mid-frame is an error.
+fn read_polled(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    deadline: Instant,
+) -> Result<Option<()>, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(WireError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "frame stalled past the read timeout",
+                    )));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Rejects a publish whose ids could not survive the checkers'
+/// site-namespacing merge: the site must fit the tag range and every
+/// task id must be un-namespaced (≤ [`armus_core::MAX_LOCAL_TASK`]).
+/// Catching this at the boundary gives the out-of-protocol peer an
+/// explicit error instead of a silently skipped partition.
+fn validate_publish<'a>(
+    site: crate::store::SiteId,
+    mut tasks: impl Iterator<Item = &'a armus_core::TaskId>,
+) -> Result<(), Response> {
+    if site.0 > armus_core::MAX_SITE_TAG {
+        return Err(Response::Error(format!("site {} beyond the namespace tag range", site.0)));
+    }
+    match tasks.find(|t| t.checked_with_site(site.0).is_none()) {
+        Some(task) => {
+            Err(Response::Error(format!("task id {:#x} cannot be site-namespaced", task.0)))
+        }
+        None => Ok(()),
+    }
+}
+
+/// Task ids a delta interval touches.
+fn delta_tasks(deltas: &[armus_core::Delta]) -> impl Iterator<Item = &armus_core::TaskId> {
+    deltas.iter().map(|d| match d {
+        armus_core::Delta::Block(info) => &info.task,
+        armus_core::Delta::Unblock(task) => task,
+    })
+}
+
+/// Applies one request to the store. The boolean asks the connection loop
+/// to begin the drain after responding.
+fn handle(request: &Request, shared: &Shared) -> (Response, bool) {
+    let store = &shared.store;
+    let response = match request {
+        Request::Publish { site, snapshot } => {
+            match validate_publish(*site, snapshot.tasks.iter().map(|b| &b.task)) {
+                Err(rejection) => rejection,
+                Ok(()) => match store.publish(*site, snapshot.clone()) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+            }
+        }
+        Request::PublishFull { site, snapshot, version } => {
+            match validate_publish(*site, snapshot.tasks.iter().map(|b| &b.task)) {
+                Err(rejection) => rejection,
+                Ok(()) => match store.publish_full(*site, snapshot.clone(), *version) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+            }
+        }
+        Request::PublishDeltas { site, base, deltas, next } => {
+            match validate_publish(*site, delta_tasks(deltas)) {
+                Err(rejection) => rejection,
+                Ok(()) => match store.publish_deltas(*site, *base, deltas, *next) {
+                    Ok(crate::store::DeltaAck::Applied) => Response::Applied,
+                    Ok(crate::store::DeltaAck::NeedSnapshot) => Response::NeedSnapshot,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+            }
+        }
+        Request::FetchAll => match store.fetch_all() {
+            Ok(view) => Response::View(view),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Remove { site } => match store.remove(*site) {
+            Ok(()) => Response::Ok,
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Shutdown => Response::Ok,
+    };
+    (response, matches!(request, Request::Shutdown))
+}
+
+/// A child `armus-stored` process: spawn, address scraping, drain —
+/// the multi-process cluster's server-side glue (see
+/// [`crate::cluster::NetCluster`]).
+pub struct StoredProcess {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl StoredProcess {
+    /// Spawns `binary` listening on an ephemeral loopback port, waits for
+    /// its `listening on <addr>` banner, and redirects its stderr log to
+    /// `log` (when given) for post-mortem upload.
+    pub fn spawn(
+        binary: &std::path::Path,
+        lease: Option<Duration>,
+        log: Option<&std::path::Path>,
+    ) -> io::Result<StoredProcess> {
+        let mut cmd = std::process::Command::new(binary);
+        cmd.arg("--listen").arg("127.0.0.1:0").stdout(std::process::Stdio::piped());
+        if let Some(ttl) = lease {
+            cmd.arg("--lease-ms").arg(ttl.as_millis().to_string());
+        }
+        match log {
+            Some(path) => {
+                cmd.stderr(std::fs::File::create(path)?);
+            }
+            None => {
+                cmd.stderr(std::process::Stdio::inherit());
+            }
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut banner = String::new();
+        io::BufRead::read_line(&mut io::BufReader::new(stdout), &mut banner)?;
+        let addr = banner
+            .trim()
+            .rsplit(' ')
+            .next()
+            .filter(|a| a.contains(':'))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("no listen address in armus-stored banner {banner:?}"),
+                )
+            })?
+            .to_string();
+        Ok(StoredProcess { child, addr })
+    }
+
+    /// The child's listen address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends the in-band drain command, waits for the server's ack (so
+    /// the request is known delivered before the socket closes), then
+    /// waits for the child to exit; falls back to killing it when the
+    /// drain cannot be delivered.
+    pub fn stop(mut self) -> io::Result<()> {
+        let drained = TcpStream::connect(&self.addr).and_then(|mut s| {
+            s.set_write_timeout(Some(Duration::from_secs(2)))?;
+            s.set_read_timeout(Some(Duration::from_secs(2)))?;
+            let frame = wire::encode_frame(&Request::Shutdown)
+                .expect("Shutdown is a tiny fixed-size message");
+            s.write_all(&frame)?;
+            s.flush()?;
+            // Wait for the ack (or the server's close): closing our end
+            // immediately could RST the request away before it is read.
+            let _ = wire::read_message::<_, Response>(&mut s);
+            Ok(())
+        });
+        if drained.is_err() {
+            let _ = self.child.kill();
+        }
+        self.child.wait().map(|_| ())
+    }
+}
+
+impl Drop for StoredProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SiteId;
+    use armus_core::{BlockedInfo, PhaserId, Registration, Resource, Snapshot, TaskId};
+
+    fn snap(task: u64) -> Snapshot {
+        Snapshot::from_tasks(vec![BlockedInfo::new(
+            TaskId(task),
+            vec![Resource::new(PhaserId(1), 1)],
+            vec![Registration::new(PhaserId(1), 1)],
+        )])
+    }
+
+    fn talk(addr: SocketAddr, request: &Request) -> Response {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        wire::write_message(&mut stream, request).unwrap();
+        wire::read_message(&mut stream).unwrap().expect("a response")
+    }
+
+    #[test]
+    fn serves_the_store_protocol() {
+        let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(
+            talk(addr, &Request::PublishFull { site: SiteId(0), snapshot: snap(1), version: 3 }),
+            Response::Ok
+        );
+        assert_eq!(
+            talk(
+                addr,
+                &Request::PublishDeltas {
+                    site: SiteId(0),
+                    base: 3,
+                    deltas: vec![armus_core::Delta::Unblock(TaskId(1))],
+                    next: 4
+                }
+            ),
+            Response::Applied
+        );
+        assert_eq!(
+            talk(
+                addr,
+                &Request::PublishDeltas { site: SiteId(0), base: 9, deltas: vec![], next: 9 }
+            ),
+            Response::NeedSnapshot
+        );
+        match talk(addr, &Request::FetchAll) {
+            Response::View(view) => {
+                assert_eq!(view.len(), 1);
+                assert!(view[0].1.is_empty(), "the unblock delta applied");
+            }
+            other => panic!("expected a view, got {other:?}"),
+        }
+        assert_eq!(talk(addr, &Request::Remove { site: SiteId(0) }), Response::Ok);
+        assert_eq!(server.served(), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_requests_per_connection() {
+        let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        for task in 1..=5u64 {
+            wire::write_message(
+                &mut stream,
+                &Request::Publish { site: SiteId(task as u32), snapshot: snap(task) },
+            )
+            .unwrap();
+            assert_eq!(
+                wire::read_message::<_, Response>(&mut stream).unwrap().unwrap(),
+                Response::Ok
+            );
+        }
+        match talk(server.local_addr(), &Request::FetchAll) {
+            Response::View(view) => assert_eq!(view.len(), 5),
+            other => panic!("expected a view, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn in_band_shutdown_drains_the_server() {
+        let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(talk(addr, &Request::Shutdown), Response::Ok);
+        // wait() returns because the drain flag is set; afterwards the
+        // port no longer accepts a conversation.
+        server.wait();
+        let refused = TcpStream::connect(addr)
+            .and_then(|mut s| {
+                s.set_read_timeout(Some(Duration::from_millis(200)))?;
+                s.write_all(&wire::encode_frame(&Request::FetchAll).unwrap())?;
+                let mut byte = [0u8; 1];
+                match s.read(&mut byte) {
+                    Ok(0) => Err(io::Error::new(io::ErrorKind::ConnectionReset, "closed")),
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            })
+            .is_err();
+        assert!(refused, "a drained server must not serve");
+    }
+
+    #[test]
+    fn malformed_traffic_closes_the_connection_but_not_the_server() {
+        let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+        let addr = server.local_addr();
+        // Oversized length prefix.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 1];
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "server must close on oversized prefix");
+        // Garbage payload under a plausible prefix.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&8u32.to_le_bytes()).unwrap();
+        s.write_all(&[0xff; 8]).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "server must close on garbage");
+        // The server survives and still serves valid peers.
+        assert_eq!(
+            talk(addr, &Request::Publish { site: SiteId(0), snapshot: snap(1) }),
+            Response::Ok
+        );
+        assert!(server.protocol_errors() >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn publishes_with_unnamespaceable_ids_are_rejected() {
+        let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+        let addr = server.local_addr();
+        // Task id already carrying a site tag: renaming cannot be
+        // injective, so the publish is refused at the boundary.
+        let rogue = Snapshot::from_tasks(vec![BlockedInfo::new(
+            TaskId(1).with_site(2),
+            vec![Resource::new(PhaserId(1), 1)],
+            vec![Registration::new(PhaserId(1), 1)],
+        )]);
+        assert!(matches!(
+            talk(addr, &Request::PublishFull { site: SiteId(0), snapshot: rogue, version: 1 }),
+            Response::Error(_)
+        ));
+        // Site id beyond the tag range: same refusal, delta path included.
+        assert!(matches!(
+            talk(
+                addr,
+                &Request::Publish { site: SiteId(armus_core::MAX_SITE_TAG + 1), snapshot: snap(1) }
+            ),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            talk(
+                addr,
+                &Request::PublishDeltas {
+                    site: SiteId(0),
+                    base: 0,
+                    deltas: vec![armus_core::Delta::Unblock(TaskId(u64::MAX))],
+                    next: 1
+                }
+            ),
+            Response::Error(_)
+        ));
+        // Nothing landed; well-formed traffic still works.
+        match talk(addr, &Request::FetchAll) {
+            Response::View(view) => assert!(view.is_empty()),
+            other => panic!("expected a view, got {other:?}"),
+        }
+        assert_eq!(
+            talk(addr, &Request::Publish { site: SiteId(0), snapshot: snap(1) }),
+            Response::Ok
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_the_read_timeout() {
+        let cfg =
+            StoredConfig { read_timeout: Duration::from_millis(120), ..StoredConfig::default() };
+        let server = StoredServer::bind("127.0.0.1:0", cfg).unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        let start = Instant::now();
+        let mut buf = [0u8; 1];
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "idle peer must be reaped");
+        assert!(start.elapsed() >= Duration::from_millis(100));
+        server.shutdown();
+    }
+}

@@ -13,7 +13,7 @@
 //! so recovery never depends on delta continuity, and a lost partition is
 //! repaired within one round even from a fully quiescent site.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -22,10 +22,45 @@ use armus_core::{
     DeadlockReport, JournalRead, ModelChoice, Verifier, VerifierConfig, DEFAULT_SG_THRESHOLD,
 };
 use armus_sync::{Runtime, RuntimeConfig};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::detector::{check_store, ReportDedup};
 use crate::store::{DeltaAck, SiteId, Store};
+
+/// An interruptible stop flag: loop threads park on it between rounds
+/// instead of `thread::sleep`ing, so [`Site::stop`] latency is bounded by
+/// the wake-up cost, not by the sum of the publish/check periods.
+pub(crate) struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    pub(crate) fn new() -> StopSignal {
+        StopSignal { stopped: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Sets the flag and wakes every parked thread.
+    pub(crate) fn stop(&self) {
+        *self.stopped.lock() = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        *self.stopped.lock()
+    }
+
+    /// Parks for up to `period` or until [`StopSignal::stop`]; returns
+    /// true when stopped.
+    pub(crate) fn wait(&self, period: Duration) -> bool {
+        let mut stopped = self.stopped.lock();
+        if *stopped {
+            return true;
+        }
+        let _ = self.cv.wait_for(&mut stopped, period);
+        *stopped
+    }
+}
 
 /// Per-site verification configuration.
 #[derive(Clone, Copy, Debug)]
@@ -55,12 +90,38 @@ impl Default for SiteConfig {
 pub struct Site {
     id: SiteId,
     runtime: Arc<Runtime>,
-    stop: Arc<AtomicBool>,
-    checker_stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
+    checker_stop: Arc<StopSignal>,
     reports: Arc<Mutex<Vec<DeadlockReport>>>,
     resyncs: Arc<AtomicU64>,
     publisher: Option<JoinHandle<()>>,
     checker: Option<JoinHandle<()>>,
+}
+
+/// Bounded retries of the partition remove on site stop, with doubling
+/// backoff starting at [`REMOVE_BACKOFF`]. A transiently unavailable
+/// store therefore still gets the remove (no ghost partition confirming
+/// false deadlocks), while a dead store only delays stop by the bounded
+/// total (~150 ms) — past that, the partition lease is the backstop.
+const REMOVE_RETRIES: u32 = 5;
+
+/// Initial backoff between remove retries.
+const REMOVE_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Best-effort partition cleanup on stop: bounded retry with doubling
+/// backoff. Returns whether the remove landed.
+fn remove_with_retry(store: &dyn Store, id: SiteId) -> bool {
+    let mut backoff = REMOVE_BACKOFF;
+    for attempt in 0..REMOVE_RETRIES {
+        if store.remove(id).is_ok() {
+            return true;
+        }
+        if attempt + 1 < REMOVE_RETRIES {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+    }
+    false
 }
 
 /// One publisher round: ship the deltas since `cursor`, or a full
@@ -109,8 +170,8 @@ impl Site {
     pub fn start(id: SiteId, store: Arc<dyn Store>, cfg: SiteConfig) -> Site {
         let runtime =
             Runtime::new(RuntimeConfig::unchecked().with_verifier(VerifierConfig::publish_only()));
-        let stop = Arc::new(AtomicBool::new(false));
-        let checker_stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopSignal::new());
+        let checker_stop = Arc::new(StopSignal::new());
         let reports = Arc::new(Mutex::new(Vec::new()));
         let resyncs = Arc::new(AtomicU64::new(0));
 
@@ -124,7 +185,7 @@ impl Site {
                 .spawn(move || {
                     let mut cursor = 0u64;
                     let mut synced = false; // first round publishes the join snapshot
-                    while !stop.load(Ordering::SeqCst) {
+                    while !stop.is_stopped() {
                         (cursor, synced) = publish_round(
                             store.as_ref(),
                             runtime.verifier(),
@@ -133,9 +194,16 @@ impl Site {
                             synced,
                             &resyncs,
                         );
-                        std::thread::sleep(cfg.publish_period);
+                        // Interruptible: stop() wakes us immediately
+                        // instead of eating a whole publish period.
+                        if stop.wait(cfg.publish_period) {
+                            break;
+                        }
                     }
-                    let _ = store.remove(id);
+                    // Retire the partition so other sites stop merging it.
+                    // A transient outage is retried; if the store stays
+                    // down the lease expiry is the backstop.
+                    remove_with_retry(store.as_ref(), id);
                 })
                 .expect("spawn publisher")
         };
@@ -149,8 +217,10 @@ impl Site {
                 .name(format!("{id}-checker"))
                 .spawn(move || {
                     let mut dedup = ReportDedup::new();
-                    while !stop.load(Ordering::SeqCst) && !checker_stop.load(Ordering::SeqCst) {
-                        std::thread::sleep(cfg.check_period);
+                    while !stop.is_stopped() && !checker_stop.is_stopped() {
+                        if checker_stop.wait(cfg.check_period) || stop.is_stopped() {
+                            break;
+                        }
                         // Fetch failures are tolerated: skip the round.
                         if let Ok(out) = check_store(store.as_ref(), cfg.model, cfg.sg_threshold) {
                             if let Some(report) = out.report {
@@ -207,7 +277,7 @@ impl Site {
     /// checker failures: there is no designated control site, so the
     /// remaining sites still find the deadlock.
     pub fn kill_checker(&mut self) {
-        self.checker_stop.store(true, Ordering::SeqCst);
+        self.checker_stop.stop();
         if let Some(h) = self.checker.take() {
             let _ = h.join();
         }
@@ -225,7 +295,11 @@ impl Site {
     }
 
     fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Wake both loops out of their parked waits: stop latency is
+        // bounded by the wake-up (and the bounded remove retry), not by
+        // the publish/check periods.
+        self.stop.stop();
+        self.checker_stop.stop();
         self.runtime.shutdown();
     }
 }

@@ -21,12 +21,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use armus_core::{BlockedInfo, Delta, Snapshot, TaskId};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// A site (place) identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SiteId(pub u32);
 
 impl std::fmt::Display for SiteId {
@@ -105,17 +107,22 @@ pub trait Store: Send + Sync {
     fn remove(&self, site: SiteId) -> Result<(), StoreError>;
 }
 
-/// One site's stored partition: the blocked map plus the journal version
-/// it is at (`None` for unversioned legacy publishes).
-#[derive(Default)]
+/// One site's stored partition: the blocked map, the journal version it is
+/// at (`None` for unversioned legacy publishes), and the instant of the
+/// last publish that touched it (the lease refresh time).
 struct Partition {
     version: Option<u64>,
     tasks: HashMap<TaskId, BlockedInfo>,
+    refreshed: Instant,
 }
 
 impl Partition {
     fn from_snapshot(snapshot: Snapshot, version: Option<u64>) -> Partition {
-        Partition { version, tasks: snapshot.tasks.into_iter().map(|b| (b.task, b)).collect() }
+        Partition {
+            version,
+            tasks: snapshot.tasks.into_iter().map(|b| (b.task, b)).collect(),
+            refreshed: Instant::now(),
+        }
     }
 
     fn materialize(&self) -> Snapshot {
@@ -124,15 +131,48 @@ impl Partition {
 }
 
 /// In-process store: the Redis stand-in.
-#[derive(Default)]
+///
+/// Optionally lease-based ([`MemStore::with_lease`]): every publish —
+/// full, legacy, or delta (empty heartbeat intervals included) — refreshes
+/// the publishing site's lease, and [`Store::fetch_all`] drops partitions
+/// whose lease has lapsed. A site that crashes (or is partitioned away)
+/// without removing its partition therefore stops contributing to the
+/// merged view after one TTL, instead of its last blocked statuses
+/// lingering forever and confirming deadlocks that no longer exist.
 pub struct MemStore {
     partitions: Mutex<BTreeMap<SiteId, Partition>>,
+    lease: Option<Duration>,
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore::new()
+    }
 }
 
 impl MemStore {
-    /// An empty store.
+    /// An empty store without lease expiry (partitions live until removed).
     pub fn new() -> MemStore {
-        MemStore::default()
+        MemStore { partitions: Mutex::new(BTreeMap::new()), lease: None }
+    }
+
+    /// An empty store whose partitions expire `ttl` after their last
+    /// publish. The TTL must comfortably exceed the sites' publish period
+    /// (every publisher round — even an empty heartbeat — refreshes).
+    pub fn with_lease(ttl: Duration) -> MemStore {
+        MemStore { partitions: Mutex::new(BTreeMap::new()), lease: Some(ttl) }
+    }
+
+    /// The configured lease TTL, if any.
+    pub fn lease(&self) -> Option<Duration> {
+        self.lease
+    }
+
+    /// Purges partitions whose lease has lapsed (no-op without a lease).
+    fn expire(&self, partitions: &mut BTreeMap<SiteId, Partition>) {
+        if let Some(ttl) = self.lease {
+            partitions.retain(|_, p| p.refreshed.elapsed() <= ttl);
+        }
     }
 }
 
@@ -177,11 +217,14 @@ impl Store for MemStore {
             }
         }
         partition.version = Some(next);
+        partition.refreshed = Instant::now();
         Ok(DeltaAck::Applied)
     }
 
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
-        Ok(self.partitions.lock().iter().map(|(&s, p)| (s, p.materialize())).collect())
+        let mut partitions = self.partitions.lock();
+        self.expire(&mut partitions);
+        Ok(partitions.iter().map(|(&s, p)| (s, p.materialize())).collect())
     }
 
     fn remove(&self, site: SiteId) -> Result<(), StoreError> {
@@ -217,6 +260,12 @@ impl<S: Store> FaultyStore<S> {
     /// Starts or ends an outage window.
     pub fn set_available(&self, available: bool) {
         self.available.store(available, Ordering::SeqCst);
+    }
+
+    /// The wrapped store, bypassing the outage gate — lets tests seed
+    /// state "written before the outage started".
+    pub fn inner(&self) -> &S {
+        &self.inner
     }
 
     /// Is the store currently serving?
@@ -405,6 +454,44 @@ mod tests {
         let store = SnapshotOnly(MemStore::new());
         store.publish_full(SiteId(0), snap(1), 7).unwrap();
         assert_eq!(store.publish_deltas(SiteId(0), 7, &[], 7).unwrap(), DeltaAck::NeedSnapshot);
+    }
+
+    #[test]
+    fn leased_partitions_expire_without_refresh() {
+        let store = MemStore::with_lease(Duration::from_millis(40));
+        store.publish_full(SiteId(0), snap(1), 1).unwrap();
+        assert_eq!(store.fetch_all().unwrap().len(), 1);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(store.fetch_all().unwrap().is_empty(), "lapsed lease must drop the partition");
+        // After expiry the delta stream is gone too: publishers must
+        // rejoin with a full snapshot.
+        assert_eq!(
+            store.publish_deltas(SiteId(0), 1, &[], 1).unwrap(),
+            DeltaAck::NeedSnapshot,
+            "expired partition cannot accept deltas"
+        );
+    }
+
+    #[test]
+    fn heartbeats_refresh_the_lease() {
+        let store = MemStore::with_lease(Duration::from_millis(60));
+        store.publish_full(SiteId(0), snap(1), 1).unwrap();
+        // Empty delta intervals (heartbeats) keep the partition alive
+        // across several TTLs.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(store.publish_deltas(SiteId(0), 1, &[], 1).unwrap(), DeltaAck::Applied);
+        }
+        assert_eq!(store.fetch_all().unwrap().len(), 1, "heartbeats must refresh the lease");
+    }
+
+    #[test]
+    fn unleased_store_never_expires() {
+        let store = MemStore::new();
+        assert_eq!(store.lease(), None);
+        store.publish_full(SiteId(0), snap(1), 1).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(store.fetch_all().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! [`TcpStore`]: the networked [`Store`] client.
+//!
+//! One pooled connection to an `armus-stored` server, speaking the
+//! [`crate::wire`] protocol. Every transport failure — connect refusal,
+//! timeout, mid-frame hangup, protocol desync — maps onto
+//! [`StoreError::Unavailable`], the exact error the sites' publisher and
+//! checker loops already tolerate by skipping the round; the network
+//! changes *where* the store lives, not the failure model. Reconnects are
+//! paced by a bounded exponential backoff: while the backoff window is
+//! open, operations fail fast instead of hammering a dead server with
+//! connect attempts every publish period.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use armus_core::{Delta, Snapshot};
+use parking_lot::Mutex;
+
+use crate::store::{DeltaAck, SiteId, Store, StoreError};
+use crate::wire::{self, Request, Response};
+
+/// Tuning of a [`TcpStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct TcpStoreConfig {
+    /// Bound on one connect attempt.
+    pub connect_timeout: Duration,
+    /// Bound on reading one response / writing one request.
+    pub io_timeout: Duration,
+    /// First reconnect backoff after a failure.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling (exponential doubling stops here).
+    pub backoff_max: Duration,
+}
+
+impl Default for TcpStoreConfig {
+    fn default() -> Self {
+        TcpStoreConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The client's connection state: an open stream, or the backoff schedule
+/// for the next attempt.
+struct ConnState {
+    stream: Option<TcpStream>,
+    /// Next backoff delay to impose after a failure.
+    backoff: Duration,
+    /// Operations fail fast until this instant.
+    retry_at: Option<Instant>,
+}
+
+/// A [`Store`] over TCP.
+pub struct TcpStore {
+    addr: String,
+    cfg: TcpStoreConfig,
+    conn: Mutex<ConnState>,
+    reconnects: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl TcpStore {
+    /// A store client for the server at `addr` (e.g. `127.0.0.1:7007`).
+    /// Connection is lazy: the first operation dials.
+    pub fn new(addr: impl Into<String>) -> TcpStore {
+        TcpStore::with_config(addr, TcpStoreConfig::default())
+    }
+
+    /// A store client with explicit timeouts and backoff bounds.
+    pub fn with_config(addr: impl Into<String>, cfg: TcpStoreConfig) -> TcpStore {
+        TcpStore {
+            addr: addr.into(),
+            cfg,
+            conn: Mutex::new(ConnState {
+                stream: None,
+                backoff: cfg.backoff_initial,
+                retry_at: None,
+            }),
+            reconnects: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Successful (re)connects so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Operations that failed as [`StoreError::Unavailable`] so far
+    /// (fast-failed backoff windows included).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Sends the in-band drain command ([`Request::Shutdown`]) to the
+    /// server — the administrative stop used by cluster teardown.
+    pub fn shutdown_server(&self) -> Result<(), StoreError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address resolved");
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.cfg.io_timeout))?;
+                    stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/response exchange. On any failure the connection is
+    /// dropped, the backoff window opens (doubling up to the ceiling), and
+    /// the caller sees [`StoreError::Unavailable`]; the next operation
+    /// after the window redials. A successful exchange resets the backoff.
+    fn call(&self, request: &Request) -> Result<Response, StoreError> {
+        let mut conn = self.conn.lock();
+        if conn.stream.is_none() {
+            if let Some(retry_at) = conn.retry_at {
+                if Instant::now() < retry_at {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(StoreError::Unavailable); // fail fast in the window
+                }
+            }
+            match self.dial() {
+                Ok(stream) => {
+                    conn.stream = Some(stream);
+                    conn.backoff = self.cfg.backoff_initial;
+                    conn.retry_at = None;
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => return Err(self.note_failure(&mut conn)),
+            }
+        }
+        let stream = conn.stream.as_mut().expect("connected above");
+        let exchange = wire::write_message(stream, request)
+            .and_then(|()| wire::read_message::<_, Response>(stream));
+        match exchange {
+            Ok(Some(response)) => Ok(response),
+            // EOF where a response was due, or any transport/protocol
+            // error: the stream is useless now.
+            Ok(None) | Err(_) => Err(self.note_failure(&mut conn)),
+        }
+    }
+
+    fn note_failure(&self, conn: &mut ConnState) -> StoreError {
+        conn.stream = None;
+        conn.retry_at = Some(Instant::now() + conn.backoff);
+        conn.backoff = (conn.backoff * 2).min(self.cfg.backoff_max);
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        StoreError::Unavailable
+    }
+}
+
+impl Store for TcpStore {
+    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
+        match self.call(&Request::Publish { site, snapshot: partition })? {
+            Response::Ok => Ok(()),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    fn publish_full(
+        &self,
+        site: SiteId,
+        partition: Snapshot,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        match self.call(&Request::PublishFull { site, snapshot: partition, version })? {
+            Response::Ok => Ok(()),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    fn publish_deltas(
+        &self,
+        site: SiteId,
+        base: u64,
+        deltas: &[Delta],
+        next: u64,
+    ) -> Result<DeltaAck, StoreError> {
+        let request = Request::PublishDeltas { site, base, deltas: deltas.to_vec(), next };
+        match self.call(&request)? {
+            Response::Applied => Ok(DeltaAck::Applied),
+            Response::NeedSnapshot => Ok(DeltaAck::NeedSnapshot),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+        match self.call(&Request::FetchAll)? {
+            Response::View(view) => Ok(view),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    fn remove(&self, site: SiteId) -> Result<(), StoreError> {
+        match self.call(&Request::Remove { site })? {
+            Response::Ok => Ok(()),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+}

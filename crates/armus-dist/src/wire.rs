@@ -1,0 +1,505 @@
+//! The store wire protocol: compact length-prefixed binary frames for the
+//! site ↔ `armus-stored` conversation.
+//!
+//! Every frame is `[u32 LE payload length][u8 version][body]`, where the
+//! body is a binary encoding of the message's [`serde::Value`] tree —
+//! varint (LEB128) integers and lengths, zigzag signed integers, raw IEEE
+//! floats, length-prefixed strings. Framing through the serde tree means
+//! every `Serialize`/`Deserialize` type ships unchanged, and the explicit
+//! version byte leaves room for incompatible evolutions (a peer speaking a
+//! newer version is rejected cleanly instead of misparsed).
+//!
+//! Decoding is **total**: truncated frames, oversized length prefixes
+//! ([`MAX_FRAME_LEN`]), unknown value tags, unknown message variants and
+//! over-deep nesting all surface as [`WireError`]s — the server answers by
+//! closing the connection, never by panicking (see the malformed-input
+//! tests in `tests/wire_props.rs`).
+
+use std::io::{self, Read, Write};
+
+use armus_core::{Delta, Snapshot};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::store::SiteId;
+
+/// Protocol version spoken by this build. A frame carrying any other
+/// version is rejected (forward compatibility: new versions change the
+/// byte, old peers fail cleanly instead of misparsing).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload length. A length prefix beyond this is
+/// treated as malformed before any allocation happens, so a garbage or
+/// hostile peer cannot make the server reserve gigabytes.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Maximum [`Value`] nesting depth accepted by the decoder (the messages
+/// of this protocol are at most a handful of levels deep).
+const MAX_DEPTH: u32 = 64;
+
+/// Elements the decoder pre-reserves per container at most. Declared
+/// counts are peer-controlled; anything beyond this grows organically,
+/// bounding the up-front allocation a hostile count can trigger.
+const PREALLOC_CAP: usize = 4096;
+
+/// Wire failures. Transport-level ([`WireError::Io`]) and protocol-level
+/// ([`WireError::Malformed`], [`WireError::Version`]) failures are
+/// distinguished so callers can log precisely, but both end the
+/// connection: there is no in-band resync point mid-stream.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes mid-frame EOF).
+    Io(io::Error),
+    /// The peer announced an unsupported protocol version.
+    Version(u8),
+    /// The bytes do not decode to a message of the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire transport error: {e}"),
+            WireError::Version(v) => {
+                write!(f, "unsupported wire version {v} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::Malformed(m) => write!(f, "malformed wire frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+// --- requests and responses ------------------------------------------------
+
+/// A client → server message: the [`crate::store::Store`] operations plus
+/// the administrative drain command.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// [`crate::store::Store::publish`] (legacy unversioned replace).
+    Publish {
+        /// Publishing site.
+        site: SiteId,
+        /// Replacement partition.
+        snapshot: Snapshot,
+    },
+    /// [`crate::store::Store::publish_full`].
+    PublishFull {
+        /// Publishing site.
+        site: SiteId,
+        /// Replacement partition.
+        snapshot: Snapshot,
+        /// The publisher's journal cursor the partition is at.
+        version: u64,
+    },
+    /// [`crate::store::Store::publish_deltas`].
+    PublishDeltas {
+        /// Publishing site.
+        site: SiteId,
+        /// Journal version the deltas start from.
+        base: u64,
+        /// The delta interval `[base, next)`.
+        deltas: Vec<Delta>,
+        /// Journal version after the interval.
+        next: u64,
+    },
+    /// [`crate::store::Store::fetch_all`].
+    FetchAll,
+    /// [`crate::store::Store::remove`].
+    Remove {
+        /// Site whose partition is dropped.
+        site: SiteId,
+    },
+    /// Administrative graceful drain: the server stops accepting, finishes
+    /// in-flight requests, and exits — the SIGTERM equivalent of a
+    /// containerised deployment, delivered in-band.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The operation succeeded with nothing to return.
+    Ok,
+    /// A delta publish was applied at the new version.
+    Applied,
+    /// A delta publish was declined: the site must resync with a full
+    /// snapshot.
+    NeedSnapshot,
+    /// The global view, one partition per live site.
+    View(Vec<(SiteId, Snapshot)>),
+    /// The server could not serve the request.
+    Error(String),
+}
+
+// --- varints ---------------------------------------------------------------
+
+fn put_varint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, WireError> {
+    let mut n: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let (&byte, rest) = buf.split_first().ok_or_else(|| malformed("truncated varint"))?;
+        *buf = rest;
+        n |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical overlong encodings at the top limb.
+            if shift == 63 && byte > 1 {
+                return Err(malformed("varint overflows u64"));
+            }
+            return Ok(n);
+        }
+    }
+    Err(malformed("varint longer than 10 bytes"))
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+// --- value codec -----------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_UINT: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::UInt(n) => {
+            out.push(TAG_UINT);
+            put_varint(*n, out);
+        }
+        Value::Int(n) => {
+            out.push(TAG_INT);
+            put_varint(zigzag(*n), out);
+        }
+        Value::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            put_varint(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            put_varint(entries.len() as u64, out);
+            for (key, item) in entries {
+                put_varint(key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+/// Reads a declared element count, rejecting counts that could not
+/// possibly fit in the remaining bytes (each element takes ≥ 1 byte), so
+/// a malicious count cannot drive a huge up-front allocation.
+fn get_count(buf: &mut &[u8], what: &str) -> Result<usize, WireError> {
+    let n = get_varint(buf)?;
+    if n > buf.len() as u64 {
+        return Err(malformed(format!("{what} count {n} exceeds remaining {} bytes", buf.len())));
+    }
+    Ok(n as usize)
+}
+
+fn get_str(buf: &mut &[u8], what: &str) -> Result<String, WireError> {
+    let len = get_count(buf, what)?;
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+}
+
+fn decode_value(buf: &mut &[u8], depth: u32) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(malformed("value nesting exceeds the protocol depth limit"));
+    }
+    let (&tag, rest) = buf.split_first().ok_or_else(|| malformed("truncated value tag"))?;
+    *buf = rest;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_UINT => Ok(Value::UInt(get_varint(buf)?)),
+        TAG_INT => Ok(Value::Int(unzigzag(get_varint(buf)?))),
+        TAG_FLOAT => {
+            if buf.len() < 8 {
+                return Err(malformed("truncated float"));
+            }
+            let (bytes, rest) = buf.split_at(8);
+            *buf = rest;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap()))))
+        }
+        TAG_STR => Ok(Value::Str(get_str(buf, "string")?)),
+        TAG_SEQ => {
+            let count = get_count(buf, "sequence")?;
+            // Pre-reserve only a bounded prefix: a declared count is
+            // attacker-controlled, and `count × size_of::<Value>()` can
+            // dwarf the frame itself. Growth past the cap is amortised.
+            let mut items = Vec::with_capacity(count.min(PREALLOC_CAP));
+            for _ in 0..count {
+                items.push(decode_value(buf, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let count = get_count(buf, "map")?;
+            let mut entries = Vec::with_capacity(count.min(PREALLOC_CAP));
+            for _ in 0..count {
+                let key = get_str(buf, "map key")?;
+                entries.push((key, decode_value(buf, depth + 1)?));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(malformed(format!("unknown value tag {other}"))),
+    }
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// Encodes `message` into one complete frame (length prefix included).
+/// Fails with [`WireError::Malformed`] when the encoding exceeds
+/// [`MAX_FRAME_LEN`] — a frame no receiver would accept must not be sent
+/// (the sender would otherwise desync every peer, forever, in release
+/// builds too).
+pub fn encode_frame<T: Serialize>(message: &T) -> Result<Vec<u8>, WireError> {
+    let mut payload = vec![WIRE_VERSION];
+    encode_value(&message.to_value(), &mut payload);
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(malformed(format!(
+            "message encodes to {} bytes, over MAX_FRAME_LEN",
+            payload.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Decodes a frame **payload** (version byte + body, the length prefix
+/// already stripped) into a message.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
+    let (&version, body) = payload.split_first().ok_or_else(|| malformed("empty frame payload"))?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let mut rest = body;
+    let value = decode_value(&mut rest, 0)?;
+    if !rest.is_empty() {
+        return Err(malformed(format!("{} trailing bytes after value", rest.len())));
+    }
+    T::from_value(&value).map_err(|e| malformed(e.to_string()))
+}
+
+/// Writes one frame to `w` and flushes it.
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, message: &T) -> Result<(), WireError> {
+    w.write_all(&encode_frame(message)?)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean end of stream
+/// (EOF at a frame boundary); EOF mid-frame is an [`WireError::Io`]
+/// error, an oversized length prefix a [`WireError::Malformed`] one.
+pub fn read_message<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(malformed(format!("length prefix {len} exceeds MAX_FRAME_LEN")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload).map(Some)
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// `read_exact`, except an EOF *before the first byte* is reported as
+/// [`ReadOutcome::Eof`] (a peer hanging up between frames) rather than an
+/// error; EOF after a partial read stays an error (a truncated frame).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armus_core::{BlockedInfo, PhaserId, Registration, Resource, TaskId};
+
+    fn snap() -> Snapshot {
+        Snapshot::from_tasks(vec![BlockedInfo::new(
+            TaskId(3).with_site(1),
+            vec![Resource::new(PhaserId(1), 1)],
+            vec![Registration::new(PhaserId(1), 0), Registration::new(PhaserId(2), 4)],
+        )])
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: &T) {
+        let frame = encode_frame(msg).expect("bounded test message");
+        let mut cursor = io::Cursor::new(frame);
+        let back: T = read_message(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip(&Request::Publish { site: SiteId(0), snapshot: snap() });
+        roundtrip(&Request::PublishFull { site: SiteId(7), snapshot: snap(), version: 42 });
+        roundtrip(&Request::PublishDeltas {
+            site: SiteId(1),
+            base: 5,
+            deltas: vec![Delta::Block(snap().tasks[0].clone()), Delta::Unblock(TaskId(9))],
+            next: 7,
+        });
+        roundtrip(&Request::FetchAll);
+        roundtrip(&Request::Remove { site: SiteId(3) });
+        roundtrip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip(&Response::Ok);
+        roundtrip(&Response::Applied);
+        roundtrip(&Response::NeedSnapshot);
+        roundtrip(&Response::View(vec![(SiteId(0), snap()), (SiteId(1), Snapshot::empty())]));
+        roundtrip(&Response::Error("partition store on fire".into()));
+    }
+
+    #[test]
+    fn varints_round_trip_at_the_edges() {
+        for n in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(n, &mut out);
+            let mut buf = out.as_slice();
+            assert_eq!(get_varint(&mut buf).unwrap(), n);
+            assert!(buf.is_empty());
+        }
+        for n in [0i64, 1, -1, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_message::<_, Request>(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut frame = encode_frame(&Request::FetchAll).unwrap();
+        frame.truncate(frame.len() - 1);
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(read_message::<_, Request>(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(read_message::<_, Request>(&mut cursor), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn future_versions_are_rejected_cleanly() {
+        let mut frame = encode_frame(&Request::FetchAll).unwrap();
+        frame[4] = WIRE_VERSION + 1; // the version byte follows the length
+        let mut cursor = io::Cursor::new(frame);
+        assert!(matches!(
+            read_message::<_, Request>(&mut cursor),
+            Err(WireError::Version(v)) if v == WIRE_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn unknown_message_variants_are_malformed_not_panics() {
+        let rogue = Value::Map(vec![("LaunchMissiles".into(), Value::UInt(1))]);
+        let mut payload = vec![WIRE_VERSION];
+        encode_value(&rogue, &mut payload);
+        assert!(matches!(decode_payload::<Request>(&payload), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A sequence claiming u64::MAX elements in a 3-byte body.
+        let mut payload = vec![WIRE_VERSION, TAG_SEQ];
+        put_varint(u64::MAX, &mut payload);
+        assert!(matches!(decode_payload::<Request>(&payload), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn over_deep_nesting_is_rejected() {
+        let mut payload = vec![WIRE_VERSION];
+        for _ in 0..(MAX_DEPTH + 8) {
+            payload.push(TAG_SEQ);
+            payload.push(1); // one element each level
+        }
+        payload.push(TAG_NULL);
+        assert!(matches!(decode_payload::<Value>(&payload), Err(WireError::Malformed(_))));
+    }
+}

@@ -207,3 +207,111 @@ fn stopping_a_site_removes_its_partition() {
     let parts = store.fetch_all().unwrap();
     assert!(parts.is_empty(), "stopped sites must clean up: {parts:?}");
 }
+
+#[test]
+fn stop_is_interruptible_not_a_sum_of_periods() {
+    // Multi-second publish/check periods: a stop that sleeps out the
+    // periods would take seconds; the interruptible wait must return in
+    // well under 100 ms (wake-up + joins + one bounded remove).
+    let cfg = SiteConfig {
+        publish_period: Duration::from_secs(5),
+        check_period: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let cluster = Cluster::start(2, cfg);
+    // Let both sites park in their first full waits.
+    std::thread::sleep(Duration::from_millis(50));
+    let start = Instant::now();
+    cluster.stop();
+    let elapsed = start.elapsed();
+    assert!(elapsed < Duration::from_millis(100), "stop took {elapsed:?}");
+}
+
+#[test]
+fn stop_retries_the_remove_through_a_brief_outage() {
+    // The store is down at the instant of stop; it recovers 40 ms later —
+    // inside the bounded retry window — so the partition must still be
+    // removed (no ghost left for other sites to merge).
+    let cluster = Cluster::start(1, fast_cfg());
+    let store = Arc::clone(cluster.store());
+    assert!(eventually(Duration::from_secs(5), || {
+        store.fetch_all().map(|v| !v.is_empty()).unwrap_or(false)
+    }));
+    store.set_available(false);
+    let revive = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            store.set_available(true);
+        })
+    };
+    cluster.stop();
+    revive.join().unwrap();
+    let parts = store.fetch_all().unwrap();
+    assert!(parts.is_empty(), "remove must retry past the outage: {parts:?}");
+}
+
+/// The ghost-partition regression (soundness): a site whose tasks
+/// unblocked during a store outage dies without removing its partition;
+/// its stale blocked statuses must not let the surviving site *confirm* a
+/// deadlock that no longer exists. The partition lease is the fix: with
+/// no publishes refreshing it, the ghost expires and the merged view
+/// drops it.
+#[test]
+fn dead_sites_ghost_partition_cannot_confirm_a_false_deadlock() {
+    use armus_core::{BlockedInfo, PhaserId, Registration, Resource, Snapshot, TaskId};
+    use armus_dist::{MemStore, Site, SiteId};
+
+    // The would-be cross-site cycle: the ghost's task g1 waits on p2@1
+    // while impeding p1@1; the live task a1 waits on p1@1 while impeding
+    // p2@1. If both were really blocked this *would* be a deadlock — but
+    // g1 unblocked during the outage; only its stale status lingers.
+    let ghost_partition = Snapshot::from_tasks(vec![BlockedInfo::new(
+        TaskId(9001),
+        vec![Resource::new(PhaserId(2), 1)],
+        vec![Registration::new(PhaserId(1), 0), Registration::new(PhaserId(2), 1)],
+    )]);
+    let live_blocked = |site: &Site| {
+        site.runtime()
+            .verifier()
+            .block(
+                TaskId(9002),
+                vec![Resource::new(PhaserId(1), 1)],
+                vec![Registration::new(PhaserId(1), 1), Registration::new(PhaserId(2), 0)],
+            )
+            .unwrap();
+    };
+
+    let run = |lease: Option<Duration>| -> bool {
+        let inner = match lease {
+            Some(ttl) => MemStore::with_lease(ttl),
+            None => MemStore::new(),
+        };
+        let store = Arc::new(armus_dist::FaultyStore::new(inner));
+        // Outage starts; the ghost's partition was written before it.
+        store.set_available(false);
+        store.inner().publish_full(SiteId(9), ghost_partition.clone(), 1).unwrap();
+        let site = Site::start(SiteId(0), Arc::clone(&store) as Arc<dyn Store>, fast_cfg());
+        live_blocked(&site);
+        // The outage outlives the lease; the ghost site "dies" during it
+        // (no further publishes, no remove).
+        std::thread::sleep(Duration::from_millis(250));
+        store.set_available(true);
+        // Give the survivor's checker ample rounds to (not) confirm.
+        std::thread::sleep(Duration::from_millis(300));
+        let found = site.found_deadlock();
+        site.stop();
+        found
+    };
+
+    assert!(
+        run(None),
+        "control: without a lease the ghost partition does confirm the false deadlock \
+         (the bug this regression pins down)"
+    );
+    assert!(
+        !run(Some(Duration::from_millis(100))),
+        "with a lease shorter than the outage, the ghost expires and no false deadlock \
+         is confirmed"
+    );
+}

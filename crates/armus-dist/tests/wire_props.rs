@@ -1,0 +1,116 @@
+//! Property tests for the wire protocol: encode∘decode ≡ id on arbitrary
+//! snapshots, deltas and messages, and totality on hostile bytes (the
+//! decoder errors, it never panics or over-allocates).
+
+use armus_core::{BlockedInfo, Delta, PhaserId, Registration, Resource, Snapshot, TaskId};
+use armus_dist::wire::{self, Request, Response, WireError};
+use armus_dist::SiteId;
+use proptest::prelude::*;
+
+fn arb_blocked() -> impl Strategy<Value = BlockedInfo> {
+    (
+        0u64..200,
+        0u32..4,
+        1u64..6,
+        0u64..5,
+        proptest::collection::vec((1u64..6, 0u64..5), 0..4),
+        0u64..1000,
+    )
+        .prop_map(|(task, site, wait_ph, wait_phase, regs, epoch)| {
+            let mut regs: Vec<Registration> =
+                regs.into_iter().map(|(q, m)| Registration::new(PhaserId(q), m)).collect();
+            regs.sort_by_key(|r| r.phaser);
+            regs.dedup_by_key(|r| r.phaser);
+            let mut info = BlockedInfo::new(
+                TaskId(task).with_site(site),
+                vec![Resource::new(PhaserId(wait_ph), wait_phase + 1)],
+                regs,
+            );
+            info.epoch = epoch;
+            info
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    proptest::collection::vec(arb_blocked(), 0..8).prop_map(Snapshot::from_tasks)
+}
+
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    prop_oneof![
+        arb_blocked().prop_map(Delta::Block),
+        (0u64..500).prop_map(|t| Delta::Unblock(TaskId(t))),
+    ]
+}
+
+fn frame_roundtrip<T>(msg: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let frame = wire::encode_frame(msg).expect("bounded test message");
+    let mut cursor = std::io::Cursor::new(frame);
+    wire::read_message(&mut cursor).expect("decode").expect("one frame")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn snapshots_round_trip(snap in arb_snapshot()) {
+        let back = frame_roundtrip(&Request::PublishFull {
+            site: SiteId(3),
+            snapshot: snap.clone(),
+            version: 17,
+        });
+        prop_assert_eq!(
+            back,
+            Request::PublishFull { site: SiteId(3), snapshot: snap, version: 17 }
+        );
+    }
+
+    #[test]
+    fn delta_intervals_round_trip(
+        deltas in proptest::collection::vec(arb_delta(), 0..10),
+        base in 0u64..1000,
+        span in 0u64..50,
+    ) {
+        let msg = Request::PublishDeltas {
+            site: SiteId(1),
+            base,
+            deltas,
+            next: base + span,
+        };
+        prop_assert_eq!(frame_roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn views_round_trip(parts in proptest::collection::vec((0u32..8, arb_snapshot()), 0..5)) {
+        let view: Vec<(SiteId, Snapshot)> =
+            parts.into_iter().map(|(s, p)| (SiteId(s), p)).collect();
+        let msg = Response::View(view);
+        prop_assert_eq!(frame_roundtrip(&msg), msg);
+    }
+
+    /// Totality: any byte soup either decodes to some request or errors —
+    /// never a panic, and never a huge allocation (the input is tiny, so
+    /// the count guards must bound everything).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = wire::decode_payload::<Request>(&payload);
+    }
+
+    /// A truncated valid frame is always rejected, never misread: every
+    /// strict prefix of an encoded message fails to decode (the payload
+    /// is cut, so either the value or its trailing check breaks).
+    #[test]
+    fn truncated_payloads_are_rejected(snap in arb_snapshot(), cut in 1usize..32) {
+        let frame = wire::encode_frame(&Request::Publish { site: SiteId(0), snapshot: snap }).unwrap();
+        let payload = &frame[4..]; // strip the length prefix
+        if cut < payload.len() {
+            let truncated = &payload[..payload.len() - cut];
+            prop_assert!(matches!(
+                wire::decode_payload::<Request>(truncated),
+                Err(WireError::Malformed(_))
+            ));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `store_bench` — publish/fetch round-trips per second against the
+//! global store, in-process `MemStore` vs `TcpStore` → `armus-stored`
+//! over loopback (see `armus_bench::store`).
+//!
+//! ```text
+//! cargo run --release -p armus-bench --bin store_bench -- [options]
+//!
+//! options:
+//!   --millis-per-cell N   measurement budget per (backend, op) pair
+//!                         (default: 500)
+//!   --json PATH           dump the cells as JSON (e.g. BENCH_store.json)
+//! ```
+
+use std::time::Duration;
+
+use armus_bench::store;
+
+fn main() {
+    let mut millis: u64 = 500;
+    let mut json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--millis-per-cell" => {
+                millis = args.next().map(|v| v.parse().expect("--millis-per-cell N")).unwrap();
+            }
+            "--json" => json = args.next(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = store::run(Duration::from_millis(millis));
+    store::print_table(&results);
+    if let Some(path) = json {
+        std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

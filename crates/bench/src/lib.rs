@@ -5,7 +5,9 @@
 //! [`experiments`]; the `incremental` binary measures the incremental
 //! dependency engine against rebuild-per-check; the `concurrent` binary
 //! measures multi-threaded block/unblock throughput across verifier
-//! modes and workload shapes; the criterion benches under `benches/`
+//! modes and workload shapes; the `store_bench` binary measures
+//! publish/fetch round-trips against the global store, in-process vs
+//! over the `armus-stored` wire protocol; the criterion benches under `benches/`
 //! micro-measure the verification layer itself (graph construction,
 //! cycle detection, registry throughput, and the adaptive-threshold
 //! ablation).
@@ -15,6 +17,7 @@
 pub mod concurrent;
 pub mod experiments;
 pub mod incremental;
+pub mod store;
 pub mod synth;
 
 pub use experiments::{Config, Mode};

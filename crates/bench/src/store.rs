@@ -1,0 +1,152 @@
+//! The `store` experiment: publish/fetch round-trips per second against
+//! the global store, in-process (`MemStore`, the function-call baseline)
+//! vs networked (`TcpStore` → an in-process `armus-stored` server over
+//! loopback TCP).
+//!
+//! Three operations are measured per backend, at a fixed partition size:
+//! `publish_full` (a join/resync snapshot), `publish_deltas` (the
+//! steady-state two-delta interval a block/unblock round produces), and
+//! `fetch_all` (a checker round's view pull). The gap between the columns
+//! is the wire cost — framing, syscalls, loopback RTT — which bounds how
+//! often real sites can afford to publish and check.
+
+use std::time::{Duration, Instant};
+
+use armus_core::{BlockedInfo, Delta, PhaserId, Registration, Resource, Snapshot, TaskId};
+use armus_dist::server::{StoredConfig, StoredServer};
+use armus_dist::{MemStore, SiteId, Store, TcpStore};
+use serde::Serialize;
+
+/// Tasks per published partition (a mid-sized site).
+const PARTITION_TASKS: u64 = 64;
+
+/// One measured (backend, operation) pair.
+#[derive(Clone, Debug, Serialize)]
+pub struct StoreCell {
+    /// `memstore` (in-process) or `tcp` (loopback `armus-stored`).
+    pub backend: String,
+    /// `publish_full`, `publish_deltas`, or `fetch_all`.
+    pub op: String,
+    /// Completed round-trips per second.
+    pub ops_per_sec: f64,
+}
+
+/// The whole experiment, for `--json` export (`BENCH_store.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct StoreResults {
+    /// Blocked tasks in every published/fetched partition.
+    pub partition_tasks: u64,
+    /// One cell per (backend, operation).
+    pub cells: Vec<StoreCell>,
+}
+
+fn blocked(task: u64) -> BlockedInfo {
+    let ph = task % 8;
+    BlockedInfo::new(
+        TaskId(task),
+        vec![Resource::new(PhaserId(ph), 1)],
+        vec![Registration::new(PhaserId(ph), 1), Registration::new(PhaserId(ph + 1), 0)],
+    )
+}
+
+fn partition() -> Snapshot {
+    Snapshot::from_tasks((0..PARTITION_TASKS).map(blocked).collect())
+}
+
+/// Runs `op` repeatedly for at least `budget`, returning ops/sec.
+fn measure(budget: Duration, mut op: impl FnMut()) -> f64 {
+    for _ in 0..16 {
+        op(); // warm-up: connections, allocations, caches
+    }
+    let mut ops = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..8 {
+            op();
+        }
+        ops += 8;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return ops as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+fn bench_backend(name: &str, store: &dyn Store, budget: Duration, cells: &mut Vec<StoreCell>) {
+    let snap = partition();
+    let cell = |op: &str, ops_per_sec: f64| StoreCell {
+        backend: name.to_string(),
+        op: op.to_string(),
+        ops_per_sec,
+    };
+
+    let mut version = 0u64;
+    cells.push(cell(
+        "publish_full",
+        measure(budget, || {
+            version += 1;
+            store.publish_full(SiteId(0), snap.clone(), version).unwrap();
+        }),
+    ));
+
+    // Steady-state delta interval: one block + its unblock, as a
+    // publisher round ships after a task cycles through a barrier.
+    let probe = blocked(PARTITION_TASKS + 1);
+    cells.push(cell(
+        "publish_deltas",
+        measure(budget, || {
+            let deltas = [Delta::Block(probe.clone()), Delta::Unblock(probe.task)];
+            let next = version + 2;
+            let ack = store.publish_deltas(SiteId(0), version, &deltas, next).unwrap();
+            assert_eq!(ack, armus_dist::DeltaAck::Applied, "bench intervals are gap-free");
+            version = next;
+        }),
+    ));
+
+    cells.push(cell(
+        "fetch_all",
+        measure(budget, || {
+            let view = store.fetch_all().unwrap();
+            assert_eq!(view.len(), 1);
+        }),
+    ));
+}
+
+/// Runs the experiment: both backends, every operation.
+pub fn run(budget_per_cell: Duration) -> StoreResults {
+    let mut cells = Vec::new();
+
+    let mem = MemStore::new();
+    bench_backend("memstore", &mem, budget_per_cell, &mut cells);
+
+    let server =
+        StoredServer::bind("127.0.0.1:0", StoredConfig { lease: None, ..Default::default() })
+            .expect("bind loopback server");
+    let tcp = TcpStore::new(server.local_addr().to_string());
+    bench_backend("tcp", &tcp, budget_per_cell, &mut cells);
+    server.shutdown();
+
+    StoreResults { partition_tasks: PARTITION_TASKS, cells }
+}
+
+/// Prints the cells as an aligned table, with the per-op TCP/in-process
+/// ratio (the wire tax).
+pub fn print_table(results: &StoreResults) {
+    println!(
+        "store round-trips ({} tasks per partition); ratio = tcp / memstore",
+        results.partition_tasks
+    );
+    println!("{:<16} {:>16} {:>16} {:>8}", "op", "memstore ops/s", "tcp ops/s", "ratio");
+    for op in ["publish_full", "publish_deltas", "fetch_all"] {
+        let get = |backend: &str| {
+            results
+                .cells
+                .iter()
+                .find(|c| c.backend == backend && c.op == op)
+                .map(|c| c.ops_per_sec)
+                .unwrap_or(f64::NAN)
+        };
+        let (mem, tcp) = (get("memstore"), get("tcp"));
+        println!("{:<16} {:>16.0} {:>16.0} {:>8.3}", op, mem, tcp, tcp / mem);
+    }
+}
