@@ -141,6 +141,7 @@ pub struct CheckStats {
 }
 
 /// Outcome of a deadlock check.
+#[derive(Clone, Debug)]
 pub struct CheckOutcome {
     /// The deadlock found, if any.
     pub report: Option<DeadlockReport>,

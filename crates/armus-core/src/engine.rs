@@ -13,10 +13,16 @@
 //! * [`IncrementalEngine::sync`] pulls the journal suffix since the
 //!   engine's cursor and applies each delta in `O(local degree)`; a cursor
 //!   that fell behind the bounded journal triggers a snapshot resync.
-//! * [`IncrementalEngine::check_task`] (avoidance) and
-//!   [`IncrementalEngine::check_full`] (detection) run existence-only cycle
-//!   searches directly over the maintained adjacency — no clone, no
+//! * [`IncrementalEngine::check_task`] (avoidance) runs an existence-only
+//!   cycle search directly over the maintained adjacency — no clone, no
 //!   rebuild.
+//! * [`IncrementalEngine::check_full`] (detection) answers from maintained
+//!   Pearce–Kelly topological orders ([`crate::graph::TopoOrder`], one per
+//!   model): every distinct-edge insertion updates the order in
+//!   `O(affected region)`, so detection-time cycle existence is `O(1)` —
+//!   a cycle exists iff some edge could not be ordered. The old full-graph
+//!   existence pass survives as [`IncrementalEngine::check_full_scan`]
+//!   (the differential baseline, and the parallel-peel path).
 //! * Only on a **hit** (a cycle exists, i.e. the program is about to
 //!   deadlock) does the engine materialise its state into a sorted
 //!   [`Snapshot`] and delegate to the canonical [`checker`], so delivered
@@ -39,6 +45,7 @@ use std::hash::Hash;
 use crate::adaptive::{auto_pick, GraphModel, ModelChoice};
 use crate::checker::{self, CheckOutcome, CheckStats};
 use crate::deps::{BlockedInfo, Delta, JournalRead, Registry, Snapshot};
+use crate::graph::TopoOrder;
 use crate::ids::{Phase, PhaserId, TaskId};
 use crate::resource::Resource;
 
@@ -52,19 +59,44 @@ pub struct SyncOutcome {
     pub resynced: bool,
 }
 
+/// Outcome of a [`IncrementalEngine::check_full_detailed`] detection
+/// check: the canonical [`CheckOutcome`] plus whether it was answered
+/// purely from the maintained topological order.
+#[derive(Clone, Debug)]
+pub struct DetectionOutcome {
+    /// The report (byte-identical to the canonical checker's) and stats.
+    pub outcome: CheckOutcome,
+    /// `true` when the check was answered from the order alone (no cycle,
+    /// so no snapshot materialisation and no canonical rebuild ran).
+    pub incremental: bool,
+}
+
 /// Refcounted adjacency: `adj[a][b]` is the number of live contributions
 /// to edge `a → b`; the edge exists while the count is positive.
 type RefCountedAdj<N> = HashMap<N, HashMap<N, usize>>;
 
-fn bump_edge<N: Copy + Eq + Hash>(adj: &mut RefCountedAdj<N>, edges: &mut usize, from: N, to: N) {
+fn bump_edge<N: Copy + Eq + Hash>(
+    adj: &mut RefCountedAdj<N>,
+    order: &mut TopoOrder<N>,
+    edges: &mut usize,
+    from: N,
+    to: N,
+) {
     let count = adj.entry(from).or_default().entry(to).or_insert(0);
     *count += 1;
     if *count == 1 {
         *edges += 1;
+        order.insert_edge(from, to);
     }
 }
 
-fn drop_edge<N: Copy + Eq + Hash>(adj: &mut RefCountedAdj<N>, edges: &mut usize, from: N, to: N) {
+fn drop_edge<N: Copy + Eq + Hash>(
+    adj: &mut RefCountedAdj<N>,
+    order: &mut TopoOrder<N>,
+    edges: &mut usize,
+    from: N,
+    to: N,
+) {
     let succs = adj.get_mut(&from).expect("dropping an edge that was never added");
     let count = succs.get_mut(&to).expect("dropping an edge that was never added");
     *count -= 1;
@@ -74,13 +106,14 @@ fn drop_edge<N: Copy + Eq + Hash>(adj: &mut RefCountedAdj<N>, edges: &mut usize,
             adj.remove(&from);
         }
         *edges -= 1;
+        order.remove_edge(from, to);
     }
 }
 
 /// The long-lived maintained graph. One per [`crate::Verifier`]; updates
 /// are applied by whichever thread holds the verifier's engine lock.
 pub struct IncrementalEngine {
-    /// Node count above which [`IncrementalEngine::check_full`]
+    /// Node count above which [`IncrementalEngine::check_full_scan`]
     /// parallelises its existence pass (defaults to
     /// [`PAR_NODE_THRESHOLD`]; injectable so tests and the simulation
     /// testkit can force the parallel branch on small graphs).
@@ -106,6 +139,11 @@ pub struct IncrementalEngine {
     wfg_adj: RefCountedAdj<TaskId>,
     /// Distinct WFG edges.
     wfg_edges: usize,
+    /// Pearce–Kelly topological order of the distinct SG edges, updated on
+    /// every 0→1 / 1→0 refcount transition.
+    sg_order: TopoOrder<Resource>,
+    /// Pearce–Kelly topological order of the distinct WFG edges.
+    wfg_order: TopoOrder<TaskId>,
 }
 
 impl Default for IncrementalEngine {
@@ -122,6 +160,8 @@ impl Default for IncrementalEngine {
             waiters_by_phaser: HashMap::new(),
             wfg_adj: HashMap::new(),
             wfg_edges: 0,
+            sg_order: TopoOrder::new(),
+            wfg_order: TopoOrder::new(),
         }
     }
 }
@@ -201,7 +241,7 @@ impl IncrementalEngine {
                     .collect();
                 for r1 in sources {
                     for &r2 in &info.waits {
-                        bump_edge(&mut self.sg_adj, &mut self.sg_edges, r1, r2);
+                        bump_edge(&mut self.sg_adj, &mut self.sg_order, &mut self.sg_edges, r1, r2);
                     }
                 }
             }
@@ -216,7 +256,13 @@ impl IncrementalEngine {
                 .map(|&(u, _)| u)
                 .collect();
             for u in laggards {
-                bump_edge(&mut self.wfg_adj, &mut self.wfg_edges, info.task, u);
+                bump_edge(
+                    &mut self.wfg_adj,
+                    &mut self.wfg_order,
+                    &mut self.wfg_edges,
+                    info.task,
+                    u,
+                );
             }
         }
 
@@ -240,7 +286,13 @@ impl IncrementalEngine {
                     .map(|&(u, _)| u)
                     .collect();
                 for u in sources {
-                    bump_edge(&mut self.wfg_adj, &mut self.wfg_edges, u, info.task);
+                    bump_edge(
+                        &mut self.wfg_adj,
+                        &mut self.wfg_order,
+                        &mut self.wfg_edges,
+                        u,
+                        info.task,
+                    );
                 }
             }
         }
@@ -264,7 +316,7 @@ impl IncrementalEngine {
                 for u in laggards {
                     let targets = self.tasks[&u].waits.clone();
                     for r2 in targets {
-                        bump_edge(&mut self.sg_adj, &mut self.sg_edges, w, r2);
+                        bump_edge(&mut self.sg_adj, &mut self.sg_order, &mut self.sg_edges, w, r2);
                     }
                 }
             }
@@ -285,7 +337,7 @@ impl IncrementalEngine {
                     .map(|&(u, _)| u)
                     .collect();
                 for u in sources {
-                    drop_edge(&mut self.wfg_adj, &mut self.wfg_edges, u, task);
+                    drop_edge(&mut self.wfg_adj, &mut self.wfg_order, &mut self.wfg_edges, u, task);
                 }
             }
         }
@@ -314,7 +366,7 @@ impl IncrementalEngine {
                 for u in laggards {
                     let targets = self.tasks[&u].waits.clone();
                     for r2 in targets {
-                        drop_edge(&mut self.sg_adj, &mut self.sg_edges, w, r2);
+                        drop_edge(&mut self.sg_adj, &mut self.sg_order, &mut self.sg_edges, w, r2);
                     }
                 }
             }
@@ -354,7 +406,7 @@ impl IncrementalEngine {
                     .collect();
                 for r1 in sources {
                     for &r2 in &info.waits {
-                        drop_edge(&mut self.sg_adj, &mut self.sg_edges, r1, r2);
+                        drop_edge(&mut self.sg_adj, &mut self.sg_order, &mut self.sg_edges, r1, r2);
                     }
                 }
             }
@@ -369,7 +421,7 @@ impl IncrementalEngine {
                 .map(|&(u, _)| u)
                 .collect();
             for u in laggards {
-                drop_edge(&mut self.wfg_adj, &mut self.wfg_edges, task, u);
+                drop_edge(&mut self.wfg_adj, &mut self.wfg_order, &mut self.wfg_edges, task, u);
             }
         }
     }
@@ -433,15 +485,46 @@ impl IncrementalEngine {
         CheckOutcome { report, stats: self.stats_for(choice, model) }
     }
 
-    /// Detection check on the maintained graph: is there any cycle? As
-    /// with [`IncrementalEngine::check_task`], only a hit rebuilds.
+    /// Detection check answered from the maintained Pearce–Kelly order:
+    /// is there any cycle? Cycle existence is read off the order state —
+    /// `O(1)` when no insertion was deferred, `O(affected region)`
+    /// amortised over the deltas that built it — instead of walking the
+    /// whole refcounted adjacency. As with
+    /// [`IncrementalEngine::check_task`], only a hit materialises a
+    /// snapshot and delegates to the canonical [`checker`], so reports
+    /// stay byte-identical to the from-scratch oracle's.
+    pub fn check_full(&mut self, choice: ModelChoice, threshold: usize) -> CheckOutcome {
+        self.check_full_detailed(choice, threshold).outcome
+    }
+
+    /// [`IncrementalEngine::check_full`] plus how the answer was obtained,
+    /// so callers can feed the `incremental_detections` stats counter.
+    pub fn check_full_detailed(
+        &mut self,
+        choice: ModelChoice,
+        threshold: usize,
+    ) -> DetectionOutcome {
+        let model = self.model_for(choice, threshold);
+        let hit = self.order_cycle_exists(model);
+        let report =
+            if hit { checker::check(&self.materialize(), choice, threshold).report } else { None };
+        DetectionOutcome {
+            outcome: CheckOutcome { report, stats: self.stats_for(choice, model) },
+            incremental: !hit,
+        }
+    }
+
+    /// Detection check by full scan of the maintained adjacency — the
+    /// pre-order-maintenance path, kept as the differential baseline for
+    /// [`IncrementalEngine::check_full`] and as the parallel option for
+    /// one-shot checks over merged state.
     ///
     /// Above [`PAR_NODE_THRESHOLD`] nodes the existence pass fans out over
     /// [`crate::graph::DiGraph::has_cycle_par`] workers (when the host has
     /// more than one core): the maintained adjacency is flattened into a
     /// dense graph — `O(V + E)`, the same order as the scan itself — and
     /// peeled in parallel.
-    pub fn check_full(&self, choice: ModelChoice, threshold: usize) -> CheckOutcome {
+    pub fn check_full_scan(&self, choice: ModelChoice, threshold: usize) -> CheckOutcome {
         let model = self.model_for(choice, threshold);
         let hit = match model {
             GraphModel::Wfg => cycle_exists(&self.wfg_adj, self.tasks.len(), self.par_threshold),
@@ -450,6 +533,24 @@ impl IncrementalEngine {
         let report =
             if hit { checker::check(&self.materialize(), choice, threshold).report } else { None };
         CheckOutcome { report, stats: self.stats_for(choice, model) }
+    }
+
+    /// Cycle existence for `model`, answered from its maintained order
+    /// (deferred-edge retries run here; `&mut` is the amortisation).
+    pub fn order_cycle_exists(&mut self, model: GraphModel) -> bool {
+        match model {
+            GraphModel::Wfg => self.wfg_order.has_cycle(),
+            GraphModel::Sg => self.sg_order.has_cycle(),
+        }
+    }
+
+    /// Checks both maintained orders against the distinct-edge lists: every
+    /// edge accounted for, committed edges strictly ascending in label.
+    /// Test/testkit hook — `Err` means order maintenance has diverged from
+    /// the refcounted adjacency.
+    pub fn order_invariants(&self) -> Result<(), String> {
+        self.wfg_order.validate(&self.wfg_edge_list()).map_err(|e| format!("wfg order: {e}"))?;
+        self.sg_order.validate(&self.sg_edge_list()).map_err(|e| format!("sg order: {e}"))
     }
 
     /// The maintained view as a sorted [`Snapshot`] (identical, entry for
@@ -548,10 +649,10 @@ impl IncrementalEngine {
     }
 }
 
-/// Node count above which [`IncrementalEngine::check_full`]'s existence
-/// pass parallelises (when more than one core is available). Calibrated
-/// well above the paper's workloads: small graphs finish a sequential DFS
-/// faster than they can fan out.
+/// Node count above which [`IncrementalEngine::check_full_scan`]'s
+/// existence pass parallelises (when more than one core is available).
+/// Calibrated well above the paper's workloads: small graphs finish a
+/// sequential DFS faster than they can fan out.
 pub const PAR_NODE_THRESHOLD: usize = 4096;
 
 /// Worker count for the parallel existence pass: the host's available
@@ -865,8 +966,10 @@ mod tests {
             engine.apply(Delta::Block(BlockedInfo::new(t(i), vec![r(i, 1)], regs)));
         }
         assert!(engine.blocked() >= PAR_NODE_THRESHOLD);
+        let scan = engine.check_full_scan(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
+        assert!(scan.report.is_none(), "chain shape is deadlock-free");
         let out = engine.check_full(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
-        assert!(out.report.is_none(), "chain shape is deadlock-free");
+        assert!(out.report.is_none(), "order path must agree with the scan");
         // Close the chain: task 0 re-blocks with an extra lagging
         // registration on the *last* barrier, adding the back edge
         // t(n-1) → t(0) — a cycle spanning the whole chain.
@@ -875,8 +978,49 @@ mod tests {
             vec![r(0, 1)],
             vec![Registration::new(p(0), 1), Registration::new(p(n - 1), 0)],
         )));
+        let scan = engine.check_full_scan(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
+        assert!(scan.report.is_some(), "closed chain must be reported");
         let out = engine.check_full(ModelChoice::FixedWfg, DEFAULT_SG_THRESHOLD);
-        assert!(out.report.is_some(), "closed chain must be reported");
+        assert_eq!(
+            serde_json::to_string(&out.report).unwrap(),
+            serde_json::to_string(&scan.report).unwrap(),
+            "order path and scan must deliver the identical report"
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "verifier-mutation"))]
+    fn detection_is_incremental_until_a_hit_and_recovers_after() {
+        let mut engine = IncrementalEngine::new();
+        for i in 1..=3 {
+            engine.apply(Delta::Block(worker(i)));
+        }
+        engine.order_invariants().expect("orders valid on the acyclic prefix");
+        for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg, ModelChoice::Auto] {
+            let det = engine.check_full_detailed(choice, DEFAULT_SG_THRESHOLD);
+            assert!(det.incremental, "{choice}: no cycle ⇒ answered from the order");
+            assert!(det.outcome.report.is_none());
+        }
+
+        // The driver closes the Figure 5 cycle: the hit must fall back to
+        // the canonical rebuild (incremental = false) in both models.
+        engine.apply(Delta::Block(driver()));
+        engine.order_invariants().expect("orders valid with deferred edges");
+        for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg] {
+            let det = engine.check_full_detailed(choice, DEFAULT_SG_THRESHOLD);
+            assert!(!det.incremental, "{choice}: a hit must rebuild");
+            assert!(det.outcome.report.is_some());
+        }
+
+        // Breaking the cycle drains the deferred edges: detection is
+        // incremental again and the orders stay valid.
+        engine.apply(Delta::Unblock(t(4)));
+        for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg] {
+            let det = engine.check_full_detailed(choice, DEFAULT_SG_THRESHOLD);
+            assert!(det.incremental, "{choice}: cycle removed ⇒ order answers again");
+            assert!(det.outcome.report.is_none());
+        }
+        engine.order_invariants().expect("orders valid after the retry pass");
     }
 
     #[test]

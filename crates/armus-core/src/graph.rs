@@ -9,8 +9,15 @@
 //! The walk/cycle vocabulary of paper §4.2 (walks, `r`-cycles, in/out
 //! degree, reachability) is implemented directly so that tests can state
 //! the paper's lemmas verbatim.
+//!
+//! [`TopoOrder`] is the order-maintenance substrate of the incremental
+//! detection pass (Pearce–Kelly, "A Dynamic Topological Sort Algorithm
+//! for Directed Acyclic Graphs"): it keeps a topological order of the
+//! engine's maintained graph under edge insertions and deletions, so
+//! cycle *existence* is answered in `O(affected region)` per update
+//! instead of `O(V + E)` per check.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 /// A directed graph over interned nodes of type `N`. Edges are simple
@@ -476,6 +483,302 @@ impl<N: Copy + Eq + Hash> DiGraph<N> {
     }
 }
 
+/// A Pearce–Kelly online topological order over a dynamic directed graph.
+///
+/// Committed edges always respect the maintained order (`ord[a] < ord[b]`
+/// for every committed `a → b`). Inserting an edge that *violates* the
+/// order triggers a bounded affected-region search: a forward walk from
+/// the target (pruned to labels ≤ the source's — committed labels increase
+/// strictly along committed edges, so nothing beyond that label can reach
+/// the source) either proves the edge closes a real cycle, or delimits the
+/// region to reorder. Cycle-closing edges are **deferred** to a pending
+/// set rather than committed, which keeps the order valid; a later
+/// [`TopoOrder::has_cycle`] retries them — the graph has a cycle iff some
+/// pending edge still cannot be committed. Edge deletion never invalidates
+/// a topological order, so removal is plain bookkeeping.
+///
+/// This is what lets the engine's detection pass answer cycle existence in
+/// `O(churn since the last check)`: when nothing is pending (the
+/// overwhelmingly common case), `has_cycle` is `O(1)`.
+#[derive(Clone, Debug)]
+pub struct TopoOrder<N> {
+    /// Topological label per live node; unique, never reused.
+    ord: HashMap<N, i64>,
+    /// Committed (order-respecting) out-edges.
+    succs: HashMap<N, HashSet<N>>,
+    /// Committed in-edges (for the backward half of the region search).
+    preds: HashMap<N, HashSet<N>>,
+    /// Deferred edges whose insertion would close a cycle, in insertion
+    /// order (deterministic retries).
+    pending: Vec<(N, N)>,
+    /// Next label above every live one (fresh edge *targets*).
+    next_high: i64,
+    /// Next label below every live one (fresh edge *sources*).
+    next_low: i64,
+}
+
+impl<N: Copy + Eq + Hash> Default for TopoOrder<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Copy + Eq + Hash> TopoOrder<N> {
+    /// Creates an empty order.
+    pub fn new() -> TopoOrder<N> {
+        TopoOrder {
+            ord: HashMap::new(),
+            succs: HashMap::new(),
+            preds: HashMap::new(),
+            pending: Vec::new(),
+            next_high: 0,
+            next_low: -1,
+        }
+    }
+
+    /// Deferred (candidate-cycle) edge count.
+    pub fn pending_edges(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Committed (order-respecting) edge count.
+    pub fn committed_edges(&self) -> usize {
+        self.succs.values().map(|s| s.len()).sum()
+    }
+
+    /// True when no node is labelled and no edge is tracked (the order
+    /// drains with the graph it shadows).
+    pub fn is_empty(&self) -> bool {
+        self.ord.is_empty()
+            && self.succs.is_empty()
+            && self.preds.is_empty()
+            && self.pending.is_empty()
+    }
+
+    fn ensure_high(&mut self, n: N) -> i64 {
+        if let Some(&o) = self.ord.get(&n) {
+            return o;
+        }
+        let o = self.next_high;
+        self.next_high += 1;
+        self.ord.insert(n, o);
+        o
+    }
+
+    fn ensure_low(&mut self, n: N) -> i64 {
+        if let Some(&o) = self.ord.get(&n) {
+            return o;
+        }
+        let o = self.next_low;
+        self.next_low -= 1;
+        self.ord.insert(n, o);
+        o
+    }
+
+    fn commit(&mut self, a: N, b: N) {
+        self.succs.entry(a).or_default().insert(b);
+        self.preds.entry(b).or_default().insert(a);
+    }
+
+    /// Inserts the distinct edge `a → b`, maintaining the order. A
+    /// cycle-closing edge is deferred instead of committed.
+    pub fn insert_edge(&mut self, a: N, b: N) {
+        if !self.try_insert(a, b) {
+            self.pending.push((a, b));
+        }
+    }
+
+    /// Attempts to commit `a → b`; returns false when the edge would close
+    /// a cycle (the caller defers it). Never touches `pending`.
+    fn try_insert(&mut self, a: N, b: N) -> bool {
+        if a == b {
+            // A self-loop is always a cycle.
+            self.ensure_high(a);
+            return false;
+        }
+        // Fresh endpoints are placed so no violation can arise: a fresh
+        // source below every live label, a fresh target above.
+        let (oa, ob) = if self.ord.contains_key(&a) {
+            (self.ord[&a], self.ensure_high(b))
+        } else if self.ord.contains_key(&b) {
+            (self.ensure_low(a), self.ord[&b])
+        } else {
+            (self.ensure_high(a), self.ensure_high(b))
+        };
+        if oa < ob {
+            self.commit(a, b);
+            return true;
+        }
+
+        // Order violation (labels are unique, so oa > ob strictly).
+        //
+        // `verifier-mutation` plants a deliberate completeness bug here
+        // for the testkit's mutation tier: adjacent-label violations skip
+        // the affected-region forward search and commit unconditionally,
+        // so a back edge closing a 2-cycle (labels always one apart) is
+        // recorded as safe and `has_cycle` under-reports. The per-step
+        // lockstep oracle must catch the divergence. Never enable this
+        // feature in production builds.
+        #[cfg(feature = "verifier-mutation")]
+        if oa - ob == 1 {
+            self.commit(a, b);
+            return true;
+        }
+
+        // Forward region: everything reachable from `b` through committed
+        // edges within labels ≤ oa. Committed labels increase strictly
+        // along committed edges, so any path from `b` back to `a` lies
+        // entirely inside this window — reaching `a` proves a real cycle.
+        let mut forward: Vec<N> = Vec::new();
+        let mut seen_f: HashSet<N> = HashSet::new();
+        let mut stack = vec![b];
+        seen_f.insert(b);
+        while let Some(v) = stack.pop() {
+            if v == a {
+                return false;
+            }
+            forward.push(v);
+            if let Some(next) = self.succs.get(&v) {
+                for &s in next {
+                    if self.ord[&s] <= oa && seen_f.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        // Backward region: everything reaching `a` within labels ≥ ob.
+        let mut backward: Vec<N> = Vec::new();
+        let mut seen_b: HashSet<N> = HashSet::new();
+        let mut stack = vec![a];
+        seen_b.insert(a);
+        while let Some(v) = stack.pop() {
+            backward.push(v);
+            if let Some(prev) = self.preds.get(&v) {
+                for &p in prev {
+                    if self.ord[&p] >= ob && seen_b.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        // Reorder (the Pearce–Kelly core): pool the two regions' labels
+        // and deal them back in sorted order, the backward region first.
+        // Relative order inside each region is preserved; every node that
+        // reaches `a` now precedes every node `b` reaches, which makes the
+        // new edge (and every committed one) order-respecting again.
+        backward.sort_by_key(|n| self.ord[n]);
+        forward.sort_by_key(|n| self.ord[n]);
+        let mut pool: Vec<i64> =
+            backward.iter().chain(forward.iter()).map(|n| self.ord[n]).collect();
+        pool.sort_unstable();
+        for (&n, o) in backward.iter().chain(forward.iter()).zip(pool) {
+            self.ord.insert(n, o);
+        }
+        self.commit(a, b);
+        true
+    }
+
+    /// Removes a distinct edge previously inserted. Deletion never
+    /// invalidates a topological order, so no search runs.
+    pub fn remove_edge(&mut self, a: N, b: N) {
+        if let Some(at) = self.pending.iter().position(|&e| e == (a, b)) {
+            // `remove` (not `swap_remove`): retry order stays the
+            // insertion order, keeping behaviour deterministic.
+            self.pending.remove(at);
+        } else {
+            if let Some(s) = self.succs.get_mut(&a) {
+                s.remove(&b);
+                if s.is_empty() {
+                    self.succs.remove(&a);
+                }
+            }
+            if let Some(p) = self.preds.get_mut(&b) {
+                p.remove(&a);
+                if p.is_empty() {
+                    self.preds.remove(&b);
+                }
+            }
+        }
+        self.gc(a);
+        self.gc(b);
+    }
+
+    /// Drops the label of a node no committed or pending edge touches, so
+    /// labels drain with the graph instead of leaking across task churn.
+    fn gc(&mut self, n: N) {
+        if self.succs.contains_key(&n) || self.preds.contains_key(&n) {
+            return;
+        }
+        if self.pending.iter().any(|&(x, y)| x == n || y == n) {
+            return;
+        }
+        self.ord.remove(&n);
+    }
+
+    /// Does the tracked graph (committed ∪ pending edges) contain a cycle?
+    ///
+    /// Pending edges are retried through the insertion logic. If every one
+    /// commits, the whole graph respects a single topological order and is
+    /// acyclic; an edge that still cannot be committed has a committed
+    /// path from its target back to its source, i.e. a real cycle. The
+    /// answer is independent of retry order, because committing edges of
+    /// an acyclic graph can never manufacture a cycle and a cyclic graph
+    /// can never commit all its edges. `O(1)` when nothing is pending.
+    pub fn has_cycle(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let retry = std::mem::take(&mut self.pending);
+        for (i, &(a, b)) in retry.iter().enumerate() {
+            if !self.try_insert(a, b) {
+                // Still cyclic: keep this edge and the untried rest
+                // deferred (committed retries stay committed).
+                self.pending.extend_from_slice(&retry[i..]);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Test hook: checks the structure against the authoritative distinct
+    /// edge list — every edge is committed with strictly increasing labels
+    /// or parked as pending, and nothing else is tracked.
+    pub fn validate(&self, edges: &[(N, N)]) -> Result<(), String>
+    where
+        N: std::fmt::Debug,
+    {
+        let committed = self.committed_edges();
+        if committed + self.pending.len() != edges.len() {
+            return Err(format!(
+                "tracked {} committed + {} pending edges, graph has {}",
+                committed,
+                self.pending.len(),
+                edges.len()
+            ));
+        }
+        for &(a, b) in edges {
+            if self.pending.contains(&(a, b)) {
+                continue;
+            }
+            if !self.succs.get(&a).is_some_and(|s| s.contains(&b)) {
+                return Err(format!("edge {a:?} → {b:?} neither committed nor pending"));
+            }
+            if !self.preds.get(&b).is_some_and(|p| p.contains(&a)) {
+                return Err(format!("edge {a:?} → {b:?} missing its predecessor entry"));
+            }
+            let (Some(&oa), Some(&ob)) = (self.ord.get(&a), self.ord.get(&b)) else {
+                return Err(format!("edge {a:?} → {b:?} has an unlabelled endpoint"));
+            };
+            if oa >= ob {
+                return Err(format!(
+                    "committed edge {a:?} → {b:?} violates the order ({oa} ≥ {ob})"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,5 +999,83 @@ mod tests {
         assert_eq!(c.len() as u32, n + 1);
         assert!(g.is_cycle(&c));
         assert_eq!(g.sccs().len(), 1);
+    }
+
+    // -- TopoOrder (Pearce–Kelly order maintenance) -------------------------
+
+    /// A `TopoOrder` fed the given edges, alongside the edge list for
+    /// `validate`.
+    fn order_of(edges: &[(u32, u32)]) -> (TopoOrder<u32>, Vec<(u32, u32)>) {
+        let mut order = TopoOrder::new();
+        for &(a, b) in edges {
+            order.insert_edge(a, b);
+        }
+        (order, edges.to_vec())
+    }
+
+    #[cfg(not(feature = "verifier-mutation"))]
+    #[test]
+    fn order_agrees_with_has_cycle_on_the_digraph_cases() {
+        let cases: Vec<(Vec<(u32, u32)>, bool)> = vec![
+            (vec![], false),
+            (vec![(1, 2), (2, 3), (3, 4)], false),
+            (vec![(1, 1)], true),
+            (vec![(1, 2), (2, 1)], true),
+            (vec![(1, 2), (2, 3), (1, 4), (4, 2)], false),
+            (vec![(1, 2), (10, 11), (11, 12), (12, 10)], true),
+            (vec![(1, 2), (2, 4), (1, 3), (3, 4), (4, 1)], true),
+            // Violation-then-reorder without a cycle: (4, 1) arrives with
+            // both endpoints labelled the wrong way around.
+            (vec![(1, 2), (3, 4), (4, 1)], false),
+        ];
+        for (edges, want) in cases {
+            let (mut order, edges) = order_of(&edges);
+            assert_eq!(order.has_cycle(), want, "{edges:?}");
+            order.validate(&edges).unwrap_or_else(|e| panic!("{edges:?}: {e}"));
+            assert_eq!(graph(&edges).has_cycle(), want, "oracle disagrees on {edges:?}");
+        }
+    }
+
+    #[cfg(not(feature = "verifier-mutation"))]
+    #[test]
+    fn reorder_then_cycle_then_deletion_recovers() {
+        // (4, 1) forces a Pearce–Kelly reorder; (2, 3) then closes the
+        // cycle 1→2→3→4→1 and must be deferred, not committed.
+        let (mut order, _) = order_of(&[(1, 2), (3, 4), (4, 1), (2, 3)]);
+        assert_eq!(order.pending_edges(), 1);
+        assert!(order.has_cycle());
+        order.validate(&[(1, 2), (3, 4), (4, 1), (2, 3)]).unwrap();
+        // Deleting any cycle edge makes the pending edge committable.
+        order.remove_edge(4, 1);
+        assert!(!order.has_cycle());
+        order.validate(&[(1, 2), (3, 4), (2, 3)]).unwrap();
+        assert_eq!(order.pending_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_always_cyclic_until_removed() {
+        let (mut order, _) = order_of(&[(7, 7)]);
+        assert!(order.has_cycle());
+        assert!(order.has_cycle(), "retries must keep the self-loop pending");
+        order.remove_edge(7, 7);
+        assert!(!order.has_cycle());
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn labels_drain_with_the_graph() {
+        let edges = [(1u32, 2), (2, 3), (3, 1), (3, 4)];
+        let (mut order, _) = order_of(&edges);
+        assert!(order.has_cycle());
+        for &(a, b) in &edges {
+            order.remove_edge(a, b);
+        }
+        assert!(order.is_empty(), "no labels may leak after full drain");
+        assert!(!order.has_cycle());
+        // Reuse after drain behaves like a fresh order.
+        order.insert_edge(1, 2);
+        order.insert_edge(2, 3);
+        order.insert_edge(3, 1);
+        assert!(order.has_cycle());
     }
 }

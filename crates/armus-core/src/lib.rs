@@ -24,7 +24,10 @@
 //! * The **incremental engine** ([`engine::IncrementalEngine`]) maintains
 //!   both graphs persistently from the registry's delta journal, so checks
 //!   cost `O(churn since the last check)` instead of `O(blocked tasks)`;
-//!   the from-scratch builders remain the oracle it is tested against.
+//!   detection additionally keeps a Pearce–Kelly topological order
+//!   ([`graph::TopoOrder`]) per model, answering whole-graph
+//!   cycle-existence without a full scan. The from-scratch builders remain
+//!   the oracle it is tested against.
 //! * The [`Verifier`] packages all of this behind `block`/`unblock` calls
 //!   made by a runtime (see the `armus-sync` crate) or a distributed site
 //!   (see `armus-dist`).
@@ -76,8 +79,9 @@ pub use deps::{
     BlockedInfo, Delta, JournalRead, Registry, RegistryConfig, Snapshot, DEFAULT_JOURNAL_CAPACITY,
     DEFAULT_SHARDS,
 };
-pub use engine::{IncrementalEngine, PAR_NODE_THRESHOLD};
+pub use engine::{DetectionOutcome, IncrementalEngine, SyncOutcome, PAR_NODE_THRESHOLD};
 pub use error::DeadlockError;
+pub use graph::TopoOrder;
 pub use ids::{Phase, PhaserId, TaskId, MAX_LOCAL_TASK, MAX_SITE_TAG, SITE_TAG_SHIFT};
 pub use resource::{Registration, Resource};
 pub use stats::{StatsCollector, StatsSnapshot};

@@ -30,6 +30,8 @@ pub struct StatsCollector {
     fastpath_skips: AtomicU64,
     engine_lock_waits: AtomicU64,
     combined_checks: AtomicU64,
+    incremental_detections: AtomicU64,
+    order_rebuilds: AtomicU64,
 }
 
 impl StatsCollector {
@@ -101,6 +103,19 @@ impl StatsCollector {
         self.combined_checks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a detection check answered entirely from the maintained
+    /// topological order — no cycle, so no canonical rebuild ran and the
+    /// check cost `O(churn)`, not `O(V + E)`.
+    pub fn record_incremental_detection(&self) {
+        self.incremental_detections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a from-scratch rebuild of the maintained topological order
+    /// (a journal resync, or a distributed checker reset).
+    pub fn record_order_rebuild(&self) {
+        self.order_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough copy for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -120,6 +135,8 @@ impl StatsCollector {
             fastpath_skips: self.fastpath_skips.load(Ordering::Relaxed),
             engine_lock_waits: self.engine_lock_waits.load(Ordering::Relaxed),
             combined_checks: self.combined_checks.load(Ordering::Relaxed),
+            incremental_detections: self.incremental_detections.load(Ordering::Relaxed),
+            order_rebuilds: self.order_rebuilds.load(Ordering::Relaxed),
         }
     }
 }
@@ -165,6 +182,13 @@ pub struct StatsSnapshot {
     /// Checks the engine-lock holder applied on behalf of waiting
     /// blockers (flat combining).
     pub combined_checks: u64,
+    /// Detection checks answered entirely from the maintained topological
+    /// order (no cycle found, no canonical rebuild): `O(churn)` instead of
+    /// a full-graph pass. The hit counterpart is `full_rebuilds`.
+    pub incremental_detections: u64,
+    /// From-scratch rebuilds of the maintained topological order — one
+    /// per journal resync (and per distributed checker reset).
+    pub order_rebuilds: u64,
 }
 
 impl StatsSnapshot {
@@ -237,10 +261,15 @@ mod tests {
         c.record_sync(0, true);
         c.record_sync(2, false);
         c.record_full_rebuild();
+        c.record_incremental_detection();
+        c.record_incremental_detection();
+        c.record_order_rebuild();
         let s = c.snapshot();
         assert_eq!(s.deltas_applied, 5);
         assert_eq!(s.resyncs, 1);
         assert_eq!(s.full_rebuilds, 1);
+        assert_eq!(s.incremental_detections, 2);
+        assert_eq!(s.order_rebuilds, 1);
     }
 
     #[test]

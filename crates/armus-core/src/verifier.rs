@@ -48,7 +48,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::adaptive::{ModelChoice, DEFAULT_SG_THRESHOLD};
 use crate::checker::{self, CheckOutcome, DeadlockReport, ReportDedup};
 use crate::deps::{BlockedInfo, JournalRead, Registry, Snapshot};
-use crate::engine::IncrementalEngine;
+use crate::engine::{IncrementalEngine, SyncOutcome};
 use crate::error::DeadlockError;
 use crate::ids::TaskId;
 use crate::resource::{Registration, Resource};
@@ -427,8 +427,18 @@ impl Verifier {
     /// and checks for a cycle through `task`.
     fn run_check(&self, engine: &mut IncrementalEngine, task: TaskId) -> CheckOutcome {
         let sync = engine.sync(&self.registry);
-        self.stats.record_sync(sync.deltas_applied, sync.resynced);
+        self.note_sync(sync);
         engine.check_task(task, self.cfg.model, self.cfg.sg_threshold)
+    }
+
+    /// Feeds one engine sync into the stats: deltas/resyncs as before, and
+    /// a resync also rebuilds the maintained topological orders from the
+    /// snapshot, which the `order_rebuilds` counter tracks.
+    fn note_sync(&self, sync: SyncOutcome) {
+        self.stats.record_sync(sync.deltas_applied, sync.resynced);
+        if sync.resynced {
+            self.stats.record_order_rebuild();
+        }
     }
 
     /// Rounds a combiner serves before releasing the lock even if the
@@ -449,7 +459,7 @@ impl Verifier {
                 return;
             }
             let sync = engine.sync(&self.registry);
-            self.stats.record_sync(sync.deltas_applied, sync.resynced);
+            self.note_sync(sync);
             for req in batch {
                 let outcome = engine.check_task(req.task, self.cfg.model, self.cfg.sg_threshold);
                 self.stats.record_combined_check();
@@ -470,12 +480,15 @@ impl Verifier {
     /// stats) and runs `check` against the maintained graph. A returned
     /// report means the slow path rebuilt a canonical graph — counted as a
     /// full rebuild against the deltas applied on the fast path.
-    fn synced_check(&self, check: impl FnOnce(&IncrementalEngine) -> CheckOutcome) -> CheckOutcome {
+    fn synced_check(
+        &self,
+        check: impl FnOnce(&mut IncrementalEngine) -> CheckOutcome,
+    ) -> CheckOutcome {
         let outcome = {
             let mut engine = self.engine.lock();
             let sync = engine.sync(&self.registry);
-            self.stats.record_sync(sync.deltas_applied, sync.resynced);
-            let outcome = check(&engine);
+            self.note_sync(sync);
+            let outcome = check(&mut engine);
             // Serve any avoidance blockers that queued behind this check.
             self.drain_pending(&mut engine);
             outcome
@@ -495,11 +508,16 @@ impl Verifier {
             // burst after a long idle stretch does not force a resync.
             let mut engine = self.engine.lock();
             let sync = engine.sync(&self.registry);
-            self.stats.record_sync(sync.deltas_applied, sync.resynced);
+            self.note_sync(sync);
             return None;
         }
-        let outcome =
-            self.synced_check(|engine| engine.check_full(self.cfg.model, self.cfg.sg_threshold));
+        let outcome = self.synced_check(|engine| {
+            let det = engine.check_full_detailed(self.cfg.model, self.cfg.sg_threshold);
+            if det.incremental {
+                self.stats.record_incremental_detection();
+            }
+            det.outcome
+        });
         self.stats.record_check(&outcome.stats);
         let report = outcome.report?;
         // Confirmation pass: every task in the cycle must still be in the
@@ -530,6 +548,15 @@ impl Verifier {
     /// sites to publish their partition).
     pub fn local_snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// Syncs an *external* engine against this verifier's registry — the
+    /// differential testkit keeps a follower engine in per-step lockstep
+    /// this way, without touching the verifier's own engine, lock, or
+    /// stats (so the verifier's journal/resync behaviour under test is
+    /// not perturbed by being observed).
+    pub fn sync_follower(&self, engine: &mut IncrementalEngine) -> SyncOutcome {
+        engine.sync(&self.registry)
     }
 
     /// The registry's journal deltas since `cursor` (used by distributed
@@ -946,6 +973,46 @@ mod tests {
         // A quiescent follow-up consumes nothing further.
         assert!(v.check_now().is_none());
         assert_eq!(v.stats().deltas_applied, 4);
+        v.shutdown();
+    }
+
+    #[test]
+    fn detection_counts_incremental_checks_and_order_rebuilds() {
+        // Journal window of 2: the four example blocks truncate past the
+        // engine's cursor, so the first check_now resyncs — rebuilding the
+        // maintained orders — and still answers the cycle canonically.
+        let v = Verifier::new(
+            VerifierConfig::detection_every(Duration::from_secs(3600)).with_journal_capacity(2),
+        );
+        for i in 0..3 {
+            v.block(t(10 + i), vec![r(20 + i, 1)], vec![Registration::new(p(20 + i), 1)]).unwrap();
+        }
+        assert!(v.check_now().is_none(), "bystanders only: no cycle");
+        let s = v.stats();
+        assert_eq!(s.resyncs, 1, "journal window 2 forces a resync");
+        assert_eq!(s.order_rebuilds, 1, "the resync rebuilt the orders");
+        assert_eq!(s.incremental_detections, 1, "no cycle ⇒ answered from the order");
+
+        publish_example_deadlock(&v);
+        assert!(v.check_now().is_some());
+        let s = v.stats();
+        assert_eq!(s.incremental_detections, 1, "the hit fell back to the canonical rebuild");
+        assert_eq!(s.full_rebuilds, 1);
+        v.shutdown();
+    }
+
+    #[test]
+    fn sync_follower_tracks_the_registry_without_touching_stats() {
+        let v = Verifier::new(VerifierConfig::detection_every(Duration::from_secs(3600)));
+        publish_example_deadlock(&v);
+        let mut follower = IncrementalEngine::new();
+        let sync = v.sync_follower(&mut follower);
+        assert_eq!(sync.deltas_applied, 4);
+        assert_eq!(follower.blocked(), 4);
+        assert!(follower.check_full(v.cfg.model, v.cfg.sg_threshold).report.is_some());
+        let s = v.stats();
+        assert_eq!(s.deltas_applied, 0, "follower syncs must not count as verifier syncs");
+        assert_eq!(s.checks, 0);
         v.shutdown();
     }
 

@@ -140,6 +140,69 @@ fn detection_verifier_resyncs_deterministically() {
     v.shutdown();
 }
 
+/// After a forced `Behind` → snapshot resync, the maintained
+/// Pearce–Kelly orders are rebuilt from the snapshot and a **pre-existing
+/// cycle survives the rebuild**: `check_full` re-reports it
+/// byte-identically to the canonical from-scratch checker, and the order
+/// invariants hold on both sides of the boundary.
+#[test]
+fn resync_rebuilds_the_order_and_rereports_byte_identically() {
+    use armus_core::{checker, ModelChoice};
+    let reg = Registry::with_config(RegistryConfig {
+        journal_capacity: 2,
+        shards: 1,
+        track_waited: false,
+    });
+    let mut engine = IncrementalEngine::new();
+    // Plant the crossed-wait cycle and let the engine follow it as deltas.
+    reg.block(BlockedInfo::new(
+        t(21),
+        vec![r(1, 1)],
+        vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+    ));
+    reg.block(BlockedInfo::new(
+        t(22),
+        vec![r(2, 1)],
+        vec![Registration::new(p(2), 1), Registration::new(p(1), 0)],
+    ));
+    let out = engine.sync(&reg);
+    assert_eq!((out.deltas_applied, out.resynced), (2, false));
+    assert!(engine.order_invariants().is_ok());
+    assert!(engine.check_full(ModelChoice::FixedWfg, 2).report.is_some(), "cycle seen pre-resync");
+    // Benign burst: five independent blockers overflow the 2-entry window,
+    // so the next sync must take the full-snapshot path — which rebuilds
+    // the topological orders from scratch.
+    for task in 1..=5 {
+        reg.block(info(task, 10 + task));
+    }
+    let out = engine.sync(&reg);
+    assert!(out.resynced, "overflow must force the snapshot resync");
+    assert!(engine.order_invariants().is_ok(), "orders rebuilt from the snapshot");
+    // The planted cycle is re-reported byte-identically to the canonical
+    // checker for both fixed models (Auto is verdict-stable by the same
+    // delegation; the fixed models pin the exact report bytes).
+    let snap = reg.snapshot();
+    for choice in [ModelChoice::FixedWfg, ModelChoice::FixedSg] {
+        let ours = engine.check_full(choice, 2).report;
+        let oracle = checker::check(&snap, choice, 2).report;
+        assert_eq!(
+            serde_json::to_string(&ours).unwrap(),
+            serde_json::to_string(&oracle).unwrap(),
+            "{choice:?} report must be byte-identical across the resync"
+        );
+        assert!(ours.is_some(), "{choice:?}: the cycle must survive the resync");
+    }
+    // The hit fell back to the canonical rebuild; the orders still hold.
+    assert!(engine.order_invariants().is_ok());
+    // Clearing the cycle returns the engine to the incremental path.
+    reg.unblock(t(21));
+    reg.unblock(t(22));
+    let out = engine.sync(&reg);
+    assert_eq!((out.deltas_applied, out.resynced), (2, false));
+    assert!(engine.check_full(ModelChoice::FixedWfg, 2).report.is_none());
+    assert!(engine.order_invariants().is_ok());
+}
+
 /// The avoidance fast-path toggle: with `fastpath(false)` every block
 /// runs an engine check (no skips), with identical verdicts.
 #[test]

@@ -10,7 +10,8 @@
 
 use armus_core::engine::IncrementalEngine;
 use armus_core::{
-    checker, sg, wfg, BlockedInfo, ModelChoice, PhaserId, Registration, Registry, Resource, TaskId,
+    checker, sg, wfg, BlockedInfo, GraphModel, ModelChoice, PhaserId, Registration, Registry,
+    Resource, TaskId,
 };
 use proptest::prelude::*;
 
@@ -192,6 +193,52 @@ proptest! {
             let oracle = checker::check(&snap, choice, 2).report;
             prop_assert_eq!(json(&ours), json(&oracle), "quiesce check, {}", choice);
         }
+    }
+
+    /// Random delta sequences — block, re-block with changed waits and
+    /// registrations (deregistration in delta form), unblock — with a
+    /// journal window small enough to force `Behind` → snapshot-resync:
+    /// on every step the maintained Pearce–Kelly orders must be valid
+    /// orders of the rebuilt graphs, and order-answered cycle existence
+    /// must match the from-scratch graph's `has_cycle` exactly, per model.
+    #[test]
+    fn maintained_orders_stay_valid_and_match_has_cycle(ops in arb_ops(24)) {
+        let registry = Registry::with_journal_capacity(4);
+        let mut engine = IncrementalEngine::new();
+        for op in &ops {
+            match op {
+                Op::Block(info) => {
+                    registry.block(info.clone());
+                }
+                Op::Unblock(task) => registry.unblock(*task),
+            }
+            engine.sync(&registry);
+            let inv = engine.order_invariants();
+            prop_assert!(inv.is_ok(), "order invariant broke after sync: {:?}", inv);
+
+            let snap = registry.snapshot();
+            let wfg_cycle = wfg::wfg(&snap).has_cycle();
+            prop_assert_eq!(engine.order_cycle_exists(GraphModel::Wfg), wfg_cycle, "wfg");
+            let sg_cycle = sg::sg(&snap).has_cycle();
+            prop_assert_eq!(engine.order_cycle_exists(GraphModel::Sg), sg_cycle, "sg");
+
+            // `order_cycle_exists` retried deferred edges; the orders must
+            // still validate afterwards.
+            let inv = engine.order_invariants();
+            prop_assert!(inv.is_ok(), "order invariant broke after retries: {:?}", inv);
+        }
+
+        // Drain: the orders must empty out with the graphs.
+        for task in 0..6 {
+            registry.unblock(TaskId(task));
+        }
+        engine.sync(&registry);
+        prop_assert_eq!(engine.wfg_edge_count(), 0);
+        prop_assert_eq!(engine.sg_edge_count(), 0);
+        prop_assert!(!engine.order_cycle_exists(GraphModel::Wfg));
+        prop_assert!(!engine.order_cycle_exists(GraphModel::Sg));
+        let inv = engine.order_invariants();
+        prop_assert!(inv.is_ok(), "order invariant broke after drain: {:?}", inv);
     }
 
     /// An engine that only ever resyncs (fresh engine against the live

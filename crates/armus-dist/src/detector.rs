@@ -12,7 +12,9 @@
 
 #[cfg(test)]
 use armus_core::TaskId;
-use armus_core::{checker, CheckStats, DeadlockReport, ModelChoice, Snapshot};
+use armus_core::{
+    checker, CheckStats, DeadlockReport, Delta, IncrementalEngine, ModelChoice, Snapshot,
+};
 
 use crate::store::{SiteId, Store, StoreError};
 
@@ -89,6 +91,156 @@ pub fn check_store(
         .iter()
         .all(|&(task, epoch)| merged2.get(task).map(|info| info.epoch == epoch).unwrap_or(false));
     Ok(DistCheck { report: confirmed.then_some(report), stats })
+}
+
+/// Per-checker counters of the incremental distributed detection path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistCheckerStats {
+    /// Block/unblock deltas derived by diffing successive merged views.
+    pub deltas_applied: u64,
+    /// Rounds whose detection was answered entirely from the maintained
+    /// topological order (no full graph walk).
+    pub incremental_detections: u64,
+    /// From-scratch rebuilds of the engine (and its orders) from a merged
+    /// snapshot: the first round and every explicit
+    /// [`IncrementalDistChecker::resync`].
+    pub order_rebuilds: u64,
+}
+
+/// A *persistent* distributed checker: the stateful counterpart of
+/// [`check_store`]. It keeps an [`IncrementalEngine`] alive across rounds
+/// and feeds it the **difference between successive merged views** as
+/// block/unblock deltas, so cycle existence is answered from the
+/// maintained Pearce–Kelly order in O(round-over-round churn) instead of
+/// rebuilding the dependency graphs from the full global view every 200 ms
+/// — the distributed analogue of the local verifier's journal-following
+/// detection. The first round (and every explicit
+/// [`IncrementalDistChecker::resync`]) rebuilds the engine from the merged
+/// snapshot, mirroring the local `Behind` → snapshot-resync fallback;
+/// reports stay byte-identical to [`check_store`]'s because a hit falls
+/// back to the same canonical `checker::check` extraction and the same
+/// confirmation re-fetch.
+pub struct IncrementalDistChecker {
+    engine: IncrementalEngine,
+    /// The merged view the engine currently reflects; `None` forces a
+    /// from-snapshot rebuild on the next round (join and resync).
+    prev: Option<Snapshot>,
+    stats: DistCheckerStats,
+}
+
+impl Default for IncrementalDistChecker {
+    fn default() -> Self {
+        IncrementalDistChecker::new()
+    }
+}
+
+impl IncrementalDistChecker {
+    /// A fresh checker: the first round rebuilds from the merged view.
+    pub fn new() -> IncrementalDistChecker {
+        IncrementalDistChecker {
+            engine: IncrementalEngine::new(),
+            prev: None,
+            stats: DistCheckerStats::default(),
+        }
+    }
+
+    /// Drops the delta continuity: the next round rebuilds the engine from
+    /// the merged snapshot (counted as an order rebuild). Callers use this
+    /// after any suspicion of a missed view — the incremental path must
+    /// never be load-bearing for correctness.
+    pub fn resync(&mut self) {
+        self.prev = None;
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> DistCheckerStats {
+        self.stats
+    }
+
+    /// Advances the engine to `merged` — by diffing against the previous
+    /// round's view (both sorted by task id, so a two-pointer sweep), or
+    /// by a full rebuild when continuity was lost.
+    fn advance_to(&mut self, merged: &Snapshot) {
+        match self.prev.take() {
+            None => {
+                self.engine.reset_to(merged);
+                self.stats.order_rebuilds += 1;
+            }
+            Some(prev) => {
+                let (old, new) = (&prev.tasks, &merged.tasks);
+                let (mut i, mut j) = (0, 0);
+                while i < old.len() || j < new.len() {
+                    let delta = match (old.get(i), new.get(j)) {
+                        (Some(o), Some(n)) if o.task == n.task => {
+                            i += 1;
+                            j += 1;
+                            if o == n {
+                                continue; // unchanged: the common case
+                            }
+                            // Same task, new status (epoch or waits moved):
+                            // a Block replaces the previous contribution.
+                            Delta::Block(n.clone())
+                        }
+                        (Some(o), Some(n)) if o.task < n.task => {
+                            i += 1;
+                            Delta::Unblock(o.task)
+                        }
+                        (Some(_) | None, Some(n)) => {
+                            j += 1;
+                            Delta::Block(n.clone())
+                        }
+                        (Some(o), None) => {
+                            i += 1;
+                            Delta::Unblock(o.task)
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    };
+                    self.engine.apply(delta);
+                    self.stats.deltas_applied += 1;
+                }
+            }
+        }
+        self.prev = Some(merged.clone());
+        debug_assert_eq!(self.engine.materialize(), *merged, "diff replay must be exact");
+    }
+
+    /// Runs one check round against the store: fetch + merge, advance the
+    /// engine by the diff, answer cycle existence from the maintained
+    /// order, and on a hit extract the canonical report and confirm it
+    /// with a re-fetch — the exact semantics of [`check_store`], minus the
+    /// per-round graph rebuild. Store errors surface as `Err` and leave
+    /// the engine untouched, so the next round's diff stays sound.
+    pub fn check_round(
+        &mut self,
+        store: &dyn Store,
+        model: ModelChoice,
+        sg_threshold: usize,
+    ) -> Result<DistCheck, StoreError> {
+        let view = store.fetch_all()?;
+        let merged = merge(&view);
+        self.advance_to(&merged);
+        if merged.is_empty() {
+            return Ok(DistCheck { report: None, stats: None });
+        }
+        let det = self.engine.check_full_detailed(model, sg_threshold);
+        if det.incremental {
+            self.stats.incremental_detections += 1;
+        }
+        let stats = Some(det.outcome.stats);
+        let Some(report) = det.outcome.report else {
+            return Ok(DistCheck { report: None, stats });
+        };
+        // Confirmation pass, identical to `check_store`: one more fetch;
+        // every participant must still be in the same blocking operation.
+        // The confirmation view is deliberately NOT fed to the engine —
+        // the next round re-fetches and diffs from `merged`.
+        let view2 = store.fetch_all()?;
+        let merged2 = merge(&view2);
+        let confirmed = report.task_epochs.iter().all(|&(task, epoch)| {
+            merged2.get(task).map(|info| info.epoch == epoch).unwrap_or(false)
+        });
+        Ok(DistCheck { report: confirmed.then_some(report), stats })
+    }
 }
 
 // The deadlock-report LRU dedup now lives in armus-core (the local
@@ -221,6 +373,123 @@ mod tests {
         let report = out.report.expect("cross-site cycle");
         assert!(report.tasks.contains(&t(4).with_site(1)), "driver participates, namespaced");
         assert!(out.stats.is_some());
+    }
+
+    fn json(report: &Option<DeadlockReport>) -> String {
+        serde_json::to_string(report).expect("reports serialise")
+    }
+
+    #[test]
+    fn incremental_checker_matches_check_store_byte_identically() {
+        let store = MemStore::new();
+        let mut inc = IncrementalDistChecker::new();
+        // Round 1 — healthy workers only: the join rebuild, then a purely
+        // order-answered "no cycle".
+        let workers: Vec<_> = (1..=3)
+            .map(|i| {
+                BlockedInfo::new(
+                    t(i),
+                    vec![r(1, 1)],
+                    vec![Registration::new(p(1), 1), Registration::new(p(2), 0)],
+                )
+            })
+            .collect();
+        store.publish(SiteId(0), Snapshot::from_tasks(workers)).unwrap();
+        let round = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(round.report.is_none());
+        let stats = inc.stats();
+        assert_eq!(stats.order_rebuilds, 1, "the join round rebuilds: {stats:?}");
+        assert_eq!(stats.incremental_detections, 1, "no-cycle verdict from the order: {stats:?}");
+        assert_eq!(stats.deltas_applied, 0);
+
+        // Round 2 — the driver joins on site 1, closing the cross-site
+        // cycle: exactly one diffed Block delta, and the report is
+        // byte-identical to the stateless `check_store`'s.
+        let driver = BlockedInfo::new(
+            t(4),
+            vec![r(2, 1)],
+            vec![Registration::new(p(1), 0), Registration::new(p(2), 1)],
+        );
+        store.publish(SiteId(1), Snapshot::from_tasks(vec![driver])).unwrap();
+        let round = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        let baseline = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(baseline.report.is_some());
+        assert_eq!(json(&round.report), json(&baseline.report), "hit round must match");
+        let stats = inc.stats();
+        assert_eq!(stats.deltas_applied, 1, "one task joined: {stats:?}");
+        assert_eq!(stats.order_rebuilds, 1, "the hit must not force a rebuild: {stats:?}");
+        assert_eq!(stats.incremental_detections, 1, "a hit is not order-answered: {stats:?}");
+
+        // Round 3 — quiescent store: zero deltas, same confirmed report.
+        let round = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert_eq!(json(&round.report), json(&baseline.report));
+        assert_eq!(inc.stats().deltas_applied, 1, "nothing changed, nothing applied");
+
+        // Round 4 — the driver's partition retires: one Unblock delta,
+        // the cycle is gone, and the verdict is order-answered again.
+        store.remove(SiteId(1)).unwrap();
+        let round = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(round.report.is_none());
+        let stats = inc.stats();
+        assert_eq!(stats.deltas_applied, 2, "{stats:?}");
+        assert_eq!(stats.incremental_detections, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn incremental_checker_resync_rereports_byte_identically() {
+        // The distributed analogue of the journal-resync regression: a
+        // pre-existing cycle must survive an explicit engine rebuild and
+        // be re-reported with the exact bytes the stateless check emits.
+        let store = MemStore::new();
+        let mut inc = IncrementalDistChecker::new();
+        split_example(&store);
+        let before = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(before.report.is_some());
+        assert_eq!(inc.stats().order_rebuilds, 1);
+
+        inc.resync();
+        let after = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        let stats = inc.stats();
+        assert_eq!(stats.order_rebuilds, 2, "explicit resync rebuilds: {stats:?}");
+        assert_eq!(json(&after.report), json(&before.report), "byte-identical across resync");
+        let baseline = check_store(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert_eq!(json(&after.report), json(&baseline.report), "and to the stateless check");
+    }
+
+    #[test]
+    fn incremental_checker_discards_unconfirmed_cycles() {
+        // Same staleness protocol as `check_store`: the confirmation
+        // re-fetch sees the driver gone, so no report — and the *next*
+        // round diffs from the analysis view, staying exact.
+        struct TwoPhase {
+            inner: MemStore,
+            flips: std::sync::atomic::AtomicU32,
+        }
+        impl Store for TwoPhase {
+            fn publish(&self, s: SiteId, p: Snapshot) -> Result<(), StoreError> {
+                self.inner.publish(s, p)
+            }
+            fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+                let n = self.flips.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if n == 1 {
+                    self.inner.remove(SiteId(1)).unwrap();
+                }
+                self.inner.fetch_all()
+            }
+            fn remove(&self, s: SiteId) -> Result<(), StoreError> {
+                self.inner.remove(s)
+            }
+        }
+        let store = TwoPhase { inner: MemStore::new(), flips: 0.into() };
+        split_example(&store.inner);
+        let mut inc = IncrementalDistChecker::new();
+        let out = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(out.report.is_none(), "stale cycle must not be reported");
+        // Next round: the engine diffs the driver's departure and settles
+        // on the cycle-free view.
+        let out = inc.check_round(&store, ModelChoice::Auto, DEFAULT_SG_THRESHOLD).unwrap();
+        assert!(out.report.is_none());
+        assert_eq!(inc.stats().deltas_applied, 1, "the driver's departure, as a diffed Unblock");
     }
 
     #[test]

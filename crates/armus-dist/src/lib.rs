@@ -55,7 +55,10 @@ pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosStore};
 pub use cluster::{Cluster, NetCluster};
-pub use detector::{check_store, merge, DistCheck, ReportDedup, DEFAULT_DEDUP_CAPACITY};
+pub use detector::{
+    check_store, merge, DistCheck, DistCheckerStats, IncrementalDistChecker, ReportDedup,
+    DEFAULT_DEDUP_CAPACITY,
+};
 pub use server::{StoredConfig, StoredProcess, StoredServer};
 pub use site::{Site, SiteConfig};
 pub use store::{DeltaAck, FaultyStore, MemStore, SiteId, Store, StoreError};

@@ -24,7 +24,7 @@ use armus_core::{
 use armus_sync::{Runtime, RuntimeConfig};
 use parking_lot::{Condvar, Mutex};
 
-use crate::detector::{check_store, ReportDedup};
+use crate::detector::{IncrementalDistChecker, ReportDedup};
 use crate::store::{DeltaAck, SiteId, Store};
 
 /// An interruptible stop flag: loop threads park on it between rounds
@@ -217,17 +217,29 @@ impl Site {
                 .name(format!("{id}-checker"))
                 .spawn(move || {
                     let mut dedup = ReportDedup::new();
+                    // The checker engine persists across rounds: each round
+                    // diffs the merged view against the previous one and
+                    // answers cycle existence from the maintained order —
+                    // O(churn between rounds), not O(cluster blocked set).
+                    let mut checker = IncrementalDistChecker::new();
                     while !stop.is_stopped() && !checker_stop.is_stopped() {
                         if checker_stop.wait(cfg.check_period) || stop.is_stopped() {
                             break;
                         }
                         // Fetch failures are tolerated: skip the round.
-                        if let Ok(out) = check_store(store.as_ref(), cfg.model, cfg.sg_threshold) {
-                            if let Some(report) = out.report {
-                                if dedup.is_new(&report) {
-                                    reports.lock().push(report);
+                        match checker.check_round(store.as_ref(), cfg.model, cfg.sg_threshold) {
+                            Ok(out) => {
+                                if let Some(report) = out.report {
+                                    if dedup.is_new(&report) {
+                                        reports.lock().push(report);
+                                    }
                                 }
                             }
+                            // Conservative: after a store outage, rebuild
+                            // from the next successful fetch rather than
+                            // trust the diff path — delta continuity must
+                            // never be load-bearing for correctness.
+                            Err(_) => checker.resync(),
                         }
                     }
                 })

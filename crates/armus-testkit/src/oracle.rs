@@ -14,7 +14,14 @@
 //!   avoidance must never have admitted the closing block at all;
 //! * **model agreement** — the coinductive Definition-3.2 oracle and the
 //!   canonical graph checker must agree with each other (Thms 4.10/4.15)
-//!   and with the verifier's verdict at quiescence.
+//!   and with the verifier's verdict at quiescence;
+//! * **incremental-detection lockstep** — a follower
+//!   [`IncrementalEngine`] is synced against the verifier's registry on
+//!   *every* step of every config, and its Pearce–Kelly order answer
+//!   (`check_full`), the naive full-scan baseline (`check_full_scan`),
+//!   and the canonical from-scratch checker must produce byte-identical
+//!   reports in every graph model, with the maintained orders validating
+//!   against the distinct-edge lists.
 //!
 //! Any violation surfaces as a [`Failure`] naming the config, the virtual
 //! time, and the broken invariant — the shrinker then minimises the
@@ -23,8 +30,8 @@
 use std::collections::HashMap;
 
 use armus_core::{
-    checker, sg, wfg, BlockedInfo, CycleWitness, DeadlockReport, ModelChoice, Registration,
-    Resource, Snapshot, TaskId, VerifierConfig, DEFAULT_SG_THRESHOLD,
+    checker, sg, wfg, BlockedInfo, CycleWitness, DeadlockReport, IncrementalEngine, ModelChoice,
+    Registration, Resource, Snapshot, TaskId, VerifierConfig, DEFAULT_SG_THRESHOLD,
 };
 use armus_pl::{analyse, apply, enabled, Instr, Rule, State, StateVerdict, Transition};
 
@@ -137,6 +144,11 @@ pub fn run_config(
     let mut sim = Sim::new(scenario, oc.verifier);
     let task_index: HashMap<TaskId, usize> =
         (0..scenario.tasks.len()).map(|i| (sim.task_id(i), i)).collect();
+    // The incremental-detection follower: synced against the verifier's
+    // registry on every step (under the tiny-journal config it falls
+    // Behind and resyncs, exercising the order-rebuild path in lockstep),
+    // without touching the verifier's own engine, lock, or stats.
+    let mut follower = IncrementalEngine::new();
 
     loop {
         let options = sim.options();
@@ -213,7 +225,11 @@ pub fn run_config(
             }
         }
 
-        // Per-step verdict invariants.
+        // Per-step verdict invariants. Mode-specific ordering: avoidance
+        // checks its completeness invariant before the lockstep (a planted
+        // fast-path bug must surface as "admitted a deadlock"); sampling
+        // locksteps first so an incremental-detection bug is pinned to the
+        // diverging check rather than to a missed sample downstream.
         match oc.mode {
             OracleMode::Avoidance => {
                 let verdict = check_model(&pl, &fail)?;
@@ -228,8 +244,10 @@ pub fn run_config(
                         )));
                     }
                 }
+                lockstep(&mut follower, &sim, &fail)?;
             }
             OracleMode::Sampling { check_every_step } => {
+                lockstep(&mut follower, &sim, &fail)?;
                 if check_every_step {
                     sample(&pl, &sim, scenario, &task_index, &fail)?;
                 }
@@ -237,7 +255,43 @@ pub fn run_config(
         }
     }
 
+    {
+        let clock = sim.clock;
+        let fail =
+            move |message: String| Failure { config: oc.name.to_string(), step: clock, message };
+        lockstep(&mut follower, &sim, &fail)?;
+    }
     quiesce_checks(scenario, &pl, &sim, &task_index, oc)
+}
+
+/// Per-step cross-check of the incremental detection path: syncs the
+/// follower engine with the verifier's registry, then requires the
+/// Pearce–Kelly order answer (`check_full`), the naive full-scan baseline
+/// (`check_full_scan`), and the canonical from-scratch checker to deliver
+/// byte-identical reports in every graph model. The maintained orders
+/// must also validate against the engine's distinct-edge lists.
+fn lockstep(
+    follower: &mut IncrementalEngine,
+    sim: &Sim,
+    fail: &impl Fn(String) -> Failure,
+) -> Result<(), Failure> {
+    sim.verifier().sync_follower(follower);
+    let snap = sim.verifier().local_snapshot();
+    let as_json = |r: &Option<DeadlockReport>| serde_json::to_string(r).expect("reports serialise");
+    for choice in [ModelChoice::Auto, ModelChoice::FixedWfg, ModelChoice::FixedSg] {
+        let order = follower.check_full(choice, DEFAULT_SG_THRESHOLD).report;
+        let scan = follower.check_full_scan(choice, DEFAULT_SG_THRESHOLD).report;
+        let oracle = checker::check(&snap, choice, DEFAULT_SG_THRESHOLD).report;
+        if as_json(&order) != as_json(&scan) || as_json(&order) != as_json(&oracle) {
+            return Err(fail(format!(
+                "incremental check_full diverged under {choice:?}: \
+                 order-maintenance={order:?} vs full-scan={scan:?} vs oracle={oracle:?}"
+            )));
+        }
+    }
+    follower
+        .order_invariants()
+        .map_err(|e| fail(format!("maintained topological order broke its invariant: {e}")))
 }
 
 /// The PL rule a completed op corresponds to.

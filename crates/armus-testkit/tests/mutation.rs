@@ -1,9 +1,13 @@
 //! Proof that the differential oracle catches real verifier bugs: built
-//! with `--features verifier-mutation`, armus-core's avoidance fast path
-//! is deliberately off by one (cardinality bound 3 instead of 2), which
-//! silently admits every two-resource deadlock cycle. The oracle must
-//! flag it, and the shrinker must reduce the failure to a hand-readable
-//! scenario with a ≤ 10-step schedule.
+//! with `--features verifier-mutation`, armus-core carries two deliberate
+//! defects. The avoidance fast path is off by one (cardinality bound 3
+//! instead of 2), which silently admits every two-resource deadlock
+//! cycle. And the Pearce–Kelly order maintenance skips the
+//! affected-region forward search on adjacent-label violations (label gap
+//! exactly 1), committing edges that close a cycle — which makes the
+//! incremental `check_full` answer "no cycle" on exactly the crossed-wait
+//! shape. The oracle must flag both, and the shrinker must reduce each
+//! failure to a hand-readable scenario with a short replayable schedule.
 //!
 //! Run with: `cargo test -p armus-testkit --features verifier-mutation`
 //! (the regular tiers are compiled out under the feature — they would
@@ -35,6 +39,76 @@ fn oracle_catches_the_planted_bug_on_the_crossed_wait() {
     let oc = oracle_configs().into_iter().find(|c| c.name == "avoidance-nofastpath").unwrap();
     run_config(&scenario, &oc, &mut SeededChooser::new(0))
         .expect("the mutation must not affect the slow path");
+}
+
+/// Runs only the "detection" config: per-step lockstep of the follower
+/// engine (where the planted order-maintenance bug lives) without the
+/// avoidance configs, whose own planted fast-path bug would fire first.
+fn run_detection(
+    scenario: &armus_testkit::Scenario,
+    seed: u64,
+) -> Result<(), armus_testkit::Failure> {
+    let oc = oracle_configs().into_iter().find(|c| c.name == "detection").unwrap();
+    run_config(scenario, &oc, &mut SeededChooser::new(seed))
+}
+
+#[test]
+fn lockstep_catches_the_planted_order_maintenance_bug() {
+    // The crossed wait inserts the two WFG edges with label gap exactly 1
+    // — the edge class whose forward search the mutation skips — so the
+    // order answers "no cycle" while the full scan and the canonical
+    // checker both see the 2-cycle. The per-step lockstep must notice.
+    let failure = run_detection(&crossed_wait(), 0)
+        .expect_err("the mutated order maintenance hides the crossed-wait cycle");
+    assert_eq!(failure.config, "detection", "{failure}");
+    assert!(
+        failure.message.contains("check_full diverged"),
+        "the lockstep must pin the diverging incremental check: {failure}"
+    );
+}
+
+#[test]
+fn seed_scan_finds_the_order_bug_and_shrinks_below_six_steps() {
+    // Scan generated scenarios under the detection config only: every
+    // failure there is the order-maintenance bug (the cardinality
+    // mutation lives in the avoidance fast path, which publish-only
+    // blocks never run).
+    let cfg = ProgGenConfig {
+        missing_adv_prob: 0.8,
+        missing_dereg_prob: 0.8,
+        ..ProgGenConfig::default()
+    };
+    let mut found = None;
+    for seed in 0..500u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let program = gen_program(&mut rng, &cfg);
+        let scenario = lower_program(&program).expect("generated programs lower");
+        if let Err(failure) = run_detection(&scenario, seed) {
+            found = Some((scenario, seed, failure));
+            break;
+        }
+    }
+    let (scenario, seed, failure) =
+        found.expect("500 buggy-generator seeds must trip the planted order bug");
+    assert!(failure.message.contains("check_full diverged"), "{failure}");
+
+    let (shrunk, failure) =
+        shrink(&scenario, failure, |candidate| run_detection(candidate, seed).err());
+    assert!(failure.message.contains("check_full diverged"), "{failure}");
+
+    // Replay the shrunk scenario and count the schedule: the acceptance
+    // bar for this planted bug is a ≤ 6-step repro (the minimal crossed
+    // wait: two tasks arriving and parking).
+    let oc = oracle_configs().into_iter().find(|c| c.name == failure.config).unwrap();
+    let mut sim = Sim::new(&shrunk, oc.verifier);
+    let (_, steps) = sim.run_to_end(&mut SeededChooser::new(seed));
+    assert!(steps <= 6, "shrunk schedule takes {steps} steps (> 6)");
+    assert!(shrunk.total_ops() <= 6, "shrunk to {} ops", shrunk.total_ops());
+
+    let repro = Repro { scenario: shrunk, failure, seed, schedule_len: steps };
+    let text = write_repro(&repro);
+    assert!(text.contains("ARMUS_TESTKIT_SEED="));
+    println!("shrunk order-bug repro:\n{text}");
 }
 
 #[test]
