@@ -92,6 +92,12 @@ impl<S: Store> ChaosStore<S> {
         }
     }
 
+    /// The wrapped store, e.g. to read transport counters when chaos is
+    /// layered over [`crate::tcp::TcpStore`].
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     /// Publishes dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)

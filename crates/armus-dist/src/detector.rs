@@ -105,6 +105,12 @@ pub struct DistCheckerStats {
     /// snapshot: the first round and every explicit
     /// [`IncrementalDistChecker::resync`].
     pub order_rebuilds: u64,
+    /// Check rounds completed (the fetch and the analysis both
+    /// succeeded).
+    pub rounds: u64,
+    /// Confirmation re-fetches (a cycle was found and had to be verified
+    /// against a second view before reporting).
+    pub confirm_fetches: u64,
 }
 
 /// A *persistent* distributed checker: the stateful counterpart of
@@ -219,6 +225,7 @@ impl IncrementalDistChecker {
         let view = store.fetch_all()?;
         let merged = merge(&view);
         self.advance_to(&merged);
+        self.stats.rounds += 1;
         if merged.is_empty() {
             return Ok(DistCheck { report: None, stats: None });
         }
@@ -234,6 +241,7 @@ impl IncrementalDistChecker {
         // every participant must still be in the same blocking operation.
         // The confirmation view is deliberately NOT fed to the engine —
         // the next round re-fetches and diffs from `merged`.
+        self.stats.confirm_fetches += 1;
         let view2 = store.fetch_all()?;
         let merged2 = merge(&view2);
         let confirmed = report.task_epochs.iter().all(|&(task, epoch)| {

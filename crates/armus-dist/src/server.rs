@@ -4,12 +4,21 @@
 //!
 //! The server is a thread-per-connection loop over the same [`MemStore`]
 //! core the in-process cluster uses, speaking the versioned frame protocol
-//! of [`crate::wire`]. Per-connection read/write timeouts reap dead peers,
-//! partitions carry a lease TTL refreshed by every publish (crashed sites
-//! expire instead of ghosting the merged view), and shutdown is a graceful
-//! drain: a flag — set in-band by [`crate::wire::Request::Shutdown`], the
-//! SIGTERM equivalent — stops the accept loop, lets in-flight requests
-//! finish, and joins every connection thread.
+//! of [`crate::wire`]. Connections are **pipelined**: each `read(2)` may
+//! deliver a burst of frames (a [`wire::FrameBuffer`] reassembles them
+//! across reads), every frame is handled in arrival order, and the
+//! responses accumulate in a per-connection reply queue flushed with one
+//! write per burst — a multiplexing client ([`crate::tcp::TcpStore`])
+//! keeps dozens of requests in flight on one socket. Version negotiation
+//! is per-frame: a frame that arrived as v1 is answered as v1 (strict
+//! ping-pong peers keep working), a v2 frame is answered as v2 with its
+//! correlation id echoed. Per-connection read/write timeouts reap dead
+//! peers, partitions carry a lease TTL refreshed by every publish (crashed
+//! sites expire instead of ghosting the merged view), and shutdown is a
+//! graceful drain: a flag — set in-band by
+//! [`crate::wire::Request::Shutdown`], the SIGTERM equivalent — stops the
+//! accept loop, lets in-flight requests finish, and joins every
+//! connection thread.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -192,131 +201,109 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 /// Serves one connection until the peer hangs up, violates the protocol,
 /// idles past the read timeout, or the server drains.
+///
+/// The loop reads in [`POLL_PERIOD`] slices (so the drain flag stays
+/// observed even mid-frame), extracts every complete frame the read
+/// delivered, handles them in order, and answers the whole burst with one
+/// flush of the reply queue — each reply in the version its request
+/// arrived in.
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_PERIOD)).is_err() {
+        return;
+    }
     let mut stream = stream;
-    loop {
+    let mut frames = wire::FrameBuffer::new();
+    let mut replies: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    // Both the idle bound and the mid-frame stall bound: a peer that goes
+    // quiet for the read timeout is reaped whether or not it left half a
+    // frame behind.
+    let mut last_data = Instant::now();
+    'conn: loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match read_request(&mut stream, &shared) {
-            Ok(Some(request)) => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
-                let (response, drain) = handle(&request, &shared);
-                if drain {
-                    // Set the flag *before* answering: a drain must not
-                    // be lost to a failed response write (the peer may
-                    // fire-and-close), or the server lives forever.
-                    shared.shutdown.store(true, Ordering::SeqCst);
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer hung up
+            Ok(n) => {
+                last_data = Instant::now();
+                frames.feed(&chunk[..n]);
+                let mut drain = false;
+                while !drain {
+                    match frames.next_frame::<Request>() {
+                        Ok(Some(frame)) => {
+                            shared.served.fetch_add(1, Ordering::Relaxed);
+                            let (response, drain_after) = handle(&frame.msg, &shared);
+                            if drain_after {
+                                // Set the flag *before* answering: a drain
+                                // must not be lost to a failed response
+                                // write (the peer may fire-and-close), or
+                                // the server lives forever.
+                                shared.shutdown.store(true, Ordering::SeqCst);
+                                drain = true;
+                            }
+                            if encode_reply(&mut replies, &frame, &response).is_err() {
+                                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                break 'conn;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Malformed traffic: answer what the burst
+                            // already earned, close, never panic. There
+                            // is no resync point mid-stream — the peer
+                            // reconnects.
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = flush_replies(&mut stream, &mut replies, &shared);
+                            break 'conn;
+                        }
+                    }
                 }
-                if stream.set_write_timeout(Some(shared.cfg.write_timeout)).is_err() {
-                    break;
-                }
-                if wire::write_message(&mut stream, &response).is_err() || drain {
+                if flush_replies(&mut stream, &mut replies, &shared).is_err() || drain {
                     break;
                 }
             }
-            Ok(None) => break, // clean hangup, idle timeout, or drain
-            Err(_) => {
-                // Malformed traffic: close, never panic. The length
-                // prefix has already been consumed, so there is no
-                // resync point — the peer reconnects.
-                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                break;
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_data.elapsed() >= shared.cfg.read_timeout {
+                    break; // reap the idle (or mid-frame stalled) peer
+                }
             }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Reads one request, polling in [`POLL_PERIOD`] slices throughout so the
-/// shutdown flag stays observed even mid-frame (a stalled peer must not
-/// pin a drain for a whole read timeout). While waiting for a frame's
-/// first byte the bound is the idle (read) timeout; once a frame is in
-/// flight its remainder must arrive within the read timeout too. Returns
-/// `Ok(None)` for "stop serving without noise": clean EOF, idle timeout,
-/// or drain.
-fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Request>, WireError> {
-    if stream.set_read_timeout(Some(POLL_PERIOD)).is_err() {
-        return Ok(None);
+/// Appends the response frame for `request` to the reply queue, in the
+/// version the request arrived in (v1 → v1 tree frame, v2 → flat frame
+/// echoing the correlation id).
+fn encode_reply(
+    out: &mut Vec<u8>,
+    request: &wire::Frame<Request>,
+    response: &Response,
+) -> Result<(), WireError> {
+    if request.version == wire::WIRE_V1 {
+        out.extend_from_slice(&wire::encode_frame(response)?);
+        Ok(())
+    } else {
+        wire::encode_frame_v2_into(out, request.corr, response)
     }
-    // Wait for the first byte of the length prefix.
-    let mut first = [0u8; 1];
-    let idle_start = Instant::now();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
-        }
-        match stream.read(&mut first) {
-            Ok(0) => return Ok(None), // peer hung up between frames
-            Ok(_) => break,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if idle_start.elapsed() >= shared.cfg.read_timeout {
-                    return Ok(None); // reap the idle peer
-                }
-            }
-            Err(e) => return Err(WireError::Io(e)),
-        }
-    }
-    // A frame is in flight: the rest must arrive within the read timeout,
-    // still in poll slices so a drain interrupts promptly.
-    let deadline = Instant::now() + shared.cfg.read_timeout;
-    let mut rest_len = [0u8; 3];
-    if read_polled(stream, &mut rest_len, shared, deadline)?.is_none() {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes([first[0], rest_len[0], rest_len[1], rest_len[2]]);
-    if len > wire::MAX_FRAME_LEN {
-        return Err(WireError::Malformed(format!("length prefix {len} exceeds MAX_FRAME_LEN")));
-    }
-    let mut payload = vec![0u8; len as usize];
-    if read_polled(stream, &mut payload, shared, deadline)?.is_none() {
-        return Ok(None);
-    }
-    wire::decode_payload(&payload).map(Some)
 }
 
-/// `read_exact` in [`POLL_PERIOD`] slices (the stream's read timeout is
-/// already set to it): keeps checking the drain flag mid-frame, and
-/// enforces `deadline` on the frame as a whole. `Ok(None)` means "stop
-/// serving quietly" (drain); a peer that stalls past the deadline or
-/// hangs up mid-frame is an error.
-fn read_polled(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shared: &Shared,
-    deadline: Instant,
-) -> Result<Option<()>, WireError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(WireError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "eof inside a frame",
-                )))
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if Instant::now() >= deadline {
-                    return Err(WireError::Io(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "frame stalled past the read timeout",
-                    )));
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e)),
-        }
+/// Writes the queued replies for one burst in a single `write_all` and
+/// clears the queue.
+fn flush_replies(stream: &mut TcpStream, replies: &mut Vec<u8>, shared: &Shared) -> io::Result<()> {
+    if replies.is_empty() {
+        return Ok(());
     }
-    Ok(Some(()))
+    stream.set_write_timeout(Some(shared.cfg.write_timeout))?;
+    let result = stream.write_all(replies);
+    replies.clear();
+    result
 }
 
 /// Rejects a publish whose ids could not survive the checkers'

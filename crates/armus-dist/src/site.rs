@@ -12,6 +12,15 @@
 //! (partition lost, version mismatch, or a store without delta support) —
 //! so recovery never depends on delta continuity, and a lost partition is
 //! repaired within one round even from a fully quiescent site.
+//!
+//! Sites take the store as `Arc<dyn Store>` and never assume exclusive
+//! ownership, so the intended networked deployment is **many sites
+//! sharing one [`crate::tcp::TcpStore`]**: its pipelined connection
+//! multiplexes every site's publisher and checker traffic (correlation
+//! ids demultiplex the responses), one socket and one demux thread per
+//! process instead of per site. `tests/net.rs` proves the multiplexed
+//! path produces reports byte-identical to connection-per-site and to
+//! the in-process [`crate::store::MemStore`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,7 +33,7 @@ use armus_core::{
 use armus_sync::{Runtime, RuntimeConfig};
 use parking_lot::{Condvar, Mutex};
 
-use crate::detector::{IncrementalDistChecker, ReportDedup};
+use crate::detector::{DistCheckerStats, IncrementalDistChecker, ReportDedup};
 use crate::store::{DeltaAck, SiteId, Store};
 
 /// An interruptible stop flag: loop threads park on it between rounds
@@ -94,6 +103,7 @@ pub struct Site {
     checker_stop: Arc<StopSignal>,
     reports: Arc<Mutex<Vec<DeadlockReport>>>,
     resyncs: Arc<AtomicU64>,
+    checker_stats: Arc<Mutex<DistCheckerStats>>,
     publisher: Option<JoinHandle<()>>,
     checker: Option<JoinHandle<()>>,
 }
@@ -174,6 +184,7 @@ impl Site {
         let checker_stop = Arc::new(StopSignal::new());
         let reports = Arc::new(Mutex::new(Vec::new()));
         let resyncs = Arc::new(AtomicU64::new(0));
+        let checker_stats = Arc::new(Mutex::new(DistCheckerStats::default()));
 
         let publisher = {
             let runtime = Arc::clone(&runtime);
@@ -213,6 +224,7 @@ impl Site {
             let stop = Arc::clone(&stop);
             let checker_stop = Arc::clone(&checker_stop);
             let reports = Arc::clone(&reports);
+            let checker_stats = Arc::clone(&checker_stats);
             std::thread::Builder::new()
                 .name(format!("{id}-checker"))
                 .spawn(move || {
@@ -241,6 +253,7 @@ impl Site {
                             // never be load-bearing for correctness.
                             Err(_) => checker.resync(),
                         }
+                        *checker_stats.lock() = checker.stats();
                     }
                 })
                 .expect("spawn checker")
@@ -253,6 +266,7 @@ impl Site {
             checker_stop,
             reports,
             resyncs,
+            checker_stats,
             publisher: Some(publisher),
             checker: Some(checker),
         }
@@ -267,6 +281,15 @@ impl Site {
     /// anything beyond it is a recovery resync).
     pub fn publish_resyncs(&self) -> u64 {
         self.resyncs.load(Ordering::Relaxed)
+    }
+
+    /// Counters of this site's checker thread as of its latest round:
+    /// rounds run, confirmation re-fetches, deltas diffed in, and how
+    /// often detection stayed on the incremental path — the observability
+    /// needed to see that a multiplexed store still serves every site's
+    /// check cadence.
+    pub fn checker_stats(&self) -> DistCheckerStats {
+        *self.checker_stats.lock()
     }
 
     /// The runtime workloads should use on this site.

@@ -18,6 +18,12 @@
 //! The full-snapshot path ([`Store::publish_full`]) remains for joins and
 //! recovery — a fresh site, a store that lost the partition, or a
 //! publisher whose journal truncated past its cursor.
+//!
+//! Implementations are `Send + Sync` and are routinely **shared** across
+//! sites and threads behind one `Arc` — the networked
+//! [`crate::tcp::TcpStore`] multiplexes every sharer over a single
+//! pipelined connection, so concurrent calls from many sites batch into
+//! shared flushes rather than serialising on a socket each.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

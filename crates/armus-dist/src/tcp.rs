@@ -1,22 +1,47 @@
-//! [`TcpStore`]: the networked [`Store`] client.
+//! [`TcpStore`]: the networked [`Store`] client — one multiplexed,
+//! pipelined connection shared by every site in the process.
 //!
-//! One pooled connection to an `armus-stored` server, speaking the
-//! [`crate::wire`] protocol. Every transport failure — connect refusal,
-//! timeout, mid-frame hangup, protocol desync — maps onto
-//! [`StoreError::Unavailable`], the exact error the sites' publisher and
-//! checker loops already tolerate by skipping the round; the network
-//! changes *where* the store lives, not the failure model. Reconnects are
-//! paced by a bounded exponential backoff: while the backoff window is
-//! open, operations fail fast instead of hammering a dead server with
-//! connect attempts every publish period.
+//! The client speaks the flat v2 [`crate::wire`] protocol. Three layers
+//! close the gap to the in-process store:
+//!
+//! * **Batching** — operations append their encoded frame to a shared
+//!   *outbox* under a short lock; the first submitter becomes the flusher
+//!   and keeps writing swapped-out batches until the outbox is empty
+//!   (flat combining, the way lamellar coalesces active messages). Frames
+//!   that arrive while a flush is in flight ride the next `write(2)`
+//!   instead of paying their own syscall.
+//! * **Pipelining** — every frame carries a correlation id, so callers do
+//!   not serialize on request/response round trips: many requests are in
+//!   flight at once and a dedicated demux reader thread completes each
+//!   waiting caller as its response arrives, in whatever order.
+//! * **Multiplexing** — because calls never hold the connection, one
+//!   `TcpStore` (one socket, one reader thread) serves any number of
+//!   [`crate::site::Site`]s concurrently; sharing the client via `Arc` is
+//!   the intended deployment shape, replacing connection-per-site.
+//!
+//! The failure model is unchanged from the ping-pong client: every
+//! transport failure — connect refusal, timeout, mid-frame hangup,
+//! protocol desync — maps onto [`StoreError::Unavailable`], the exact
+//! error the sites' publisher and checker loops already tolerate by
+//! skipping the round. When a connection dies, **every** in-flight and
+//! batched-but-unsent operation on it fails to `Unavailable`: the
+//! coalescer never drops a delta silently and never acknowledges one it
+//! cannot prove the server applied (the publisher's NACK/resync protocol
+//! recovers state, exercised by the chaos tests in `tests/net.rs`).
+//! Reconnects are paced by a bounded exponential backoff: while the
+//! backoff window is open, operations fail fast instead of hammering a
+//! dead server with connect attempts every publish period.
 
-use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use armus_core::{Delta, Snapshot};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::store::{DeltaAck, SiteId, Store, StoreError};
 use crate::wire::{self, Request, Response};
@@ -26,7 +51,7 @@ use crate::wire::{self, Request, Response};
 pub struct TcpStoreConfig {
     /// Bound on one connect attempt.
     pub connect_timeout: Duration,
-    /// Bound on reading one response / writing one request.
+    /// Bound on waiting for one response (and on writing one batch).
     pub io_timeout: Duration,
     /// First reconnect backoff after a failure.
     pub backoff_initial: Duration,
@@ -45,23 +70,307 @@ impl Default for TcpStoreConfig {
     }
 }
 
-/// The client's connection state: an open stream, or the backoff schedule
-/// for the next attempt.
-struct ConnState {
-    stream: Option<TcpStream>,
+/// Where a caller's response lands: filled by the demux reader, failed en
+/// masse when the connection dies.
+#[derive(Default)]
+struct ResponseSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+enum SlotState {
+    #[default]
+    Waiting,
+    Done(Response),
+    Failed,
+}
+
+impl ResponseSlot {
+    /// Stores the response without waking the waiter — the demux reader
+    /// fills every slot of a burst first and notifies afterwards, so the
+    /// woken callers' next frames coalesce into one flush instead of the
+    /// first waker preempting the burst.
+    fn fill(&self, response: Response) {
+        *self.state.lock() = SlotState::Done(response);
+    }
+
+    /// Wakes the waiter of a previously [`ResponseSlot::fill`]ed slot.
+    /// Safe to call without the lock: a waiter that races in between sees
+    /// the filled state and never parks.
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    fn fail(&self) {
+        *self.state.lock() = SlotState::Failed;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the slot is filled or `timeout` elapses; `None` on
+    /// timeout or connection death.
+    fn wait(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            match std::mem::take(&mut *state) {
+                SlotState::Done(response) => return Some(response),
+                SlotState::Failed => return None,
+                SlotState::Waiting => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+}
+
+/// Write-side coalescer: frames accumulate in `buf`; `spare` is the
+/// recycled second buffer the flusher swaps in, so steady state allocates
+/// nothing. `flushing` elects exactly one flusher at a time.
+#[derive(Default)]
+struct Outbox {
+    buf: Vec<u8>,
+    spare: Vec<u8>,
+    flushing: bool,
+}
+
+/// Wire-level traffic counters, shared between the live connection and
+/// the owning [`TcpStore`] so they survive reconnects.
+#[derive(Default)]
+struct WireStats {
+    frames: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// State shared between callers and the demux reader of one connection.
+struct MuxShared {
+    stream: TcpStream,
+    outbox: Mutex<Outbox>,
+    pending: Mutex<HashMap<u64, Arc<ResponseSlot>>>,
+    next_corr: AtomicU64,
+    dead: AtomicBool,
+    stats: Arc<WireStats>,
+}
+
+impl MuxShared {
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// One pipelined exchange: register a slot, coalesce the frame into
+    /// the outbox (flushing if no flusher is active), wait for the demux
+    /// reader to fill the slot.
+    fn call(&self, request: &Request, io_timeout: Duration) -> Result<Response, StoreError> {
+        if self.is_dead() {
+            return Err(StoreError::Unavailable);
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ResponseSlot::default());
+        self.pending.lock().insert(corr, Arc::clone(&slot));
+        if self.is_dead() {
+            // The reader may have drained `pending` before our insert
+            // landed; don't wait a full timeout on a corpse.
+            self.pending.lock().remove(&corr);
+            return Err(StoreError::Unavailable);
+        }
+        if let Err(_e) = self.submit(corr, request) {
+            self.fail_all();
+            self.pending.lock().remove(&corr);
+            return Err(StoreError::Unavailable);
+        }
+        match slot.wait(io_timeout) {
+            Some(response) => Ok(response),
+            None => {
+                self.pending.lock().remove(&corr);
+                Err(StoreError::Unavailable)
+            }
+        }
+    }
+
+    /// Appends the encoded frame to the outbox; becomes the flusher when
+    /// none is active and drains swapped-out batches until the outbox is
+    /// empty. Returning `Ok` does **not** mean "sent": it means the frame
+    /// is on the wire or owned by a live flusher — whose failure fails
+    /// every pending slot, ours included.
+    fn submit(&self, corr: u64, request: &Request) -> Result<(), wire::WireError> {
+        let mut outbox = self.outbox.lock();
+        wire::encode_frame_v2_into(&mut outbox.buf, corr, request)?;
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        if outbox.flushing {
+            return Ok(());
+        }
+        outbox.flushing = true;
+        // Flat-combining window: before the first sweep, briefly release
+        // the outbox and yield so concurrent callers (typically a burst
+        // of sites woken by the previous reply batch) can enqueue their
+        // frames into this flush. On an idle connection the yield is a
+        // no-op; under fan-in it turns k wakeups into one k-frame write.
+        drop(outbox);
+        std::thread::yield_now();
+        outbox = self.outbox.lock();
+        loop {
+            let spare = std::mem::take(&mut outbox.spare);
+            let mut batch = std::mem::replace(&mut outbox.buf, spare);
+            drop(outbox);
+            let wrote = (&self.stream).write_all(&batch);
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+            batch.clear();
+            outbox = self.outbox.lock();
+            outbox.spare = batch;
+            match wrote {
+                Err(e) => {
+                    outbox.flushing = false;
+                    return Err(wire::WireError::Io(e));
+                }
+                Ok(()) => {
+                    if outbox.buf.is_empty() {
+                        outbox.flushing = false;
+                        return Ok(());
+                    }
+                    // Frames landed while we were writing: sweep again.
+                }
+            }
+        }
+    }
+
+    /// Marks the connection dead and fails every pending caller — the
+    /// "re-send or fail" reconnect contract resolves to *fail*: a frame
+    /// whose response we cannot correlate must surface as
+    /// [`StoreError::Unavailable`], never as a silent drop or a false ack.
+    fn fail_all(&self) {
+        self.dead.store(true, Ordering::Release);
+        let drained: Vec<Arc<ResponseSlot>> =
+            self.pending.lock().drain().map(|(_, slot)| slot).collect();
+        for slot in drained {
+            slot.fail();
+        }
+    }
+
+    /// `fail_all` plus a socket shutdown so the demux reader unblocks
+    /// promptly.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.fail_all();
+    }
+}
+
+/// The demux reader: extracts response bursts and completes the matching
+/// slot per correlation id. Exits (failing all pending callers) on EOF,
+/// transport error, or protocol desync.
+fn demux_loop(shared: Arc<MuxShared>) {
+    let mut frames = wire::FrameBuffer::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        if shared.is_dead() {
+            break;
+        }
+        match (&shared.stream).read(&mut chunk) {
+            Ok(0) => break, // server hung up
+            Ok(n) => {
+                frames.feed(&chunk[..n]);
+                // Two passes over the burst: fill every slot first, wake
+                // the callers after. Waking as we decode would let the
+                // first caller preempt this thread (wake-preemption) and
+                // flush a one-frame batch while its peers are still
+                // asleep; deferring the wakeups lets the whole cohort
+                // enqueue into one combined write.
+                let mut woken = Vec::new();
+                loop {
+                    match frames.next_frame::<Response>() {
+                        Ok(Some(frame)) => {
+                            if let Some(slot) = shared.pending.lock().remove(&frame.corr) {
+                                slot.fill(frame.msg);
+                                woken.push(slot);
+                            }
+                            // An unmatched id is a caller that timed out
+                            // and moved on: the late response is dropped.
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            for slot in woken {
+                                slot.notify();
+                            }
+                            shared.kill();
+                            return;
+                        }
+                    }
+                }
+                for slot in woken {
+                    slot.notify();
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: re-check the dead flag and keep waiting.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    shared.fail_all();
+}
+
+/// One live multiplexed connection: the shared state plus the demux
+/// reader's handle, joined on drop.
+struct MuxConn {
+    shared: Arc<MuxShared>,
+    reader: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl MuxConn {
+    fn open(stream: TcpStream, stats: Arc<WireStats>) -> MuxConn {
+        let shared = Arc::new(MuxShared {
+            stream,
+            outbox: Mutex::new(Outbox::default()),
+            pending: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(1),
+            dead: AtomicBool::new(false),
+            stats,
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("tcpstore-demux".into())
+                .spawn(move || demux_loop(shared))
+                .expect("spawn tcpstore demux reader")
+        };
+        MuxConn { shared, reader: Mutex::new(Some(reader)) }
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        self.shared.kill();
+        if let Some(handle) = self.reader.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The client's connection state: a live multiplexed connection, or the
+/// backoff schedule for the next dial.
+struct ClientState {
+    conn: Option<Arc<MuxConn>>,
     /// Next backoff delay to impose after a failure.
     backoff: Duration,
     /// Operations fail fast until this instant.
     retry_at: Option<Instant>,
 }
 
-/// A [`Store`] over TCP.
+/// A [`Store`] over TCP. Share one instance (behind `Arc`) between all
+/// the sites of a process: calls multiplex over a single connection.
 pub struct TcpStore {
     addr: String,
     cfg: TcpStoreConfig,
-    conn: Mutex<ConnState>,
+    state: Mutex<ClientState>,
     reconnects: AtomicU64,
     failures: AtomicU64,
+    stats: Arc<WireStats>,
 }
 
 impl TcpStore {
@@ -76,13 +385,14 @@ impl TcpStore {
         TcpStore {
             addr: addr.into(),
             cfg,
-            conn: Mutex::new(ConnState {
-                stream: None,
+            state: Mutex::new(ClientState {
+                conn: None,
                 backoff: cfg.backoff_initial,
                 retry_at: None,
             }),
             reconnects: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            stats: Arc::new(WireStats::default()),
         }
     }
 
@@ -102,6 +412,19 @@ impl TcpStore {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Request frames submitted to the coalescer so far (across
+    /// reconnects).
+    pub fn frames_sent(&self) -> u64 {
+        self.stats.frames.load(Ordering::Relaxed)
+    }
+
+    /// `write(2)` flushes so far. Under concurrent load this stays below
+    /// [`Self::frames_sent`]: the difference is frames that rode another
+    /// caller's flush.
+    pub fn flushes(&self) -> u64 {
+        self.stats.flushes.load(Ordering::Relaxed)
+    }
+
     /// Sends the in-band drain command ([`Request::Shutdown`]) to the
     /// server — the administrative stop used by cluster teardown.
     pub fn shutdown_server(&self) -> Result<(), StoreError> {
@@ -117,6 +440,9 @@ impl TcpStore {
             match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
                 Ok(stream) => {
                     stream.set_nodelay(true)?;
+                    // The demux reader polls with this as its tick; socket
+                    // shutdown (not the timeout) is what unblocks it on
+                    // teardown, so idle ticks only gate dead-flag checks.
                     stream.set_read_timeout(Some(self.cfg.io_timeout))?;
                     stream.set_write_timeout(Some(self.cfg.io_timeout))?;
                     return Ok(stream);
@@ -127,46 +453,103 @@ impl TcpStore {
         Err(last)
     }
 
-    /// One request/response exchange. On any failure the connection is
-    /// dropped, the backoff window opens (doubling up to the ceiling), and
-    /// the caller sees [`StoreError::Unavailable`]; the next operation
-    /// after the window redials. A successful exchange resets the backoff.
-    fn call(&self, request: &Request) -> Result<Response, StoreError> {
-        let mut conn = self.conn.lock();
-        if conn.stream.is_none() {
-            if let Some(retry_at) = conn.retry_at {
+    /// The live connection, dialing if necessary. Honors the fail-fast
+    /// backoff window; a successful dial resets the backoff.
+    fn connection(&self) -> Result<Arc<MuxConn>, StoreError> {
+        let mut state = self.state.lock();
+        let mut carcass = None;
+        if let Some(conn) = &state.conn {
+            if !conn.shared.is_dead() {
+                return Ok(Arc::clone(conn));
+            }
+            // The demux reader noticed the death before any caller did
+            // (e.g. a server restart while we were idle): retire the
+            // connection and open the backoff window.
+            carcass = state.conn.take();
+            self.open_backoff(&mut state);
+        }
+        let result = (|| {
+            if let Some(retry_at) = state.retry_at {
                 if Instant::now() < retry_at {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
                     return Err(StoreError::Unavailable); // fail fast in the window
                 }
             }
             match self.dial() {
                 Ok(stream) => {
-                    conn.stream = Some(stream);
-                    conn.backoff = self.cfg.backoff_initial;
-                    conn.retry_at = None;
+                    let conn = Arc::new(MuxConn::open(stream, Arc::clone(&self.stats)));
+                    state.conn = Some(Arc::clone(&conn));
+                    state.backoff = self.cfg.backoff_initial;
+                    state.retry_at = None;
                     self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    Ok(conn)
                 }
-                Err(_) => return Err(self.note_failure(&mut conn)),
+                Err(_) => {
+                    self.open_backoff(&mut state);
+                    Err(StoreError::Unavailable)
+                }
             }
-        }
-        let stream = conn.stream.as_mut().expect("connected above");
-        let exchange = wire::write_message(stream, request)
-            .and_then(|()| wire::read_message::<_, Response>(stream));
-        match exchange {
-            Ok(Some(response)) => Ok(response),
-            // EOF where a response was due, or any transport/protocol
-            // error: the stream is useless now.
-            Ok(None) | Err(_) => Err(self.note_failure(&mut conn)),
-        }
+        })();
+        drop(state);
+        drop(carcass); // outside the state lock: may join the demux reader
+        result
     }
 
-    fn note_failure(&self, conn: &mut ConnState) -> StoreError {
-        conn.stream = None;
-        conn.retry_at = Some(Instant::now() + conn.backoff);
-        conn.backoff = (conn.backoff * 2).min(self.cfg.backoff_max);
-        self.failures.fetch_add(1, Ordering::Relaxed);
-        StoreError::Unavailable
+    fn open_backoff(&self, state: &mut ClientState) {
+        state.retry_at = Some(Instant::now() + state.backoff);
+        state.backoff = (state.backoff * 2).min(self.cfg.backoff_max);
+    }
+
+    /// Retires `failed` if it is still the current connection, opening
+    /// the backoff window. Concurrent callers failing on the same
+    /// connection retire it once (and double the backoff once).
+    fn retire(&self, failed: &Arc<MuxConn>) {
+        let mut state = self.state.lock();
+        let mut carcass = None;
+        if let Some(current) = &state.conn {
+            if Arc::ptr_eq(current, failed) {
+                carcass = state.conn.take();
+                self.open_backoff(&mut state);
+            }
+        }
+        drop(state);
+        drop(carcass);
+    }
+
+    /// One pipelined exchange. On any failure the connection is retired,
+    /// the backoff window opens (doubling up to the ceiling), every
+    /// in-flight operation on it — batched or awaiting a response — fails
+    /// as [`StoreError::Unavailable`], and the next operation after the
+    /// window redials.
+    fn call(&self, request: &Request) -> Result<Response, StoreError> {
+        let result = self.try_call(request);
+        if result.is_err() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn try_call(&self, request: &Request) -> Result<Response, StoreError> {
+        let conn = self.connection()?;
+        match conn.shared.call(request, self.cfg.io_timeout) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                // Timeout, transport error, or desync: the pipelined
+                // stream cannot be trusted to correlate anything further.
+                conn.shared.kill();
+                self.retire(&conn);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for TcpStore {
+    fn drop(&mut self) {
+        // Retire the connection explicitly so the demux reader is joined
+        // even when callers still hold clones of the Arc.
+        if let Some(conn) = self.state.lock().conn.take() {
+            conn.shared.kill();
+        }
     }
 }
 

@@ -1,31 +1,54 @@
 //! The store wire protocol: compact length-prefixed binary frames for the
 //! site ↔ `armus-stored` conversation.
 //!
-//! Every frame is `[u32 LE payload length][u8 version][body]`, where the
-//! body is a binary encoding of the message's [`serde::Value`] tree —
-//! varint (LEB128) integers and lengths, zigzag signed integers, raw IEEE
-//! floats, length-prefixed strings. Framing through the serde tree means
-//! every `Serialize`/`Deserialize` type ships unchanged, and the explicit
-//! version byte leaves room for incompatible evolutions (a peer speaking a
-//! newer version is rejected cleanly instead of misparsed).
+//! Every frame is `[u32 LE payload length][u8 version][…]`. Two payload
+//! versions coexist:
 //!
-//! Decoding is **total**: truncated frames, oversized length prefixes
-//! ([`MAX_FRAME_LEN`]), unknown value tags, unknown message variants and
-//! over-deep nesting all surface as [`WireError`]s — the server answers by
-//! closing the connection, never by panicking (see the malformed-input
-//! tests in `tests/wire_props.rs`).
+//! * **v1** (legacy, strict ping-pong): the rest of the payload is a
+//!   binary encoding of the message's [`serde::Value`] tree — varint
+//!   (LEB128) integers and lengths, zigzag signed integers, raw IEEE
+//!   floats, length-prefixed strings. Framing through the serde tree
+//!   means every `Serialize`/`Deserialize` type ships unchanged.
+//! * **v2** (current, pipelined): the payload is
+//!   `[u8 version = 2][u64 LE correlation id][u8 kind][flat body]` — a
+//!   hand-rolled flat layout with fixed-width little-endian headers and
+//!   contiguous arrays (no intermediate `Value` tree on either side, one
+//!   pass each way). The correlation id lets many requests be in flight
+//!   per connection: responses carry the id of the request they answer,
+//!   so a demultiplexer ([`crate::tcp::TcpStore`]) can share one
+//!   connection between many sites. Encoding appends into a caller-owned
+//!   reused buffer ([`encode_frame_v2_into`]) so the hot publish path
+//!   allocates nothing in steady state.
+//!
+//! Version negotiation is per-frame: the server answers each frame in the
+//! version it arrived in, so v1 clients keep working against a v2 server
+//! (tested in `tests/wire_props.rs`).
+//!
+//! Decoding is **total** for both versions: truncated frames, oversized
+//! length prefixes ([`MAX_FRAME_LEN`]), unknown value tags/kinds, unknown
+//! message variants, hostile element counts and over-deep nesting all
+//! surface as [`WireError`]s — the server answers by closing the
+//! connection, never by panicking (see `tests/wire_props.rs`).
 
 use std::io::{self, Read, Write};
 
-use armus_core::{Delta, Snapshot};
+use armus_core::{BlockedInfo, Delta, Snapshot, TaskId};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::store::SiteId;
 
-/// Protocol version spoken by this build. A frame carrying any other
-/// version is rejected (forward compatibility: new versions change the
-/// byte, old peers fail cleanly instead of misparsing).
-pub const WIRE_VERSION: u8 = 1;
+/// The legacy serde-Value-tree payload version (strict ping-pong, no
+/// correlation ids). Still accepted on decode; see the module docs.
+pub const WIRE_V1: u8 = 1;
+
+/// The flat pipelined payload version carrying correlation ids.
+pub const WIRE_V2: u8 = 2;
+
+/// Protocol version spoken by this build's clients. Frames carrying a
+/// version that is neither [`WIRE_V1`] nor [`WIRE_V2`] are rejected
+/// (forward compatibility: new versions change the byte, old peers fail
+/// cleanly instead of misparsing).
+pub const WIRE_VERSION: u8 = WIRE_V2;
 
 /// Upper bound on a frame's payload length. A length prefix beyond this is
 /// treated as malformed before any allocation happens, so a garbage or
@@ -60,7 +83,10 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "wire transport error: {e}"),
             WireError::Version(v) => {
-                write!(f, "unsupported wire version {v} (this build speaks {WIRE_VERSION})")
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks v{WIRE_V1} and v{WIRE_V2})"
+                )
             }
             WireError::Malformed(m) => write!(f, "malformed wire frame: {m}"),
         }
@@ -298,13 +324,13 @@ fn decode_value(buf: &mut &[u8], depth: u32) -> Result<Value, WireError> {
 
 // --- framing ---------------------------------------------------------------
 
-/// Encodes `message` into one complete frame (length prefix included).
-/// Fails with [`WireError::Malformed`] when the encoding exceeds
-/// [`MAX_FRAME_LEN`] — a frame no receiver would accept must not be sent
-/// (the sender would otherwise desync every peer, forever, in release
-/// builds too).
+/// Encodes `message` into one complete **v1** frame (length prefix
+/// included). Fails with [`WireError::Malformed`] when the encoding
+/// exceeds [`MAX_FRAME_LEN`] — a frame no receiver would accept must not
+/// be sent (the sender would otherwise desync every peer, forever, in
+/// release builds too).
 pub fn encode_frame<T: Serialize>(message: &T) -> Result<Vec<u8>, WireError> {
-    let mut payload = vec![WIRE_VERSION];
+    let mut payload = vec![WIRE_V1];
     encode_value(&message.to_value(), &mut payload);
     if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(malformed(format!(
@@ -318,11 +344,13 @@ pub fn encode_frame<T: Serialize>(message: &T) -> Result<Vec<u8>, WireError> {
     Ok(frame)
 }
 
-/// Decodes a frame **payload** (version byte + body, the length prefix
-/// already stripped) into a message.
+/// Decodes a **v1** frame payload (version byte + body, the length prefix
+/// already stripped) into a message. This is the strict-v1 entry point
+/// used by legacy ping-pong peers; version-negotiating receivers go
+/// through [`decode_frame_payload`] instead.
 pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
     let (&version, body) = payload.split_first().ok_or_else(|| malformed("empty frame payload"))?;
-    if version != WIRE_VERSION {
+    if version != WIRE_V1 {
         return Err(WireError::Version(version));
     }
     let mut rest = body;
@@ -383,6 +411,399 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, 
         }
     }
     Ok(ReadOutcome::Filled)
+}
+
+// --- flat v2 codec ---------------------------------------------------------
+
+/// Flat fixed-width byte size of a `Resource` / `Registration`: two
+/// little-endian `u64`s.
+const FLAT_PAIR: usize = 16;
+/// Flat header size of a [`BlockedInfo`]: task + epoch + two u32 counts.
+const FLAT_INFO_HEADER: usize = 8 + 8 + 4 + 4;
+/// Minimum flat size of a [`Delta`]: tag byte + an Unblock task id.
+const FLAT_DELTA_MIN: usize = 1 + 8;
+/// Minimum flat size of a `View` entry: site id + empty snapshot count.
+const FLAT_VIEW_ENTRY_MIN: usize = 4 + 4;
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let (&b, rest) = buf.split_first().ok_or_else(|| malformed("truncated u8"))?;
+    *buf = rest;
+    Ok(b)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.len() < 4 {
+        return Err(malformed("truncated u32"));
+    }
+    let (bytes, rest) = buf.split_at(4);
+    *buf = rest;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(malformed("truncated u64"));
+    }
+    let (bytes, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+/// Reads a flat element count, rejecting counts whose minimum encoding
+/// could not fit in the remaining bytes — the flat-layout analogue of
+/// [`get_count`], so a hostile count cannot drive a huge up-front
+/// allocation.
+fn take_flat_count(buf: &mut &[u8], min_element: usize, what: &str) -> Result<usize, WireError> {
+    let n = take_u32(buf)?;
+    if u64::from(n) * (min_element as u64) > buf.len() as u64 {
+        return Err(malformed(format!("{what} count {n} exceeds remaining {} bytes", buf.len())));
+    }
+    Ok(n as usize)
+}
+
+fn put_flat_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_flat_str(buf: &mut &[u8], what: &str) -> Result<String, WireError> {
+    let len = take_flat_count(buf, 1, what)?;
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+}
+
+fn put_info(info: &BlockedInfo, out: &mut Vec<u8>) {
+    out.extend_from_slice(&info.task.0.to_le_bytes());
+    out.extend_from_slice(&info.epoch.to_le_bytes());
+    out.extend_from_slice(&(info.waits.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(info.registered.len() as u32).to_le_bytes());
+    for w in &info.waits {
+        out.extend_from_slice(&w.phaser.0.to_le_bytes());
+        out.extend_from_slice(&w.phase.to_le_bytes());
+    }
+    for r in &info.registered {
+        out.extend_from_slice(&r.phaser.0.to_le_bytes());
+        out.extend_from_slice(&r.local_phase.to_le_bytes());
+    }
+}
+
+fn take_info(buf: &mut &[u8]) -> Result<BlockedInfo, WireError> {
+    use armus_core::{PhaserId, Registration, Resource};
+    let task = TaskId(take_u64(buf)?);
+    let epoch = take_u64(buf)?;
+    let n_waits = take_flat_count(buf, FLAT_PAIR, "waits")?;
+    let n_regs = take_flat_count(buf, FLAT_PAIR, "registrations")?;
+    let mut waits = Vec::with_capacity(n_waits.min(PREALLOC_CAP));
+    for _ in 0..n_waits {
+        waits.push(Resource::new(PhaserId(take_u64(buf)?), take_u64(buf)?));
+    }
+    let mut registered = Vec::with_capacity(n_regs.min(PREALLOC_CAP));
+    for _ in 0..n_regs {
+        registered.push(Registration::new(PhaserId(take_u64(buf)?), take_u64(buf)?));
+    }
+    let mut info = BlockedInfo::new(task, waits, registered);
+    info.epoch = epoch;
+    Ok(info)
+}
+
+fn put_snapshot(snap: &Snapshot, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(snap.tasks.len() as u32).to_le_bytes());
+    for info in &snap.tasks {
+        put_info(info, out);
+    }
+}
+
+fn take_snapshot(buf: &mut &[u8]) -> Result<Snapshot, WireError> {
+    let count = take_flat_count(buf, FLAT_INFO_HEADER, "snapshot")?;
+    let mut tasks = Vec::with_capacity(count.min(PREALLOC_CAP));
+    for _ in 0..count {
+        tasks.push(take_info(buf)?);
+    }
+    // Route through the sorting constructor so the sorted-by-task-id
+    // invariant survives a peer that sends entries out of order.
+    Ok(Snapshot::from_tasks(tasks))
+}
+
+const DELTA_BLOCK: u8 = 0;
+const DELTA_UNBLOCK: u8 = 1;
+
+fn put_deltas(deltas: &[Delta], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
+    for delta in deltas {
+        match delta {
+            Delta::Block(info) => {
+                out.push(DELTA_BLOCK);
+                put_info(info, out);
+            }
+            Delta::Unblock(task) => {
+                out.push(DELTA_UNBLOCK);
+                out.extend_from_slice(&task.0.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn take_deltas(buf: &mut &[u8]) -> Result<Vec<Delta>, WireError> {
+    let count = take_flat_count(buf, FLAT_DELTA_MIN, "deltas")?;
+    let mut deltas = Vec::with_capacity(count.min(PREALLOC_CAP));
+    for _ in 0..count {
+        deltas.push(match take_u8(buf)? {
+            DELTA_BLOCK => Delta::Block(take_info(buf)?),
+            DELTA_UNBLOCK => Delta::Unblock(TaskId(take_u64(buf)?)),
+            other => return Err(malformed(format!("unknown delta tag {other}"))),
+        });
+    }
+    Ok(deltas)
+}
+
+const REQ_PUBLISH: u8 = 0;
+const REQ_PUBLISH_FULL: u8 = 1;
+const REQ_PUBLISH_DELTAS: u8 = 2;
+const REQ_FETCH_ALL: u8 = 3;
+const REQ_REMOVE: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+const RESP_OK: u8 = 0;
+const RESP_APPLIED: u8 = 1;
+const RESP_NEED_SNAPSHOT: u8 = 2;
+const RESP_VIEW: u8 = 3;
+const RESP_ERROR: u8 = 4;
+
+/// A message with a hand-rolled flat v2 body: one kind byte followed by
+/// fixed-width little-endian fields and contiguous arrays. Implemented by
+/// [`Request`] and [`Response`]; see the module docs for the layout.
+pub trait FlatMessage: Sized {
+    /// Appends `kind byte + flat body` to `out`.
+    fn encode_flat(&self, out: &mut Vec<u8>);
+    /// Decodes `kind byte + flat body` from the front of `buf`.
+    fn decode_flat(buf: &mut &[u8]) -> Result<Self, WireError>;
+}
+
+impl FlatMessage for Request {
+    fn encode_flat(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Publish { site, snapshot } => {
+                out.push(REQ_PUBLISH);
+                out.extend_from_slice(&site.0.to_le_bytes());
+                put_snapshot(snapshot, out);
+            }
+            Request::PublishFull { site, snapshot, version } => {
+                out.push(REQ_PUBLISH_FULL);
+                out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                put_snapshot(snapshot, out);
+            }
+            Request::PublishDeltas { site, base, deltas, next } => {
+                out.push(REQ_PUBLISH_DELTAS);
+                out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&next.to_le_bytes());
+                put_deltas(deltas, out);
+            }
+            Request::FetchAll => out.push(REQ_FETCH_ALL),
+            Request::Remove { site } => {
+                out.push(REQ_REMOVE);
+                out.extend_from_slice(&site.0.to_le_bytes());
+            }
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+    }
+
+    fn decode_flat(buf: &mut &[u8]) -> Result<Request, WireError> {
+        Ok(match take_u8(buf)? {
+            REQ_PUBLISH => {
+                let site = SiteId(take_u32(buf)?);
+                Request::Publish { site, snapshot: take_snapshot(buf)? }
+            }
+            REQ_PUBLISH_FULL => {
+                let site = SiteId(take_u32(buf)?);
+                let version = take_u64(buf)?;
+                Request::PublishFull { site, snapshot: take_snapshot(buf)?, version }
+            }
+            REQ_PUBLISH_DELTAS => {
+                let site = SiteId(take_u32(buf)?);
+                let base = take_u64(buf)?;
+                let next = take_u64(buf)?;
+                Request::PublishDeltas { site, base, deltas: take_deltas(buf)?, next }
+            }
+            REQ_FETCH_ALL => Request::FetchAll,
+            REQ_REMOVE => Request::Remove { site: SiteId(take_u32(buf)?) },
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(malformed(format!("unknown request kind {other}"))),
+        })
+    }
+}
+
+impl FlatMessage for Response {
+    fn encode_flat(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Ok => out.push(RESP_OK),
+            Response::Applied => out.push(RESP_APPLIED),
+            Response::NeedSnapshot => out.push(RESP_NEED_SNAPSHOT),
+            Response::View(view) => {
+                out.push(RESP_VIEW);
+                out.extend_from_slice(&(view.len() as u32).to_le_bytes());
+                for (site, snapshot) in view {
+                    out.extend_from_slice(&site.0.to_le_bytes());
+                    put_snapshot(snapshot, out);
+                }
+            }
+            Response::Error(message) => {
+                out.push(RESP_ERROR);
+                put_flat_str(message, out);
+            }
+        }
+    }
+
+    fn decode_flat(buf: &mut &[u8]) -> Result<Response, WireError> {
+        Ok(match take_u8(buf)? {
+            RESP_OK => Response::Ok,
+            RESP_APPLIED => Response::Applied,
+            RESP_NEED_SNAPSHOT => Response::NeedSnapshot,
+            RESP_VIEW => {
+                let count = take_flat_count(buf, FLAT_VIEW_ENTRY_MIN, "view")?;
+                let mut view = Vec::with_capacity(count.min(PREALLOC_CAP));
+                for _ in 0..count {
+                    let site = SiteId(take_u32(buf)?);
+                    view.push((site, take_snapshot(buf)?));
+                }
+                Response::View(view)
+            }
+            RESP_ERROR => Response::Error(take_flat_str(buf, "error message")?),
+            other => return Err(malformed(format!("unknown response kind {other}"))),
+        })
+    }
+}
+
+// --- pipelined framing -----------------------------------------------------
+
+/// A decoded frame: the message plus the wire metadata a pipelining peer
+/// needs to answer it — the correlation id to echo and the version to
+/// answer in. v1 frames decode with `corr == 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame<T> {
+    /// Payload version the frame arrived in ([`WIRE_V1`] or [`WIRE_V2`]).
+    pub version: u8,
+    /// Correlation id (0 for v1 frames, which are strictly ping-pong).
+    pub corr: u64,
+    /// The decoded message.
+    pub msg: T,
+}
+
+/// Appends one complete **v2** frame (length prefix included) for `msg`
+/// to `out`, tagged with correlation id `corr`. Appending to a
+/// caller-owned buffer is what lets the write-side coalescer pack many
+/// frames into one flush without allocating per frame. On overflow the
+/// buffer is restored and [`WireError::Malformed`] returned — a frame no
+/// receiver would accept must never be sent.
+pub fn encode_frame_v2_into<T: FlatMessage>(
+    out: &mut Vec<u8>,
+    corr: u64,
+    msg: &T,
+) -> Result<(), WireError> {
+    let frame_start = out.len();
+    out.extend_from_slice(&[0; 4]); // length prefix, patched below
+    out.push(WIRE_V2);
+    out.extend_from_slice(&corr.to_le_bytes());
+    msg.encode_flat(out);
+    let payload_len = out.len() - frame_start - 4;
+    if payload_len as u64 > MAX_FRAME_LEN as u64 {
+        out.truncate(frame_start);
+        return Err(malformed(format!(
+            "message encodes to {payload_len} bytes, over MAX_FRAME_LEN"
+        )));
+    }
+    out[frame_start..frame_start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Decodes a frame payload of **either** version (the length prefix
+/// already stripped): v2 payloads through the flat codec, v1 payloads
+/// through the serde-Value tree (with `corr = 0`). Any other version is a
+/// clean [`WireError::Version`].
+pub fn decode_frame_payload<T: FlatMessage + Deserialize>(
+    payload: &[u8],
+) -> Result<Frame<T>, WireError> {
+    let (&version, body) = payload.split_first().ok_or_else(|| malformed("empty frame payload"))?;
+    match version {
+        WIRE_V1 => {
+            let mut rest = body;
+            let value = decode_value(&mut rest, 0)?;
+            if !rest.is_empty() {
+                return Err(malformed(format!("{} trailing bytes after value", rest.len())));
+            }
+            let msg = T::from_value(&value).map_err(|e| malformed(e.to_string()))?;
+            Ok(Frame { version, corr: 0, msg })
+        }
+        WIRE_V2 => {
+            let mut rest = body;
+            let corr = take_u64(&mut rest)?;
+            let msg = T::decode_flat(&mut rest)?;
+            if !rest.is_empty() {
+                return Err(malformed(format!("{} trailing bytes after flat body", rest.len())));
+            }
+            Ok(Frame { version, corr, msg })
+        }
+        other => Err(WireError::Version(other)),
+    }
+}
+
+/// Incremental frame extraction over a byte stream: feed raw reads in,
+/// pull complete frames out. This is how both ends read **bursts** — one
+/// `read(2)` can deliver many pipelined frames (or half of one), and the
+/// buffer hands them over one by one without ever blocking mid-frame.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes (compacting consumed space first).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether bytes of an incomplete frame are pending — the receiver is
+    /// mid-frame, so a read timeout now means a stalled peer rather than a
+    /// quiet one.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Extracts the next complete frame; `Ok(None)` when more bytes are
+    /// needed. Errors (oversized prefix, undecodable payload) are
+    /// unrecoverable for the connection — there is no resync point
+    /// mid-stream.
+    pub fn next_frame<T: FlatMessage + Deserialize>(
+        &mut self,
+    ) -> Result<Option<Frame<T>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(malformed(format!("length prefix {len} exceeds MAX_FRAME_LEN")));
+        }
+        let end = 4 + len as usize;
+        if avail.len() < end {
+            return Ok(None);
+        }
+        let frame = decode_frame_payload(&avail[4..end])?;
+        self.start += end;
+        Ok(Some(frame))
+    }
 }
 
 #[cfg(test)]
@@ -479,7 +900,7 @@ mod tests {
     #[test]
     fn unknown_message_variants_are_malformed_not_panics() {
         let rogue = Value::Map(vec![("LaunchMissiles".into(), Value::UInt(1))]);
-        let mut payload = vec![WIRE_VERSION];
+        let mut payload = vec![WIRE_V1];
         encode_value(&rogue, &mut payload);
         assert!(matches!(decode_payload::<Request>(&payload), Err(WireError::Malformed(_))));
     }
@@ -487,14 +908,151 @@ mod tests {
     #[test]
     fn hostile_counts_do_not_allocate() {
         // A sequence claiming u64::MAX elements in a 3-byte body.
-        let mut payload = vec![WIRE_VERSION, TAG_SEQ];
+        let mut payload = vec![WIRE_V1, TAG_SEQ];
         put_varint(u64::MAX, &mut payload);
         assert!(matches!(decode_payload::<Request>(&payload), Err(WireError::Malformed(_))));
     }
 
+    fn v2_roundtrip<T: FlatMessage + Deserialize + PartialEq + std::fmt::Debug>(
+        corr: u64,
+        msg: &T,
+    ) {
+        let mut out = Vec::new();
+        encode_frame_v2_into(&mut out, corr, msg).unwrap();
+        let len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+        assert_eq!(len + 4, out.len(), "one exact frame");
+        let frame: Frame<T> = decode_frame_payload(&out[4..]).unwrap();
+        assert_eq!(frame.version, WIRE_V2);
+        assert_eq!(frame.corr, corr);
+        assert_eq!(&frame.msg, msg);
+    }
+
+    #[test]
+    fn flat_frames_round_trip_with_correlation_ids() {
+        v2_roundtrip(0, &Request::Publish { site: SiteId(0), snapshot: snap() });
+        v2_roundtrip(1, &Request::PublishFull { site: SiteId(7), snapshot: snap(), version: 42 });
+        v2_roundtrip(
+            u64::MAX,
+            &Request::PublishDeltas {
+                site: SiteId(1),
+                base: 5,
+                deltas: vec![Delta::Block(snap().tasks[0].clone()), Delta::Unblock(TaskId(9))],
+                next: 7,
+            },
+        );
+        v2_roundtrip(3, &Request::FetchAll);
+        v2_roundtrip(4, &Request::Remove { site: SiteId(3) });
+        v2_roundtrip(5, &Request::Shutdown);
+        v2_roundtrip(6, &Response::Ok);
+        v2_roundtrip(7, &Response::Applied);
+        v2_roundtrip(8, &Response::NeedSnapshot);
+        v2_roundtrip(9, &Response::View(vec![(SiteId(0), snap()), (SiteId(1), Snapshot::empty())]));
+        v2_roundtrip(10, &Response::Error("partition store on fire".into()));
+    }
+
+    #[test]
+    fn flat_encoding_appends_and_restores_on_overflow() {
+        // Appending leaves earlier frames in the buffer intact…
+        let mut out = Vec::new();
+        encode_frame_v2_into(&mut out, 1, &Request::FetchAll).unwrap();
+        let first = out.clone();
+        encode_frame_v2_into(&mut out, 2, &Request::Remove { site: SiteId(9) }).unwrap();
+        assert_eq!(&out[..first.len()], &first[..], "first frame untouched");
+        // …and an oversized message truncates back to the prior frames.
+        let huge = Response::Error("x".repeat(MAX_FRAME_LEN as usize + 1));
+        let len_before = out.len();
+        assert!(matches!(encode_frame_v2_into(&mut out, 3, &huge), Err(WireError::Malformed(_))));
+        assert_eq!(out.len(), len_before);
+    }
+
+    #[test]
+    fn frame_buffer_extracts_bursts_and_waits_on_partials() {
+        let mut wire_bytes = Vec::new();
+        encode_frame_v2_into(&mut wire_bytes, 11, &Request::FetchAll).unwrap();
+        encode_frame_v2_into(&mut wire_bytes, 12, &Request::Remove { site: SiteId(2) }).unwrap();
+        let mut tail = encode_frame(&Request::Shutdown).unwrap(); // a v1 straggler
+        wire_bytes.append(&mut tail);
+
+        let mut fb = FrameBuffer::new();
+        // Feed in awkward 7-byte chunks: frames must come out whole anyway.
+        let mut got: Vec<Frame<Request>> = Vec::new();
+        for chunk in wire_bytes.chunks(7) {
+            fb.feed(chunk);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert!(!fb.has_partial());
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            (got[0].version, got[0].corr, got[0].msg.clone()),
+            (WIRE_V2, 11, Request::FetchAll)
+        );
+        assert_eq!(
+            (got[1].version, got[1].corr, got[1].msg.clone()),
+            (WIRE_V2, 12, Request::Remove { site: SiteId(2) })
+        );
+        assert_eq!(
+            (got[2].version, got[2].corr, got[2].msg.clone()),
+            (WIRE_V1, 0, Request::Shutdown)
+        );
+    }
+
+    #[test]
+    fn v1_payloads_decode_through_the_negotiating_entry_point() {
+        let frame = encode_frame(&Response::Applied).unwrap();
+        let decoded: Frame<Response> = decode_frame_payload(&frame[4..]).unwrap();
+        assert_eq!(decoded, Frame { version: WIRE_V1, corr: 0, msg: Response::Applied });
+    }
+
+    #[test]
+    fn flat_trailing_bytes_are_rejected() {
+        let mut out = Vec::new();
+        encode_frame_v2_into(&mut out, 1, &Request::FetchAll).unwrap();
+        out.push(0xEE); // a trailing byte inside the *payload* …
+        let len = (out.len() - 4) as u32;
+        out[..4].copy_from_slice(&len.to_le_bytes()); // … the prefix covers
+        assert!(matches!(decode_frame_payload::<Request>(&out[4..]), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn flat_hostile_counts_do_not_allocate() {
+        // A v2 PublishDeltas claiming u32::MAX deltas in a tiny body.
+        let mut payload = vec![WIRE_V2];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // corr
+        payload.push(REQ_PUBLISH_DELTAS);
+        payload.extend_from_slice(&3u32.to_le_bytes()); // site
+        payload.extend_from_slice(&0u64.to_le_bytes()); // base
+        payload.extend_from_slice(&1u64.to_le_bytes()); // next
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // delta count
+        assert!(matches!(decode_frame_payload::<Request>(&payload), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn flat_unknown_kinds_are_malformed_not_panics() {
+        let mut payload = vec![WIRE_V2];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(0xAB);
+        assert!(matches!(decode_frame_payload::<Request>(&payload), Err(WireError::Malformed(_))));
+        assert!(matches!(decode_frame_payload::<Response>(&payload), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_by_both_entry_points() {
+        let payload = [WIRE_V2 + 1, 0, 0, 0];
+        assert!(matches!(
+            decode_frame_payload::<Request>(&payload),
+            Err(WireError::Version(v)) if v == WIRE_V2 + 1
+        ));
+        assert!(matches!(
+            decode_payload::<Request>(&payload),
+            Err(WireError::Version(v)) if v == WIRE_V2 + 1
+        ));
+    }
+
     #[test]
     fn over_deep_nesting_is_rejected() {
-        let mut payload = vec![WIRE_VERSION];
+        let mut payload = vec![WIRE_V1];
         for _ in 0..(MAX_DEPTH + 8) {
             payload.push(TAG_SEQ);
             payload.push(1); // one element each level

@@ -215,6 +215,222 @@ fn publisher_round(
     }
 }
 
+/// Runs the three-site deadlock scenario (workers / driver / empty
+/// observer) against the given per-site stores and returns each site's
+/// first report, serialised — the byte-level artifact the transport must
+/// not perturb.
+fn scenario_reports(stores: Vec<Arc<dyn Store>>) -> Vec<String> {
+    assert_eq!(stores.len(), 3);
+    let sites: Vec<Site> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(i, store)| Site::start(SiteId(i as u32), store, fast_cfg()))
+        .collect();
+    plant_workers(&sites[0]);
+    plant_driver(&sites[1]);
+    // Site 2 plants nothing: the paper's "every site checks" — an idle
+    // observer still detects the cycle from the merged view alone.
+    assert!(
+        eventually(Duration::from_secs(10), || sites.iter().all(|s| s.found_deadlock())),
+        "all three sites must detect the cross-site cycle"
+    );
+    let reports = sites
+        .iter()
+        .map(|s| serde_json::to_string(&s.reports()[0]).expect("serialise report"))
+        .collect();
+    for site in sites {
+        site.stop();
+    }
+    reports
+}
+
+#[test]
+fn multiplexed_sites_match_dedicated_connections_and_memstore() {
+    // One pooled TcpStore shared by all three sites: every publisher and
+    // checker multiplexes over a single connection.
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let shared = Arc::new(TcpStore::new(server.local_addr().to_string()));
+    let muxed = scenario_reports(vec![
+        Arc::clone(&shared) as Arc<dyn Store>,
+        Arc::clone(&shared) as Arc<dyn Store>,
+        Arc::clone(&shared) as Arc<dyn Store>,
+    ]);
+    assert_eq!(shared.reconnects(), 1, "three sites must share one pooled connection");
+    assert_eq!(shared.failures(), 0, "a healthy multiplexed run never fails an op");
+    server.shutdown();
+
+    // Connection-per-site against a fresh server.
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let dedicated = scenario_reports(
+        (0..3)
+            .map(|_| Arc::new(TcpStore::new(server.local_addr().to_string())) as Arc<dyn Store>)
+            .collect(),
+    );
+    server.shutdown();
+
+    // The in-process baseline: no wire at all.
+    let mem = Arc::new(armus_dist::MemStore::new());
+    let inproc = scenario_reports(vec![
+        Arc::clone(&mem) as Arc<dyn Store>,
+        Arc::clone(&mem) as Arc<dyn Store>,
+        Arc::clone(&mem) as Arc<dyn Store>,
+    ]);
+
+    // The transport must be invisible in the analysis: every site's
+    // report is byte-identical across all three deployment shapes.
+    assert_eq!(muxed, dedicated, "multiplexing must not change any report");
+    assert_eq!(muxed, inproc, "the wire must not change any report");
+}
+
+#[test]
+fn v1_client_against_v2_server_still_round_trips() {
+    // A legacy ping-pong client: raw v1 frames, one at a time, no
+    // correlation ids. The pipelined server must answer each in v1.
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    use std::io::Write;
+    let snapshot = Snapshot::from_tasks(vec![BlockedInfo::new(
+        TaskId(1),
+        vec![Resource::new(PhaserId(1), 1)],
+        vec![Registration::new(PhaserId(1), 1)],
+    )]);
+    let publish = armus_dist::wire::Request::PublishFull { site: SiteId(0), snapshot, version: 1 };
+    conn.write_all(&armus_dist::wire::encode_frame(&publish).unwrap()).unwrap();
+    let ack: armus_dist::wire::Response = armus_dist::wire::read_message(&mut conn)
+        .expect("v1 response")
+        .expect("server must answer a v1 frame in v1");
+    assert_eq!(ack, armus_dist::wire::Response::Ok);
+    conn.write_all(&armus_dist::wire::encode_frame(&armus_dist::wire::Request::FetchAll).unwrap())
+        .unwrap();
+    let view: armus_dist::wire::Response =
+        armus_dist::wire::read_message(&mut conn).expect("v1 response").expect("one frame");
+    match view {
+        armus_dist::wire::Response::View(view) => {
+            assert_eq!(view.len(), 1);
+            assert_eq!(view[0].0, SiteId(0));
+        }
+        other => panic!("expected a view, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_death_fails_every_batched_frame_to_unavailable() {
+    // Concurrent callers are mid-flight — some batched, some awaiting
+    // responses — when the server dies. Every one of them must resolve
+    // to Unavailable promptly: no hang, no silent drop, no false ack
+    // (an op that returned Ok before the shutdown genuinely landed).
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let store = Arc::new(TcpStore::with_config(
+        server.local_addr().to_string(),
+        TcpStoreConfig {
+            io_timeout: Duration::from_millis(500),
+            backoff_initial: Duration::from_millis(20),
+            backoff_max: Duration::from_millis(100),
+            ..Default::default()
+        },
+    ));
+    store.fetch_all().expect("warm the connection");
+    let deadline = Instant::now() + Duration::from_millis(600);
+    let errors: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let snap = Snapshot::from_tasks(vec![BlockedInfo::new(
+                        TaskId(1),
+                        vec![Resource::new(PhaserId(1), 1)],
+                        vec![Registration::new(PhaserId(1), 1)],
+                    )]);
+                    let mut errors = 0u64;
+                    let mut version = 0u64;
+                    while Instant::now() < deadline {
+                        version += 1;
+                        match store.publish_full(SiteId(i), snap.clone(), version) {
+                            Ok(()) => {}
+                            Err(StoreError::Unavailable) => errors += 1,
+                        }
+                    }
+                    errors
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown(); // mid-burst: in-flight and batched frames die
+        handles.into_iter().map(|h| h.join().expect("no caller may panic or hang")).sum()
+    });
+    assert!(errors > 0, "the killed connection must surface Unavailable to its callers");
+    assert!(store.failures() > 0);
+}
+
+#[test]
+fn chaos_over_tcp_survives_a_server_restart() {
+    // The reconnect regression under message chaos: the server restarts
+    // mid-run (all partitions lost, every in-flight batched frame failed),
+    // and the publisher protocol must still converge the partition to the
+    // site's exact truth through NACK → full resync — batched frames that
+    // died fail loudly as Unavailable and are retried by the rounds.
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut server = Some(server);
+    let tcp = TcpStore::with_config(
+        addr.to_string(),
+        TcpStoreConfig {
+            io_timeout: Duration::from_millis(500),
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(40),
+            ..Default::default()
+        },
+    );
+    let store = ChaosStore::new(tcp, ChaosConfig::default(), 11);
+    let v = Verifier::new(VerifierConfig::publish_only().with_journal_capacity(8));
+    let (mut cursor, mut synced, mut resyncs) = (0u64, false, 0u64);
+    let info = |task: u64| {
+        BlockedInfo::new(
+            TaskId(task),
+            vec![Resource::new(PhaserId(1), 1)],
+            vec![Registration::new(PhaserId(1), 1)],
+        )
+    };
+    for i in 0..120u64 {
+        if i == 60 {
+            // Replace the server: connection severed, store emptied.
+            server.take().unwrap().shutdown();
+            server = Some(StoredServer::bind(addr, StoredConfig::default()).unwrap());
+        }
+        let b = info(i % 16);
+        v.block(b.task, b.waits, b.registered).unwrap();
+        if i % 5 == 0 {
+            v.unblock(TaskId(i % 16));
+        }
+        if i % 3 == 0 {
+            publisher_round(&store, &v, &mut cursor, &mut synced, &mut resyncs);
+        }
+    }
+    let _ = store.flush_delayed();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        publisher_round(&store, &v, &mut cursor, &mut synced, &mut resyncs);
+        let caught_up = synced
+            && matches!(v.deltas_since(cursor), JournalRead::Deltas(ref d, _) if d.is_empty());
+        if caught_up || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = store.flush_delayed();
+    let all = store.fetch_all().unwrap();
+    let partition = &all.iter().find(|(s, _)| *s == SiteId(0)).unwrap().1;
+    assert_eq!(
+        partition,
+        &v.local_snapshot(),
+        "a restart under chaos must cost availability, never correctness"
+    );
+    assert!(store.inner().failures() > 0, "the severed batch must have failed ops loudly");
+    assert!(store.inner().reconnects() >= 2, "the client must have redialed the new server");
+    server.take().unwrap().shutdown();
+}
+
 #[test]
 fn chaos_over_tcp_costs_resyncs_never_corruption() {
     // The existing ChaosStore differential argument, with the real wire

@@ -1,6 +1,8 @@
 //! Property tests for the wire protocol: encode∘decode ≡ id on arbitrary
-//! snapshots, deltas and messages, and totality on hostile bytes (the
-//! decoder errors, it never panics or over-allocates).
+//! snapshots, deltas and messages — on the legacy v1 tree layout and the
+//! flat v2 frame layout alike — plus totality on hostile bytes (the
+//! decoders error, they never panic or over-allocate) and v1↔v2
+//! negotiation through the version-dispatching entry point.
 
 use armus_core::{BlockedInfo, Delta, PhaserId, Registration, Resource, Snapshot, TaskId};
 use armus_dist::wire::{self, Request, Response, WireError};
@@ -49,6 +51,17 @@ where
     let frame = wire::encode_frame(msg).expect("bounded test message");
     let mut cursor = std::io::Cursor::new(frame);
     wire::read_message(&mut cursor).expect("decode").expect("one frame")
+}
+
+/// Encodes as a flat v2 frame and decodes through the negotiating entry
+/// point, returning the whole frame (version, correlation id, message).
+fn flat_roundtrip<T>(msg: &T, corr: u64) -> wire::Frame<T>
+where
+    T: wire::FlatMessage + serde::Deserialize,
+{
+    let mut out = Vec::new();
+    wire::encode_frame_v2_into(&mut out, corr, msg).expect("bounded test message");
+    wire::decode_frame_payload(&out[4..]).expect("flat decode")
 }
 
 proptest! {
@@ -112,5 +125,88 @@ proptest! {
                 Err(WireError::Malformed(_))
             ));
         }
+    }
+
+    #[test]
+    fn flat_snapshots_round_trip_with_correlation(snap in arb_snapshot(), corr in any::<u64>()) {
+        let msg = Request::PublishFull { site: SiteId(3), snapshot: snap, version: 17 };
+        let frame = flat_roundtrip(&msg, corr);
+        prop_assert_eq!(frame.version, wire::WIRE_V2);
+        prop_assert_eq!(frame.corr, corr);
+        prop_assert_eq!(frame.msg, msg);
+    }
+
+    #[test]
+    fn flat_delta_intervals_round_trip(
+        deltas in proptest::collection::vec(arb_delta(), 0..10),
+        base in 0u64..1000,
+        span in 0u64..50,
+        corr in any::<u64>(),
+    ) {
+        let msg = Request::PublishDeltas { site: SiteId(1), base, deltas, next: base + span };
+        prop_assert_eq!(flat_roundtrip(&msg, corr).msg, msg);
+    }
+
+    #[test]
+    fn flat_views_round_trip(
+        parts in proptest::collection::vec((0u32..8, arb_snapshot()), 0..5),
+        corr in any::<u64>(),
+    ) {
+        let view: Vec<(SiteId, Snapshot)> =
+            parts.into_iter().map(|(s, p)| (SiteId(s), p)).collect();
+        let msg = Response::View(view);
+        let frame = flat_roundtrip(&msg, corr);
+        prop_assert_eq!(frame.corr, corr);
+        prop_assert_eq!(frame.msg, msg);
+    }
+
+    /// Totality of the negotiating entry point: any byte soup either
+    /// decodes (as v1 or v2) or errors — never a panic, never a huge
+    /// allocation, for requests and responses alike.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_flat_decoder(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = wire::decode_frame_payload::<Request>(&payload);
+        let _ = wire::decode_frame_payload::<Response>(&payload);
+    }
+
+    /// Negotiation: a legacy v1 payload decodes through the same entry
+    /// point the pipelined client/server use, with the implicit
+    /// correlation id 0 — old clients keep working against new servers.
+    #[test]
+    fn v1_payloads_negotiate_with_corr_zero(snap in arb_snapshot()) {
+        let msg = Request::PublishFull { site: SiteId(2), snapshot: snap, version: 9 };
+        let framed = wire::encode_frame(&msg).unwrap();
+        let frame = wire::decode_frame_payload::<Request>(&framed[4..]).expect("v1 negotiates");
+        prop_assert_eq!(frame.version, wire::WIRE_V1);
+        prop_assert_eq!(frame.corr, 0);
+        prop_assert_eq!(frame.msg, msg);
+    }
+
+    /// Truncating a flat frame is always rejected, never misread — the
+    /// fixed-width headers and count guards catch every cut.
+    #[test]
+    fn truncated_flat_payloads_are_rejected(snap in arb_snapshot(), corr in any::<u64>(), cut in 1usize..32) {
+        let msg = Request::PublishFull { site: SiteId(0), snapshot: snap, version: 4 };
+        let mut out = Vec::new();
+        wire::encode_frame_v2_into(&mut out, corr, &msg).unwrap();
+        let payload = &out[4..];
+        if cut < payload.len() {
+            let truncated = &payload[..payload.len() - cut];
+            prop_assert!(wire::decode_frame_payload::<Request>(truncated).is_err());
+        }
+    }
+
+    /// Appending bytes to a flat frame is also rejected: v2 decoding is
+    /// exact, so a desynchronised stream can never be misparsed.
+    #[test]
+    fn flat_trailing_garbage_is_rejected(snap in arb_snapshot(), junk in proptest::collection::vec(any::<u8>(), 1..8)) {
+        let msg = Request::PublishFull { site: SiteId(0), snapshot: snap, version: 4 };
+        let mut out = Vec::new();
+        wire::encode_frame_v2_into(&mut out, 7, &msg).unwrap();
+        out.extend_from_slice(&junk);
+        prop_assert!(matches!(
+            wire::decode_frame_payload::<Request>(&out[4..]),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

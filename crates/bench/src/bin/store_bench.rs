@@ -1,13 +1,16 @@
 //! `store_bench` — publish/fetch round-trips per second against the
 //! global store, in-process `MemStore` vs `TcpStore` → `armus-stored`
-//! over loopback (see `armus_bench::store`).
+//! over loopback, with a site-count scaling axis where N concurrent
+//! sites share one store instance (see `armus_bench::store`).
 //!
 //! ```text
 //! cargo run --release -p armus-bench --bin store_bench -- [options]
 //!
 //! options:
-//!   --millis-per-cell N   measurement budget per (backend, op) pair
-//!                         (default: 500)
+//!   --millis-per-cell N   measurement budget per (backend, op, sites)
+//!                         cell (default: 500)
+//!   --sites LIST          comma-separated site counts for the scaling
+//!                         axis (default: 1,8,64)
 //!   --json PATH           dump the cells as JSON (e.g. BENCH_store.json)
 //! ```
 
@@ -17,6 +20,7 @@ use armus_bench::store;
 
 fn main() {
     let mut millis: u64 = 500;
+    let mut sites: Vec<u64> = store::DEFAULT_SITE_COUNTS.to_vec();
     let mut json: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -24,6 +28,14 @@ fn main() {
         match arg.as_str() {
             "--millis-per-cell" => {
                 millis = args.next().map(|v| v.parse().expect("--millis-per-cell N")).unwrap();
+            }
+            "--sites" => {
+                sites = args
+                    .next()
+                    .expect("--sites LIST")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--sites takes comma-separated counts"))
+                    .collect();
             }
             "--json" => json = args.next(),
             other => {
@@ -33,7 +45,7 @@ fn main() {
         }
     }
 
-    let results = store::run(Duration::from_millis(millis));
+    let results = store::run_with_sites(Duration::from_millis(millis), &sites);
     store::print_table(&results);
     if let Some(path) = json {
         std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))

@@ -3,12 +3,21 @@
 //! vs networked (`TcpStore` → an in-process `armus-stored` server over
 //! loopback TCP).
 //!
-//! Three operations are measured per backend, at a fixed partition size:
-//! `publish_full` (a join/resync snapshot), `publish_deltas` (the
-//! steady-state two-delta interval a block/unblock round produces), and
-//! `fetch_all` (a checker round's view pull). The gap between the columns
-//! is the wire cost — framing, syscalls, loopback RTT — which bounds how
-//! often real sites can afford to publish and check.
+//! Two axes are measured:
+//!
+//! * **headline** — one sequential caller, three operations per backend
+//!   at a fixed partition size: `publish_full` (a join/resync snapshot),
+//!   `publish_deltas` (the steady-state two-delta interval a
+//!   block/unblock round produces), and `fetch_all` (a checker round's
+//!   view pull). The gap between the columns is the wire cost — framing,
+//!   syscalls, loopback RTT — which bounds how often real sites can
+//!   afford to publish and check.
+//! * **site-count scaling** — N concurrent threads, each driving its own
+//!   partition against **one shared store instance**, reported as
+//!   aggregate ops/s. On the TCP backend every thread shares the same
+//!   `TcpStore`, so this measures the multiplexed path: concurrent
+//!   callers' frames coalesce into shared flushes over a single pooled
+//!   connection instead of paying a round-trip each.
 
 use std::time::{Duration, Instant};
 
@@ -20,14 +29,20 @@ use serde::Serialize;
 /// Tasks per published partition (a mid-sized site).
 const PARTITION_TASKS: u64 = 64;
 
-/// One measured (backend, operation) pair.
+/// Default site counts for the scaling axis.
+pub const DEFAULT_SITE_COUNTS: &[u64] = &[1, 8, 64];
+
+/// One measured (backend, operation, sites) triple.
 #[derive(Clone, Debug, Serialize)]
 pub struct StoreCell {
     /// `memstore` (in-process) or `tcp` (loopback `armus-stored`).
     pub backend: String,
     /// `publish_full`, `publish_deltas`, or `fetch_all`.
     pub op: String,
-    /// Completed round-trips per second.
+    /// Concurrent sites driving the shared store (1 = the sequential
+    /// headline measurement).
+    pub sites: u64,
+    /// Completed round-trips per second, aggregated over all sites.
     pub ops_per_sec: f64,
 }
 
@@ -36,7 +51,11 @@ pub struct StoreCell {
 pub struct StoreResults {
     /// Blocked tasks in every published/fetched partition.
     pub partition_tasks: u64,
-    /// One cell per (backend, operation).
+    /// Logical cores on the measuring host — context for the scaling
+    /// axis (a 64-site row on a 2-core runner measures multiplexing,
+    /// not parallel compute).
+    pub host_cores: usize,
+    /// One cell per (backend, operation, site count).
     pub cells: Vec<StoreCell>,
 }
 
@@ -77,6 +96,7 @@ fn bench_backend(name: &str, store: &dyn Store, budget: Duration, cells: &mut Ve
     let cell = |op: &str, ops_per_sec: f64| StoreCell {
         backend: name.to_string(),
         op: op.to_string(),
+        sites: 1,
         ops_per_sec,
     };
 
@@ -112,41 +132,140 @@ fn bench_backend(name: &str, store: &dyn Store, budget: Duration, cells: &mut Ve
     ));
 }
 
-/// Runs the experiment: both backends, every operation.
+/// Aggregate ops/s when `sites` threads each drive their own partition
+/// against the one shared `store`. Threads rendezvous on a barrier after
+/// per-site setup, then each runs the standard [`measure`] loop; the
+/// synchronised start makes the sum of per-thread rates the aggregate
+/// throughput.
+fn measure_sites(store: &dyn Store, sites: u64, budget: Duration, op: &str) -> f64 {
+    let barrier = std::sync::Barrier::new(sites as usize);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sites)
+            .map(|i| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let site = SiteId(i as u32);
+                    let snap = partition();
+                    match op {
+                        "publish_full" => {
+                            let mut version = 0u64;
+                            barrier.wait();
+                            measure(budget, || {
+                                version += 1;
+                                store.publish_full(site, snap.clone(), version).unwrap();
+                            })
+                        }
+                        "publish_deltas" => {
+                            // Seed the partition so the delta intervals apply.
+                            let mut version = 0u64;
+                            store.publish_full(site, snap, version).unwrap();
+                            let probe = blocked(PARTITION_TASKS + 1 + i);
+                            barrier.wait();
+                            measure(budget, || {
+                                let deltas =
+                                    [Delta::Block(probe.clone()), Delta::Unblock(probe.task)];
+                                let next = version + 2;
+                                let ack =
+                                    store.publish_deltas(site, version, &deltas, next).unwrap();
+                                assert_eq!(ack, armus_dist::DeltaAck::Applied);
+                                version = next;
+                            })
+                        }
+                        other => unreachable!("unknown scaling op {other}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("site thread")).sum()
+    })
+}
+
+/// The site-count scaling axis for one backend: every thread shares the
+/// single `store` (on TCP, one multiplexed connection carries them all).
+fn bench_scaling(
+    name: &str,
+    store: &dyn Store,
+    site_counts: &[u64],
+    budget: Duration,
+    cells: &mut Vec<StoreCell>,
+) {
+    for &sites in site_counts {
+        for op in ["publish_full", "publish_deltas"] {
+            cells.push(StoreCell {
+                backend: name.to_string(),
+                op: op.to_string(),
+                sites,
+                ops_per_sec: measure_sites(store, sites, budget, op),
+            });
+        }
+    }
+}
+
+/// Runs the experiment with the default scaling axis
+/// ([`DEFAULT_SITE_COUNTS`]).
 pub fn run(budget_per_cell: Duration) -> StoreResults {
+    run_with_sites(budget_per_cell, DEFAULT_SITE_COUNTS)
+}
+
+/// Runs the experiment: both backends, every headline operation, plus the
+/// scaling axis at each of `site_counts` (counts of 1 are skipped on the
+/// scaling axis — the headline cells already cover one caller).
+pub fn run_with_sites(budget_per_cell: Duration, site_counts: &[u64]) -> StoreResults {
     let mut cells = Vec::new();
+    let scaling: Vec<u64> = site_counts.iter().copied().filter(|&n| n > 1).collect();
 
     let mem = MemStore::new();
     bench_backend("memstore", &mem, budget_per_cell, &mut cells);
+    bench_scaling("memstore", &mem, &scaling, budget_per_cell, &mut cells);
 
     let server =
         StoredServer::bind("127.0.0.1:0", StoredConfig { lease: None, ..Default::default() })
             .expect("bind loopback server");
     let tcp = TcpStore::new(server.local_addr().to_string());
     bench_backend("tcp", &tcp, budget_per_cell, &mut cells);
+    bench_scaling("tcp", &tcp, &scaling, budget_per_cell, &mut cells);
     server.shutdown();
 
-    StoreResults { partition_tasks: PARTITION_TASKS, cells }
+    StoreResults {
+        partition_tasks: PARTITION_TASKS,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        cells,
+    }
 }
 
-/// Prints the cells as an aligned table, with the per-op TCP/in-process
-/// ratio (the wire tax).
+fn find(results: &StoreResults, backend: &str, op: &str, sites: u64) -> f64 {
+    results
+        .cells
+        .iter()
+        .find(|c| c.backend == backend && c.op == op && c.sites == sites)
+        .map(|c| c.ops_per_sec)
+        .unwrap_or(f64::NAN)
+}
+
+/// Prints the cells as aligned tables, with the per-op TCP/in-process
+/// ratio (the wire tax) and the scaling rows beneath the headline.
 pub fn print_table(results: &StoreResults) {
     println!(
-        "store round-trips ({} tasks per partition); ratio = tcp / memstore",
-        results.partition_tasks
+        "store round-trips ({} tasks per partition, {} host cores); ratio = tcp / memstore",
+        results.partition_tasks, results.host_cores
     );
-    println!("{:<16} {:>16} {:>16} {:>8}", "op", "memstore ops/s", "tcp ops/s", "ratio");
+    println!(
+        "{:<16} {:>5} {:>16} {:>16} {:>8}",
+        "op", "sites", "memstore ops/s", "tcp ops/s", "ratio"
+    );
     for op in ["publish_full", "publish_deltas", "fetch_all"] {
-        let get = |backend: &str| {
-            results
-                .cells
-                .iter()
-                .find(|c| c.backend == backend && c.op == op)
-                .map(|c| c.ops_per_sec)
-                .unwrap_or(f64::NAN)
-        };
-        let (mem, tcp) = (get("memstore"), get("tcp"));
-        println!("{:<16} {:>16.0} {:>16.0} {:>8.3}", op, mem, tcp, tcp / mem);
+        let (mem, tcp) = (find(results, "memstore", op, 1), find(results, "tcp", op, 1));
+        println!("{:<16} {:>5} {:>16.0} {:>16.0} {:>8.3}", op, 1, mem, tcp, tcp / mem);
+    }
+    let mut scaling: Vec<u64> =
+        results.cells.iter().filter(|c| c.sites > 1).map(|c| c.sites).collect();
+    scaling.sort_unstable();
+    scaling.dedup();
+    for sites in scaling {
+        for op in ["publish_full", "publish_deltas"] {
+            let (mem, tcp) =
+                (find(results, "memstore", op, sites), find(results, "tcp", op, sites));
+            println!("{:<16} {:>5} {:>16.0} {:>16.0} {:>8.3}", op, sites, mem, tcp, tcp / mem);
+        }
     }
 }
