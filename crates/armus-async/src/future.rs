@@ -1,0 +1,194 @@
+//! The wait futures: `Future`-returning counterparts of the sync blocking
+//! ops, driven through the `begin_await` / `poll_await` seam.
+//!
+//! Both futures follow the same protocol:
+//!
+//! 1. **First poll** captures the current task context (installed by the
+//!    executor's [`crate::Scoped`] wrapper) and pins it into the future —
+//!    later polls may run on any worker thread, and drop-cancellation must
+//!    act as the same task. It then runs `begin_await`, which is where the
+//!    avoidance check fires, exactly as on the sync path.
+//! 2. A pending wait parks the poll's waker with the wait machine
+//!    (register-before-check, so a racing settle cannot strand the
+//!    future); the waker is woken exactly once, when the fate resolves.
+//! 3. **Drop while pending** cancels the wait: the waker is unparked and
+//!    the published blocked status withdrawn, leaving verifier state as if
+//!    the await had never begun.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use armus_sync::ctx::{self, TaskCtx};
+use armus_sync::{Phase, Phaser, SyncError, WaitStep};
+
+/// Polls the seam as `task`, parking the waker if still pending.
+fn poll_seam(
+    phaser: &Phaser,
+    task: &Arc<TaskCtx>,
+    cx: &mut Context<'_>,
+) -> Poll<Result<(), SyncError>> {
+    match ctx::scoped(task, || phaser.poll_await_with_waker(cx.waker())) {
+        Ok(WaitStep::Ready) => Poll::Ready(Ok(())),
+        Ok(WaitStep::Pending) => Poll::Pending,
+        Err(err) => Poll::Ready(Err(err)),
+    }
+}
+
+enum WaitState {
+    Unstarted,
+    Pending(Arc<TaskCtx>),
+    Done,
+}
+
+/// Future form of [`Phaser::await_phase`]: resolves when `phase` is
+/// observed (or with the poison / would-deadlock error). Created by
+/// [`crate::ops::AsyncPhaser::await_phase_async`] and
+/// [`crate::ops::AsyncLatch::wait_async`].
+pub struct AwaitPhase {
+    phaser: Phaser,
+    phase: Phase,
+    state: WaitState,
+}
+
+impl AwaitPhase {
+    pub(crate) fn new(phaser: Phaser, phase: Phase) -> AwaitPhase {
+        AwaitPhase { phaser, phase, state: WaitState::Unstarted }
+    }
+
+    /// The awaited phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+}
+
+impl Future for AwaitPhase {
+    type Output = Result<(), SyncError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match &this.state {
+            WaitState::Done => panic!("AwaitPhase polled after completion"),
+            WaitState::Unstarted => {
+                let task = ctx::current();
+                match ctx::scoped(&task, || this.phaser.begin_await(this.phase)) {
+                    Ok(WaitStep::Ready) => {
+                        this.state = WaitState::Done;
+                        Poll::Ready(Ok(()))
+                    }
+                    Ok(WaitStep::Pending) => {
+                        let polled = poll_seam(&this.phaser, &task, cx);
+                        this.state = if polled.is_pending() {
+                            WaitState::Pending(task)
+                        } else {
+                            WaitState::Done
+                        };
+                        polled
+                    }
+                    Err(err) => {
+                        this.state = WaitState::Done;
+                        Poll::Ready(Err(err))
+                    }
+                }
+            }
+            WaitState::Pending(task) => {
+                let task = Arc::clone(task);
+                let polled = poll_seam(&this.phaser, &task, cx);
+                if !polled.is_pending() {
+                    this.state = WaitState::Done;
+                }
+                polled
+            }
+        }
+    }
+}
+
+impl Drop for AwaitPhase {
+    fn drop(&mut self) {
+        if let WaitState::Pending(task) = &self.state {
+            ctx::scoped(task, || self.phaser.cancel_await());
+        }
+    }
+}
+
+enum AdvanceState {
+    Unstarted,
+    Pending { task: Arc<TaskCtx>, phase: Phase },
+    Done,
+}
+
+/// Future form of [`Phaser::arrive_and_await`]: arrives on first poll,
+/// then resolves with the arrived phase once it is observed. Dropping the
+/// future while pending cancels the *await* only — the arrival, like on
+/// the sync path, has already been signalled to the other members and is
+/// not rolled back.
+pub struct Advance {
+    phaser: Phaser,
+    state: AdvanceState,
+}
+
+impl Advance {
+    pub(crate) fn new(phaser: Phaser) -> Advance {
+        Advance { phaser, state: AdvanceState::Unstarted }
+    }
+}
+
+impl Future for Advance {
+    type Output = Result<Phase, SyncError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match &this.state {
+            AdvanceState::Done => panic!("Advance polled after completion"),
+            AdvanceState::Unstarted => {
+                let task = ctx::current();
+                // Arrive + begin the wait for the arrived phase — the body
+                // of `begin_arrive_and_await`, kept inline because the
+                // resolved future must yield the phase.
+                let begun = ctx::scoped(&task, || {
+                    let phase = this.phaser.arrive()?;
+                    Ok::<_, SyncError>((phase, this.phaser.begin_await(phase)?))
+                });
+                match begun {
+                    Ok((phase, WaitStep::Ready)) => {
+                        this.state = AdvanceState::Done;
+                        Poll::Ready(Ok(phase))
+                    }
+                    Ok((phase, WaitStep::Pending)) => match poll_seam(&this.phaser, &task, cx) {
+                        Poll::Pending => {
+                            this.state = AdvanceState::Pending { task, phase };
+                            Poll::Pending
+                        }
+                        Poll::Ready(done) => {
+                            this.state = AdvanceState::Done;
+                            Poll::Ready(done.map(|()| phase))
+                        }
+                    },
+                    Err(err) => {
+                        this.state = AdvanceState::Done;
+                        Poll::Ready(Err(err))
+                    }
+                }
+            }
+            AdvanceState::Pending { task, phase } => {
+                let (task, phase) = (Arc::clone(task), *phase);
+                match poll_seam(&this.phaser, &task, cx) {
+                    Poll::Pending => Poll::Pending,
+                    Poll::Ready(done) => {
+                        this.state = AdvanceState::Done;
+                        Poll::Ready(done.map(|()| phase))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Advance {
+    fn drop(&mut self) {
+        if let AdvanceState::Pending { task, .. } = &self.state {
+            ctx::scoped(task, || self.phaser.cancel_await());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Extension traits putting `Future`-returning ops on the five sync
+//! primitives. Import the trait for the primitive you use (or
+//! `use armus_async::prelude::*`) and replace the blocking call with its
+//! `_async` twin plus `.await`:
+//!
+//! | sync (parks a thread)            | async (parks a waker)            |
+//! |----------------------------------|----------------------------------|
+//! | `phaser.await_phase(n)`          | `phaser.await_phase_async(n)`    |
+//! | `phaser.arrive_and_await()`      | `phaser.advance_async()`         |
+//! | `barrier.wait()`                 | `barrier.wait_async()`           |
+//! | `latch.wait()`                   | `latch.wait_async()`             |
+//! | `clock.advance()`                | `clock.advance_async()`          |
+//! | `clocked_var.advance()`          | `clocked_var.advance_async()`    |
+//!
+//! The futures run the same avoidance check at `begin_await` as the sync
+//! path, so verifier decisions and deadlock reports are identical between
+//! front-ends.
+
+use armus_sync::{Clock, ClockedVar, CountDownLatch, CyclicBarrier, Phase, Phaser};
+
+use crate::future::{Advance, AwaitPhase};
+
+/// `Future`-returning phaser ops.
+pub trait AsyncPhaser {
+    /// Future form of [`Phaser::await_phase`].
+    fn await_phase_async(&self, phase: Phase) -> AwaitPhase;
+    /// Future form of [`Phaser::arrive_and_await`].
+    fn advance_async(&self) -> Advance;
+}
+
+impl AsyncPhaser for Phaser {
+    fn await_phase_async(&self, phase: Phase) -> AwaitPhase {
+        AwaitPhase::new(self.clone(), phase)
+    }
+
+    fn advance_async(&self) -> Advance {
+        Advance::new(self.clone())
+    }
+}
+
+/// `Future`-returning cyclic-barrier wait.
+pub trait AsyncBarrier {
+    /// Future form of [`CyclicBarrier::wait`]: arrive and await the
+    /// arrived phase, resolving with it.
+    fn wait_async(&self) -> Advance;
+}
+
+impl AsyncBarrier for CyclicBarrier {
+    fn wait_async(&self) -> Advance {
+        Advance::new(self.phaser().clone())
+    }
+}
+
+/// `Future`-returning latch wait.
+pub trait AsyncLatch {
+    /// Future form of [`CountDownLatch::wait`]: a non-member await of
+    /// phase 1 (observed when the count reaches zero).
+    fn wait_async(&self) -> AwaitPhase;
+}
+
+impl AsyncLatch for CountDownLatch {
+    fn wait_async(&self) -> AwaitPhase {
+        AwaitPhase::new(self.phaser().clone(), 1)
+    }
+}
+
+/// `Future`-returning clock advance.
+pub trait AsyncClock {
+    /// Future form of [`Clock::advance`].
+    fn advance_async(&self) -> Advance;
+}
+
+impl AsyncClock for Clock {
+    fn advance_async(&self) -> Advance {
+        Advance::new(self.phaser().clone())
+    }
+}
+
+/// `Future`-returning clocked-variable advance.
+pub trait AsyncClockedVar {
+    /// Future form of [`ClockedVar::advance`]: after it resolves, values
+    /// written in the previous phase are visible to `get`.
+    fn advance_async(&self) -> Advance;
+}
+
+impl<T: Clone + Send + 'static> AsyncClockedVar for ClockedVar<T> {
+    fn advance_async(&self) -> Advance {
+        Advance::new(self.phaser().clone())
+    }
+}

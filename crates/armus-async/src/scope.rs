@@ -1,0 +1,58 @@
+//! Task identity across `.await` suspension.
+//!
+//! The sync runtime attributes every phaser operation to the thread-local
+//! task context installed by [`armus_sync::ctx`]. An async task migrates
+//! between worker threads, so its identity must travel with the future,
+//! not the thread: [`Scoped`] pins a [`TaskCtx`] to a future and installs
+//! it (via [`armus_sync::ctx::scoped`]) around every poll — the task-local
+//! generalised to survive suspension. Executors wrap each spawned future
+//! in a `Scoped`; everything the future does between two yield points runs
+//! as that task, exactly as a `Runtime`-spawned OS thread would.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use armus_sync::ctx::{self, TaskCtx};
+use armus_sync::TaskId;
+
+/// A future that always polls with `task` installed as the current task
+/// context. See the [module docs](self).
+pub struct Scoped<F> {
+    task: Arc<TaskCtx>,
+    // Boxed so `Scoped` is `Unpin` and polling needs no pin projection.
+    inner: Pin<Box<F>>,
+}
+
+impl<F: Future> Scoped<F> {
+    /// Wraps `fut` so every poll runs as `task`.
+    pub fn new(task: Arc<TaskCtx>, fut: F) -> Scoped<F> {
+        Scoped { task, inner: Box::pin(fut) }
+    }
+
+    /// The task identity this future runs as.
+    pub fn task(&self) -> &Arc<TaskCtx> {
+        &self.task
+    }
+
+    /// The task's id.
+    pub fn id(&self) -> TaskId {
+        self.task.id()
+    }
+}
+
+/// Runs `fut` as a fresh task identity (the async analogue of spawning an
+/// unregistered task).
+pub fn scoped_fresh<F: Future>(fut: F) -> Scoped<F> {
+    Scoped::new(TaskCtx::fresh(), fut)
+}
+
+impl<F: Future> Future for Scoped<F> {
+    type Output = F::Output;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+        let this = self.get_mut();
+        ctx::scoped(&this.task, || this.inner.as_mut().poll(cx))
+    }
+}

@@ -1,0 +1,157 @@
+//! Cancellation safety, property-tested over drop points: dropping a
+//! pending await future must unpark its waker and leave registry/journal
+//! state exactly as a never-started await — no stranded blocked status,
+//! no leaked interrupt, no membership change, and the scenario still
+//! completes deadlock-free afterwards.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use armus_async::ops::{AsyncLatch, AsyncPhaser};
+use armus_async::AwaitPhase;
+use armus_sync::ctx::{self, TaskCtx};
+use armus_sync::{CountDownLatch, Phaser, Runtime, WaitStep};
+use proptest::prelude::*;
+
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+fn noop_waker() -> Waker {
+    Waker::from(Arc::new(NoopWake))
+}
+
+/// Where in its lifecycle the pending future is dropped.
+#[derive(Clone, Copy, Debug)]
+enum DropPoint {
+    /// Created but never polled: the wait never began.
+    BeforeFirstPoll,
+    /// Polled once to `Pending`: blocked status published, waker parked.
+    WhileParked,
+    /// Parked, then resolved by the releasing event (waker woken), but
+    /// never re-polled: the pending wait still holds its published status.
+    AfterWakeBeforeRepoll,
+}
+
+fn drop_point() -> impl Strategy<Value = DropPoint> {
+    prop_oneof![
+        Just(DropPoint::BeforeFirstPoll),
+        Just(DropPoint::WhileParked),
+        Just(DropPoint::AfterWakeBeforeRepoll),
+    ]
+}
+
+/// Polls `fut` once as `task`.
+fn poll_as(fut: &mut AwaitPhase, task: &Arc<TaskCtx>) -> Poll<()> {
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    ctx::scoped(task, || match Pin::new(fut).poll(&mut cx) {
+        Poll::Ready(done) => {
+            done.unwrap();
+            Poll::Ready(())
+        }
+        Poll::Pending => Poll::Pending,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Phaser awaits: t0 arrives and awaits phase 1 among `members`
+    /// laggards, and the future is dropped at a random point.
+    #[test]
+    fn dropped_phaser_await_leaves_no_trace(
+        members in 2usize..5,
+        point in drop_point(),
+    ) {
+        let rt = Runtime::avoidance();
+        let ph = Phaser::new_unregistered(&rt);
+        let tasks: Vec<Arc<TaskCtx>> = (0..members).map(|_| TaskCtx::fresh()).collect();
+        for task in &tasks {
+            ctx::scoped(task, || ph.register()).unwrap();
+        }
+        ctx::scoped(&tasks[0], || ph.arrive()).unwrap();
+        let baseline = rt.verifier().stats();
+
+        let mut fut = ph.await_phase_async(1);
+        let mut late_arrivals = 0;
+        match point {
+            DropPoint::BeforeFirstPoll => {}
+            DropPoint::WhileParked => {
+                prop_assert!(poll_as(&mut fut, &tasks[0]).is_pending());
+            }
+            DropPoint::AfterWakeBeforeRepoll => {
+                prop_assert!(poll_as(&mut fut, &tasks[0]).is_pending());
+                for task in &tasks[1..] {
+                    ctx::scoped(task, || ph.arrive()).unwrap();
+                }
+                late_arrivals = members - 1;
+            }
+        }
+        drop(fut);
+
+        // Registry and journal read as if the await never started: every
+        // published block has its unblock, nobody is left blocked, and
+        // the task is not stranded in the wait machine.
+        let after = rt.verifier().stats();
+        prop_assert_eq!(after.blocks - baseline.blocks, after.unblocks - baseline.unblocks);
+        prop_assert_eq!(rt.verifier().local_snapshot().len(), 0);
+        prop_assert!(ph.await_would_resolve_of(tasks[0].id()));
+        prop_assert_eq!(ph.member_count(), members);
+        prop_assert!(!rt.verifier().found_deadlock());
+
+        // And the same wait still works when started fresh: make any
+        // arrivals the drop point left outstanding, then re-await.
+        if late_arrivals == 0 {
+            for task in &tasks[1..] {
+                ctx::scoped(task, || ph.arrive()).unwrap();
+            }
+        }
+        let step = ctx::scoped(&tasks[0], || ph.begin_await(1)).unwrap();
+        prop_assert_eq!(step, WaitStep::Ready);
+        for task in &tasks {
+            ctx::scoped(task, || ph.deregister()).unwrap();
+        }
+        prop_assert!(!rt.verifier().found_deadlock());
+        rt.verifier().shutdown();
+    }
+
+    /// Latch waits: a non-member waiter's future is dropped at a random
+    /// point while counters drain the latch.
+    #[test]
+    fn dropped_latch_wait_leaves_no_trace(
+        count in 1usize..4,
+        point in drop_point(),
+    ) {
+        let rt = Runtime::avoidance();
+        let latch = CountDownLatch::new(&rt, count);
+        let waiter = TaskCtx::fresh();
+        let baseline = rt.verifier().stats();
+
+        let mut fut = latch.wait_async();
+        match point {
+            DropPoint::BeforeFirstPoll => {}
+            DropPoint::WhileParked => {
+                prop_assert!(poll_as(&mut fut, &waiter).is_pending());
+            }
+            DropPoint::AfterWakeBeforeRepoll => {
+                prop_assert!(poll_as(&mut fut, &waiter).is_pending());
+                for _ in 0..count {
+                    latch.count_down().unwrap();
+                }
+            }
+        }
+        drop(fut);
+
+        let after = rt.verifier().stats();
+        prop_assert_eq!(after.blocks - baseline.blocks, after.unblocks - baseline.unblocks);
+        prop_assert_eq!(rt.verifier().local_snapshot().len(), 0);
+        prop_assert!(latch.phaser().await_would_resolve_of(waiter.id()));
+        prop_assert!(!rt.verifier().found_deadlock());
+        rt.verifier().shutdown();
+    }
+}

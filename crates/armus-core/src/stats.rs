@@ -32,6 +32,8 @@ pub struct StatsCollector {
     combined_checks: AtomicU64,
     incremental_detections: AtomicU64,
     order_rebuilds: AtomicU64,
+    async_waits: AtomicU64,
+    waker_wakes: AtomicU64,
 }
 
 impl StatsCollector {
@@ -116,6 +118,20 @@ impl StatsCollector {
         self.order_rebuilds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an async-front-end wait going pending: a waker was parked
+    /// with the wait machine instead of an OS thread.
+    pub fn record_async_wait(&self) {
+        self.async_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` parked wakers being woken by a fate-resolving event
+    /// (arrival, poison, interrupt, deregistration).
+    pub fn record_waker_wakes(&self, n: u64) {
+        if n > 0 {
+            self.waker_wakes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a consistent-enough copy for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -137,6 +153,8 @@ impl StatsCollector {
             combined_checks: self.combined_checks.load(Ordering::Relaxed),
             incremental_detections: self.incremental_detections.load(Ordering::Relaxed),
             order_rebuilds: self.order_rebuilds.load(Ordering::Relaxed),
+            async_waits: self.async_waits.load(Ordering::Relaxed),
+            waker_wakes: self.waker_wakes.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,6 +207,14 @@ pub struct StatsSnapshot {
     /// From-scratch rebuilds of the maintained topological order — one
     /// per journal resync (and per distributed checker reset).
     pub order_rebuilds: u64,
+    /// Async-front-end waits that went pending: each parked a waker with
+    /// the wait machine instead of an OS thread (the async counterpart of
+    /// a condvar park).
+    pub async_waits: u64,
+    /// Parked wakers woken by fate-resolving events. Each waker is woken
+    /// exactly once per pending wait, so this stays close to
+    /// `async_waits` — a large gap means spurious executor polls.
+    pub waker_wakes: u64,
 }
 
 impl StatsSnapshot {
@@ -270,6 +296,18 @@ mod tests {
         assert_eq!(s.full_rebuilds, 1);
         assert_eq!(s.incremental_detections, 2);
         assert_eq!(s.order_rebuilds, 1);
+    }
+
+    #[test]
+    fn async_counters_accumulate() {
+        let c = StatsCollector::new();
+        c.record_async_wait();
+        c.record_async_wait();
+        c.record_waker_wakes(0);
+        c.record_waker_wakes(2);
+        let s = c.snapshot();
+        assert_eq!(s.async_waits, 2);
+        assert_eq!(s.waker_wakes, 2);
     }
 
     #[test]

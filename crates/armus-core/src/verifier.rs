@@ -596,6 +596,19 @@ impl Verifier {
         self.stats.snapshot()
     }
 
+    /// Records an async-front-end wait parking a waker with the wait
+    /// machine (the async counterpart of an OS-thread park). Counted by
+    /// the runtime front-end, not by `block`, so disabled verifiers still
+    /// observe async traffic.
+    pub fn note_async_wait(&self) {
+        self.stats.record_async_wait();
+    }
+
+    /// Records `n` parked wakers woken by a fate-resolving event.
+    pub fn note_waker_wakes(&self, n: u64) {
+        self.stats.record_waker_wakes(n);
+    }
+
     /// Stops the monitor thread (idempotent). Dropping every user `Arc`
     /// has the same effect.
     pub fn shutdown(&self) {

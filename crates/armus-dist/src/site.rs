@@ -297,6 +297,13 @@ impl Site {
         &self.runtime
     }
 
+    /// This site's local verifier counters (blocks, fast-path skips,
+    /// `async_waits`/`waker_wakes`, …) — the front-end-side observability
+    /// twin of [`Site::checker_stats`].
+    pub fn verifier_stats(&self) -> armus_core::StatsSnapshot {
+        self.runtime.verifier().stats()
+    }
+
     /// Deadlocks this site's checker has reported.
     pub fn reports(&self) -> Vec<DeadlockReport> {
         self.reports.lock().clone()

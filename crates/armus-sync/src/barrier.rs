@@ -39,6 +39,13 @@ impl CyclicBarrier {
         self.phaser.id()
     }
 
+    /// The underlying phaser — the async front-end builds its futures
+    /// over this (a barrier wait is `arrive` + await of the arrived
+    /// phase on the phaser seam).
+    pub fn phaser(&self) -> &Phaser {
+        &self.phaser
+    }
+
     /// The fixed party count.
     pub fn parties(&self) -> usize {
         self.parties

@@ -51,6 +51,16 @@ impl TaskCtx {
         self.registered.lock().iter().filter_map(Weak::upgrade).collect()
     }
 
+    /// Deregisters this task from every phaser it is still registered
+    /// with — what [`crate::Runtime`]-spawned threads do on exit (normal
+    /// or panicking), exposed so async executors can give completed or
+    /// cancelled tasks the same leave-on-exit semantics.
+    pub fn deregister_all(self: &Arc<TaskCtx>) {
+        for core in self.registered_cores() {
+            let _ = core.deregister(self);
+        }
+    }
+
     /// The task's blocked-status registrations: for every phaser it is
     /// registered with *under the given verifier*, its local phase —
     /// omitting wait-only memberships, which impede nothing. The verifier

@@ -56,6 +56,12 @@ impl CountDownLatch {
         self.phaser.id()
     }
 
+    /// The underlying phaser — the async front-end builds its futures
+    /// over this (a latch wait is a non-member await of phase 1).
+    pub fn phaser(&self) -> &Phaser {
+        &self.phaser
+    }
+
     /// Claims one count-down slot for the calling task, making it visible
     /// to the deadlock analysis as an impeder of the latch event.
     pub fn register_counter(&self) -> Result<(), SyncError> {

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::task::Waker;
 
 use armus_core::{DeadlockReport, Phase, PhaserId, Resource, TaskId, Verifier};
 use parking_lot::{Condvar, Mutex};
@@ -94,6 +95,12 @@ struct PhState {
     /// and an external scheduler polling [`PhaserCore::poll_wait`] share
     /// this state, so the wait machine has exactly one implementation.
     pending: HashMap<TaskId, PendingWait>,
+    /// Async wakers parked behind pending waits, keyed by the waiting
+    /// task (the wait-handle). An entry is woken **exactly once**: it is
+    /// removed as it is woken by a fate-resolving event, and only the
+    /// future's next poll may park it again (re-reading the fate under
+    /// the same lock, so no wake is ever lost).
+    wakers: HashMap<TaskId, Waker>,
 }
 
 impl PhState {
@@ -186,9 +193,49 @@ impl PhaserCore {
                 return Err(SyncError::NotRegistered { phaser: self.id, task: ctx.id() });
             }
         }
-        self.cond.notify_all();
+        self.notify_waiters();
         ctx.remove_registration(self);
         Ok(())
+    }
+
+    /// Wakes the condvar waiters, then wakes (and unparks) every async
+    /// waker whose wait has now resolved — by release, poison, or a
+    /// targeted interrupt. Resolution is decided under the state lock but
+    /// the wakes run outside it, so a woken future may poll (and re-lock)
+    /// immediately without deadlocking against us.
+    fn notify_waiters(&self) {
+        self.cond.notify_all();
+        let woken: Vec<Waker> = {
+            let mut st = self.state.lock();
+            if st.wakers.is_empty() {
+                return;
+            }
+            let poisoned = st.poisoned.is_some();
+            let floor = st.floor();
+            let resolved: Vec<TaskId> = st
+                .wakers
+                .keys()
+                .copied()
+                .filter(|task| {
+                    poisoned
+                        || st.interrupts.contains_key(task)
+                        || match st.pending.get(task) {
+                            Some(w) => floor.map_or(true, |f| f >= w.phase),
+                            // The wait behind this waker was settled by
+                            // another driver: wake so the future re-polls
+                            // straight to Ready.
+                            None => true,
+                        }
+                })
+                .collect();
+            resolved.iter().filter_map(|task| st.wakers.remove(task)).collect()
+        };
+        if !woken.is_empty() {
+            self.verifier().note_waker_wakes(woken.len() as u64);
+            for waker in woken {
+                waker.wake();
+            }
+        }
     }
 
     /// Arrives at the next phase, returning the arrived phase. If the task
@@ -216,7 +263,7 @@ impl PhaserCore {
                 member.arrived
             }
         };
-        self.cond.notify_all();
+        self.notify_waiters();
         Ok(phase)
     }
 
@@ -244,7 +291,7 @@ impl PhaserCore {
             }
             member.arrived
         };
-        self.cond.notify_all();
+        self.notify_waiters();
         Ok(phase)
     }
 
@@ -359,10 +406,67 @@ impl PhaserCore {
             let fate = self.wait_fate_locked(&mut st, ctx.id(), w.phase);
             if !matches!(fate, WaitFate::Pending) {
                 st.pending.remove(&ctx.id());
+                st.wakers.remove(&ctx.id());
             }
             (fate, w.published)
         };
         self.settle_wait(ctx, fate, published)
+    }
+
+    /// [`PhaserCore::poll_wait`] for async drivers: on a still-pending
+    /// wait, parks `waker` to be woken exactly once when the fate
+    /// resolves — no polling loops. The order is register-before-check:
+    /// the waker is parked *first* and the fate re-read under the same
+    /// lock, so a settle racing a first poll either resolved the fate
+    /// before we locked (we read it here) or runs after us (it finds the
+    /// parked waker) — a pending future can never be stranded.
+    pub(crate) fn poll_wait_with_waker(
+        &self,
+        ctx: &TaskCtx,
+        waker: &Waker,
+    ) -> Result<WaitStep, SyncError> {
+        let (fate, published) = {
+            let mut st = self.state.lock();
+            let Some(w) = st.pending.get(&ctx.id()).copied() else {
+                st.wakers.remove(&ctx.id());
+                return Ok(WaitStep::Ready);
+            };
+            let parked_fresh = st.wakers.insert(ctx.id(), waker.clone()).is_none();
+            let fate = self.wait_fate_locked(&mut st, ctx.id(), w.phase);
+            if matches!(fate, WaitFate::Pending) {
+                if parked_fresh {
+                    self.verifier().note_async_wait();
+                }
+                return Ok(WaitStep::Pending);
+            }
+            st.pending.remove(&ctx.id());
+            st.wakers.remove(&ctx.id());
+            (fate, w.published)
+        };
+        self.settle_wait(ctx, fate, published)
+    }
+
+    /// Cancels `ctx`'s pending wait, if any: unparks its waker, drops any
+    /// targeted interrupt aimed at it (withdrawing the block withdraws
+    /// this task from the cycle, so the verdict is void for it), and
+    /// withdraws the published blocked status — leaving verifier, journal
+    /// and phaser state exactly as if the wait had never begun. The
+    /// drop-safety hook for async futures.
+    pub(crate) fn cancel_wait(&self, ctx: &TaskCtx) {
+        let published = {
+            let mut st = self.state.lock();
+            st.wakers.remove(&ctx.id());
+            match st.pending.remove(&ctx.id()) {
+                Some(w) => {
+                    st.interrupts.remove(&ctx.id());
+                    w.published
+                }
+                None => false,
+            }
+        };
+        if published {
+            self.verifier().unblock(ctx.id());
+        }
     }
 
     /// Would [`PhaserCore::poll_wait`] resolve `task`'s pending wait right
@@ -398,6 +502,7 @@ impl PhaserCore {
                     WaitFate::Pending => self.cond.wait(&mut st),
                     fate => {
                         st.pending.remove(&ctx.id());
+                        st.wakers.remove(&ctx.id());
                         break (fate, w.published);
                     }
                 }
@@ -413,7 +518,7 @@ impl PhaserCore {
             let mut st = self.state.lock();
             st.interrupts.insert(task, Box::new(report.clone()));
         }
-        self.cond.notify_all();
+        self.notify_waiters();
     }
 
     /// Marks the phaser deadlocked (recovery extension) *without waking
@@ -431,7 +536,7 @@ impl PhaserCore {
 
     /// Wakes every waiter (used after a poisoning pass).
     pub(crate) fn wake_all(&self) {
-        self.cond.notify_all();
+        self.notify_waiters();
     }
 
     /// Registers a synthetic member at phase 0 (used by
@@ -448,7 +553,7 @@ impl PhaserCore {
     /// re-notified since the departure may observe a phase.
     pub(crate) fn retire_virtual(&self, task: TaskId) {
         self.state.lock().members.remove(&task);
-        self.cond.notify_all();
+        self.notify_waiters();
     }
 
     /// Replaces synthetic member `virtual_id` with the real task `ctx`,
@@ -493,6 +598,7 @@ impl PhaserCore {
                 poisoned: None,
                 interrupts: HashMap::new(),
                 pending: HashMap::new(),
+                wakers: HashMap::new(),
             }),
             cond: Condvar::new(),
         });
@@ -589,6 +695,27 @@ impl Phaser {
     /// pending. See [`Phaser::begin_await`].
     pub fn poll_await(&self) -> Result<WaitStep, SyncError> {
         self.core.poll_wait(&ctx::current())
+    }
+
+    /// Async-seam step: like [`Phaser::poll_await`], but a wait that
+    /// stays pending parks `waker` with the wait machine, to be woken
+    /// exactly once when the fate resolves (release, poison, or avoidance
+    /// interrupt) — no polling loops. Register-before-check: the waker is
+    /// parked before the fate is re-read under the same lock, so a settle
+    /// racing a first poll can never strand the future. `Future`
+    /// implementations over the seam (the `armus-async` crate) call this
+    /// from `poll`.
+    pub fn poll_await_with_waker(&self, waker: &Waker) -> Result<WaitStep, SyncError> {
+        self.core.poll_wait_with_waker(&ctx::current(), waker)
+    }
+
+    /// Cancels the current task's pending wait, if any: unparks its
+    /// waker, drops any targeted interrupt aimed at it, and withdraws the
+    /// published blocked status — leaving verifier and phaser state
+    /// exactly as if the wait had never begun. Async futures call this
+    /// when dropped while pending (cancellation safety).
+    pub fn cancel_await(&self) {
+        self.core.cancel_wait(&ctx::current());
     }
 
     /// Would [`Phaser::poll_await`] resolve the current task's pending

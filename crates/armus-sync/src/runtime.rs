@@ -290,9 +290,7 @@ struct TaskGuard {
 impl Drop for TaskGuard {
     fn drop(&mut self) {
         if self.auto {
-            for core in self.ctx.registered_cores() {
-                let _ = core.deregister(&self.ctx);
-            }
+            self.ctx.deregister_all();
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Seam-level tests of the waker-driven wait machine: register-before-check
+//! (a settle racing a first poll can never strand a future), exactly-once
+//! wakes, and cancellation leaving state as if the wait never began.
+//!
+//! Everything here is deterministic: task identities are multiplexed over
+//! this one test thread with `ctx::scoped`, so "racing" interleavings are
+//! constructed step by step at the seam, not hoped for with real threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Wake, Waker};
+
+use armus_sync::ctx::{self, TaskCtx};
+use armus_sync::{Phaser, Runtime, WaitStep};
+
+/// A waker that counts its wakes (and otherwise does nothing).
+struct CountingWake(AtomicUsize);
+
+impl Wake for CountingWake {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn counting_waker() -> (Waker, Arc<CountingWake>) {
+    let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+    (Waker::from(Arc::clone(&counter)), counter)
+}
+
+fn two_member_phaser(rt: &Arc<Runtime>) -> (Phaser, Arc<TaskCtx>, Arc<TaskCtx>) {
+    let ph = Phaser::new_unregistered(rt);
+    let t1 = TaskCtx::fresh();
+    let t2 = TaskCtx::fresh();
+    ctx::scoped(&t1, || ph.register()).unwrap();
+    ctx::scoped(&t2, || ph.register()).unwrap();
+    (ph, t1, t2)
+}
+
+/// The satellite regression: begin a wait, let a settle land *before* the
+/// first waker poll, and require that poll to resolve immediately — the
+/// future is not stranded waiting for a wake that already happened.
+#[test]
+fn settle_racing_first_poll_cannot_strand_the_future() {
+    let rt = Runtime::avoidance();
+    let (ph, t1, t2) = two_member_phaser(&rt);
+
+    ctx::scoped(&t1, || ph.arrive()).unwrap();
+    let step = ctx::scoped(&t1, || ph.begin_await(1)).unwrap();
+    assert_eq!(step, WaitStep::Pending, "t2 has not arrived yet");
+
+    // The racing settle: t2 arrives between t1's begin and t1's first
+    // waker-registering poll.
+    ctx::scoped(&t2, || ph.arrive()).unwrap();
+
+    let (waker, wakes) = counting_waker();
+    let step = ctx::scoped(&t1, || ph.poll_await_with_waker(&waker)).unwrap();
+    assert_eq!(step, WaitStep::Ready, "register-before-check must re-read the settled fate");
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "the wait resolved inline; no wake is owed");
+
+    // The withdrawn status balances: nothing left blocked.
+    let stats = rt.verifier().stats();
+    assert_eq!(stats.blocks, stats.unblocks);
+    rt.verifier().shutdown();
+}
+
+#[test]
+fn parked_waker_is_woken_exactly_once() {
+    let rt = Runtime::avoidance();
+    let (ph, t1, t2) = two_member_phaser(&rt);
+
+    ctx::scoped(&t1, || ph.arrive()).unwrap();
+    assert_eq!(ctx::scoped(&t1, || ph.begin_await(1)).unwrap(), WaitStep::Pending);
+
+    let (waker, wakes) = counting_waker();
+    assert_eq!(ctx::scoped(&t1, || ph.poll_await_with_waker(&waker)).unwrap(), WaitStep::Pending);
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "still pending: no wake yet");
+    assert!(rt.verifier().stats().async_waits >= 1, "parking is observable");
+
+    // The releasing arrival wakes the parked waker…
+    ctx::scoped(&t2, || ph.arrive()).unwrap();
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 1);
+
+    // …and later events do not wake it again: woken means unparked.
+    ctx::scoped(&t2, || ph.arrive()).unwrap();
+    ctx::scoped(&t1, || ph.arrive()).unwrap();
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 1, "a waker is woken exactly once");
+    assert!(rt.verifier().stats().waker_wakes >= 1);
+
+    assert_eq!(ctx::scoped(&t1, || ph.poll_await()).unwrap(), WaitStep::Ready);
+    rt.verifier().shutdown();
+}
+
+/// Re-parking after a wake is a fresh park: the next resolving event wakes
+/// the new waker (the "seam's own retry semantics", with no spurious wakes
+/// in between).
+#[test]
+fn repark_after_wake_is_woken_again() {
+    let rt = Runtime::avoidance();
+    let (ph, t1, t2) = two_member_phaser(&rt);
+
+    // A third member keeps the phaser unreleased across t2's arrivals.
+    let t3 = TaskCtx::fresh();
+    ctx::scoped(&t3, || ph.register()).unwrap();
+
+    ctx::scoped(&t1, || ph.arrive()).unwrap();
+    assert_eq!(ctx::scoped(&t1, || ph.begin_await(1)).unwrap(), WaitStep::Pending);
+
+    let (waker, wakes) = counting_waker();
+    assert_eq!(ctx::scoped(&t1, || ph.poll_await_with_waker(&waker)).unwrap(), WaitStep::Pending);
+
+    // t2 arrives: not releasing (t3 lags), so the waker must stay parked.
+    ctx::scoped(&t2, || ph.arrive()).unwrap();
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "non-resolving events must not wake");
+
+    // t3 arrives: releasing — exactly one wake.
+    ctx::scoped(&t3, || ph.arrive()).unwrap();
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 1);
+    assert_eq!(ctx::scoped(&t1, || ph.poll_await()).unwrap(), WaitStep::Ready);
+    rt.verifier().shutdown();
+}
+
+#[test]
+fn cancel_leaves_state_as_if_the_wait_never_began() {
+    let rt = Runtime::avoidance();
+    let (ph, t1, t2) = two_member_phaser(&rt);
+
+    ctx::scoped(&t1, || ph.arrive()).unwrap();
+    let before = rt.verifier().stats();
+    assert_eq!(ctx::scoped(&t1, || ph.begin_await(1)).unwrap(), WaitStep::Pending);
+    let (waker, wakes) = counting_waker();
+    assert_eq!(ctx::scoped(&t1, || ph.poll_await_with_waker(&waker)).unwrap(), WaitStep::Pending);
+
+    ctx::scoped(&t1, || ph.cancel_await());
+
+    // The published status is withdrawn (one block, one unblock)…
+    let after = rt.verifier().stats();
+    assert_eq!(after.blocks, before.blocks + 1);
+    assert_eq!(after.unblocks, before.unblocks + 1);
+    // …the wait machine holds nothing for t1 (a no-wait task reads
+    // resolve-true)…
+    assert!(ph.await_would_resolve_of(t1.id()));
+    // …and the parked waker is gone: later events wake nobody.
+    ctx::scoped(&t2, || ph.arrive()).unwrap();
+    assert_eq!(wakes.0.load(Ordering::SeqCst), 0, "a cancelled wait owes no wake");
+
+    // Membership is untouched by cancellation: t1 can run the same wait
+    // again and complete it normally.
+    assert_eq!(ctx::scoped(&t1, || ph.begin_await(1)).unwrap(), WaitStep::Ready);
+    assert!(!rt.verifier().found_deadlock());
+    rt.verifier().shutdown();
+}
+
+#[test]
+fn cancel_without_pending_wait_is_a_no_op() {
+    let rt = Runtime::avoidance();
+    let (ph, t1, _t2) = two_member_phaser(&rt);
+    let before = rt.verifier().stats();
+    ctx::scoped(&t1, || ph.cancel_await());
+    let after = rt.verifier().stats();
+    assert_eq!(before, after);
+    rt.verifier().shutdown();
+}

@@ -54,11 +54,14 @@ pub mod shrink;
 pub mod sim;
 
 pub use lower::{lower_program, LowerError};
-pub use oracle::{oracle_configs, run_all, run_config, run_seeded, Failure, OracleConfig};
+pub use oracle::{
+    oracle_configs, run_all, run_config, run_config_with_api, run_seeded, run_seeded_with_api,
+    Failure, OracleConfig,
+};
 pub use scenario::{canonical_scenarios, Op, PhaserIx, Scenario, TaskDef};
 pub use sched::{explore_all, Chooser, Exploration, ScriptedChooser, SeededChooser};
 pub use shrink::{shrink, Repro};
-pub use sim::{Sim, SimEvent, SimOutcome, SimStep, StepKind};
+pub use sim::{Sim, SimEvent, SimOutcome, SimStep, StepKind, WaitApi};
 
 use std::path::PathBuf;
 

@@ -37,7 +37,7 @@ use armus_pl::{analyse, apply, enabled, Instr, Rule, State, StateVerdict, Transi
 
 use crate::scenario::{Op, Scenario};
 use crate::sched::Chooser;
-use crate::sim::{Sim, SimEvent, SimOutcome};
+use crate::sim::{Sim, SimEvent, SimOutcome, WaitApi};
 
 /// How the oracle drives a verifier configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,6 +133,15 @@ pub fn run_seeded(scenario: &Scenario, seed: u64) -> Result<(), Failure> {
     run_all(scenario, |_| Box::new(crate::sched::SeededChooser::new(seed)))
 }
 
+/// [`run_seeded`] with blocking driven through the chosen front-end: the
+/// full differential oracle holds verbatim over the async `Await` futures.
+pub fn run_seeded_with_api(scenario: &Scenario, seed: u64, api: WaitApi) -> Result<(), Failure> {
+    for oc in oracle_configs() {
+        run_config_with_api(scenario, &oc, &mut crate::sched::SeededChooser::new(seed), api)?;
+    }
+    Ok(())
+}
+
 /// Runs one configuration to quiescence under `chooser`, checking every
 /// differential invariant along the way.
 pub fn run_config(
@@ -140,8 +149,18 @@ pub fn run_config(
     oc: &OracleConfig,
     chooser: &mut dyn Chooser,
 ) -> Result<(), Failure> {
+    run_config_with_api(scenario, oc, chooser, WaitApi::Seam)
+}
+
+/// [`run_config`] with blocking driven through the chosen front-end.
+pub fn run_config_with_api(
+    scenario: &Scenario,
+    oc: &OracleConfig,
+    chooser: &mut dyn Chooser,
+    api: WaitApi,
+) -> Result<(), Failure> {
     let mut pl = scenario.initial_pl_state();
-    let mut sim = Sim::new(scenario, oc.verifier);
+    let mut sim = Sim::new_with_api(scenario, oc.verifier, api);
     let task_index: HashMap<TaskId, usize> =
         (0..scenario.tasks.len()).map(|i| (sim.task_id(i), i)).collect();
     // The incremental-detection follower: synced against the verifier's

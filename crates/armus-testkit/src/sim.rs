@@ -13,14 +13,47 @@
 //! [`armus_core::Verifier::check_now`] at ticks of its choosing (the
 //! monitor thread's body, minus the wall-clock sleep).
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
 
+use armus_async::{AsyncPhaser, AwaitPhase};
 use armus_core::{DeadlockReport, PhaserId, TaskId, Verifier, VerifierConfig};
 use armus_sync::ctx::{self, TaskCtx};
 use armus_sync::{Phaser, Runtime, RuntimeConfig, SyncError, WaitStep};
 
 use crate::scenario::{Op, PhaserIx, Scenario};
 use crate::sched::Chooser;
+
+/// Which front-end the simulator drives blocking waits through. Both sit
+/// on the same `begin_await`/`poll_await` wait machine; the differential
+/// tests prove their verifier decisions and reports identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitApi {
+    /// The sync crate's poll seam, called directly ([`Phaser::
+    /// begin_await`] / [`Phaser::poll_await`]) — how the thread-per-task
+    /// front-end blocks, minus the condvar park.
+    Seam,
+    /// The async front-end: an [`armus_async::AwaitPhase`] future per
+    /// `Await` op, manually polled (with a no-op waker) under the task's
+    /// scoped identity — how executor-driven tasks block, minus the
+    /// executor.
+    Future,
+}
+
+/// The waker manual future polls use: resolution is observed by the
+/// chooser re-polling (a `Resolve` step), never by wake-driven scheduling,
+/// so wakes are deliberately dropped.
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+fn noop_waker() -> Waker {
+    Waker::from(Arc::new(NoopWake))
+}
 
 /// What a scheduled step does.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,6 +136,9 @@ struct SimTask {
     script: Vec<Op>,
     pc: usize,
     state: TaskState,
+    /// The in-flight `Await` future under [`WaitApi::Future`] (always
+    /// `None` under [`WaitApi::Seam`]).
+    pending: Option<AwaitPhase>,
 }
 
 /// A scenario instantiated over a real runtime, stepped by a scheduler.
@@ -110,15 +146,22 @@ pub struct Sim {
     rt: Arc<Runtime>,
     phasers: Vec<Phaser>,
     tasks: Vec<SimTask>,
+    api: WaitApi,
     /// Virtual clock: executed steps.
     pub clock: u64,
 }
 
 impl Sim {
     /// Instantiates `scenario` over a fresh runtime with the given
-    /// verifier configuration: creates the phasers and task contexts and
-    /// performs the initial (phase-0) registrations.
+    /// verifier configuration, blocking through the sync poll seam.
     pub fn new(scenario: &Scenario, verifier: VerifierConfig) -> Sim {
+        Sim::new_with_api(scenario, verifier, WaitApi::Seam)
+    }
+
+    /// [`Sim::new`], blocking through the chosen front-end: creates the
+    /// phasers and task contexts and performs the initial (phase-0)
+    /// registrations.
+    pub fn new_with_api(scenario: &Scenario, verifier: VerifierConfig, api: WaitApi) -> Sim {
         let rt = Runtime::new(RuntimeConfig::unchecked().with_verifier(verifier));
         let phasers: Vec<Phaser> =
             (0..scenario.phasers).map(|_| Phaser::new_unregistered(&rt)).collect();
@@ -136,10 +179,11 @@ impl Sim {
                     script: def.script.clone(),
                     pc: 0,
                     state: TaskState::Running,
+                    pending: None,
                 }
             })
             .collect();
-        Sim { rt, phasers, tasks, clock: 0 }
+        Sim { rt, phasers, tasks, api, clock: 0 }
     }
 
     /// The verifier under test.
@@ -235,7 +279,27 @@ impl Sim {
             Op::Await(p) => {
                 let phase = ctx::scoped(&task_ctx, || self.phasers[p].local_phase())
                     .expect("scenario scripts only await as members");
-                match ctx::scoped(&task_ctx, || self.phasers[p].begin_await(phase)) {
+                let step = match self.api {
+                    WaitApi::Seam => ctx::scoped(&task_ctx, || self.phasers[p].begin_await(phase)),
+                    WaitApi::Future => {
+                        // The future's first poll runs the avoidance check
+                        // inline at `begin_await` (as the sync path does)
+                        // and then polls the seam once; in this
+                        // single-threaded simulator nothing can resolve
+                        // the wait between those two calls, so a pending
+                        // begin is a pending first poll — the event
+                        // streams of the two front-ends coincide.
+                        let mut fut = self.phasers[p].await_phase_async(phase);
+                        match Self::poll_future(&mut fut, &task_ctx) {
+                            Poll::Ready(done) => done.map(|()| WaitStep::Ready),
+                            Poll::Pending => {
+                                self.tasks[i].pending = Some(fut);
+                                Ok(WaitStep::Pending)
+                            }
+                        }
+                    }
+                };
+                match step {
                     Ok(WaitStep::Ready) => {
                         self.tasks[i].pc += 1;
                         self.settle_running(i);
@@ -261,7 +325,23 @@ impl Sim {
         };
         let op = self.tasks[i].script[self.tasks[i].pc];
         let task_ctx = Arc::clone(&self.tasks[i].ctx);
-        match ctx::scoped(&task_ctx, || self.phasers[p].poll_await()) {
+        let step = match self.api {
+            WaitApi::Seam => ctx::scoped(&task_ctx, || self.phasers[p].poll_await()),
+            WaitApi::Future => {
+                let mut fut = self.tasks[i]
+                    .pending
+                    .take()
+                    .expect("a future-api blocked task holds its await future");
+                match Self::poll_future(&mut fut, &task_ctx) {
+                    Poll::Ready(done) => done.map(|()| WaitStep::Ready),
+                    Poll::Pending => {
+                        self.tasks[i].pending = Some(fut);
+                        Ok(WaitStep::Pending)
+                    }
+                }
+            }
+        };
+        match step {
             Ok(WaitStep::Ready) => {
                 self.tasks[i].pc += 1;
                 self.tasks[i].state = TaskState::Running;
@@ -277,6 +357,15 @@ impl Sim {
             }
             Err(e) => panic!("unexpected poll error in simulation: {e}"),
         }
+    }
+
+    /// Polls an await future once under `task`'s scoped identity (the
+    /// future captures that identity on its first poll, exactly as a
+    /// future running on the executor captures its `Scoped` task's).
+    fn poll_future(fut: &mut AwaitPhase, task: &Arc<TaskCtx>) -> Poll<Result<(), SyncError>> {
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        ctx::scoped(task, || Pin::new(fut).poll(&mut cx))
     }
 
     fn settle_running(&mut self, i: usize) {

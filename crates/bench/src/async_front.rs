@@ -1,0 +1,281 @@
+//! The `async_front` experiment: how many *simultaneously blocked* tasks
+//! can one process put under avoidance verification?
+//!
+//! The thread-per-task front-end parks an OS thread per blocked task, so
+//! its ceiling is the OS thread limit (probed directly, with minimal
+//! 64 KiB stacks, by [`thread_frontend_probe`]). The async front-end
+//! parks a *waker* per blocked task on a bounded worker pool, so its
+//! ceiling is memory.
+//!
+//! The workload groups `clients` tasks into phaser groups of `group`
+//! members. Each client registers with its group's phaser, counts down
+//! the group's latch, and parks on `latch.wait_async()` until the whole
+//! group has registered — then runs `rounds` lock-step
+//! `advance_async` barrier rounds and deregisters. Spawn order is
+//! interleaved across groups (member *j* of every group spawns before
+//! member *j*+1 of any), so no group's latch opens until the very end of
+//! the spawn phase and nearly every client is simultaneously parked —
+//! `peak_resident_tasks` ≈ `clients` by construction, on a worker pool
+//! whose thread count never grows.
+//!
+//! Every latch wait and every barrier round runs the inline avoidance
+//! check at `begin_await` exactly as the sync front-end would; `ops`
+//! counts those verified blocking operations.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use armus_async::prelude::*;
+use armus_sync::{CountDownLatch, Phaser, Runtime};
+use serde::Serialize;
+
+/// Configuration of one `async_front` run.
+#[derive(Clone, Debug)]
+pub struct AsyncFrontConfig {
+    /// Simulated clients (lightweight tasks) to drive through the
+    /// verifier.
+    pub clients: u64,
+    /// Executor worker threads.
+    pub workers: usize,
+    /// Lock-step barrier rounds per client after the latch opens.
+    pub rounds: u64,
+    /// Clients per phaser group.
+    pub group: u64,
+    /// Cap on the thread-front-end probe (`None` skips the probe).
+    pub thread_probe_cap: Option<u64>,
+}
+
+impl Default for AsyncFrontConfig {
+    fn default() -> Self {
+        AsyncFrontConfig {
+            clients: 100_000,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            rounds: 2,
+            group: 32,
+            thread_probe_cap: Some(10_000),
+        }
+    }
+}
+
+/// The measured run, for `--json` export (`BENCH_async.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct AsyncFrontResults {
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_cores: usize,
+    /// Clients driven through the verifier.
+    pub clients: u64,
+    /// Executor worker threads the whole run executed on.
+    pub workers: usize,
+    /// Barrier rounds per client.
+    pub rounds: u64,
+    /// Clients per phaser group.
+    pub group: u64,
+    /// Wall-clock of the async phase (first spawn to last join).
+    pub elapsed_secs: f64,
+    /// Verified blocking ops: one latch wait plus `rounds` barrier
+    /// advances per client, each running the inline avoidance check.
+    pub ops: u64,
+    /// `ops / elapsed_secs`.
+    pub ops_per_sec: f64,
+    /// High-water mark of live (spawned, unfinished) tasks — the claim is
+    /// that this approaches `clients` while the thread count stays flat.
+    pub peak_resident_tasks: usize,
+    /// Process thread count sampled right after the async phase: workers
+    /// plus the main thread (no thread-per-task blowup).
+    pub process_threads_after_run: Option<u64>,
+    /// Waits that went pending through the async front-end.
+    pub async_waits: u64,
+    /// Parked wakers woken by fate-resolving events.
+    pub waker_wakes: u64,
+    /// Avoidance checks answered by the cardinality fast path.
+    pub fastpath_skips: u64,
+    /// Avoidance checks through the maintained-graph engine.
+    pub checks: u64,
+    /// Parked OS threads (64 KiB stacks) the probe actually sustained —
+    /// up to the configured cap and a safety margin under the OS limits
+    /// (creation-time failures near the wall abort the process from
+    /// *inside* the nascent thread, so the probe must stop short of it).
+    /// `null` when the probe was skipped.
+    pub thread_frontend_max_tasks: Option<u64>,
+    /// Hard ceiling on the thread-per-task front-end regardless of
+    /// memory: `min(kernel.pid_max, kernel.threads-max)` — with one OS
+    /// thread per task, blocked tasks can never exceed this. `null` off
+    /// Linux or when the probe was skipped.
+    pub thread_frontend_os_ceiling: Option<u64>,
+}
+
+/// Members of group `g` (the last group may be short).
+fn members_of(cfg: &AsyncFrontConfig, g: u64) -> u64 {
+    cfg.group.min(cfg.clients - g * cfg.group)
+}
+
+/// Runs the workload and measures it.
+pub fn run(cfg: &AsyncFrontConfig) -> AsyncFrontResults {
+    assert!(cfg.clients > 0 && cfg.group > 0, "need at least one client and non-empty groups");
+    let rt = Runtime::avoidance();
+    let exec = Executor::new(cfg.workers);
+    let groups = cfg.clients.div_ceil(cfg.group);
+    let cells: Vec<(Phaser, CountDownLatch)> = (0..groups)
+        .map(|g| {
+            (Phaser::new_unregistered(&rt), CountDownLatch::new(&rt, members_of(cfg, g) as usize))
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients as usize);
+    // Interleave: member j of every group spawns before member j+1 of
+    // any, so each group's latch opens only near the end of the spawn
+    // phase and nearly all clients are parked at once.
+    for j in 0..cfg.group {
+        for g in 0..groups {
+            if j >= members_of(cfg, g) {
+                continue;
+            }
+            let ph = cells[g as usize].0.clone();
+            let latch = cells[g as usize].1.clone();
+            let rounds = cfg.rounds;
+            handles.push(exec.spawn(async move {
+                ph.register().unwrap();
+                latch.count_down().unwrap();
+                latch.wait_async().await.unwrap();
+                for _ in 0..rounds {
+                    ph.advance_async().await.unwrap();
+                }
+                ph.deregister().unwrap();
+            }));
+        }
+    }
+    for handle in handles {
+        handle.join().expect("bench clients do not panic");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    assert!(!rt.verifier().found_deadlock(), "the workload is deadlock-free by construction");
+
+    let stats = rt.verifier().stats();
+    let ops = cfg.clients * (1 + cfg.rounds);
+    let results = AsyncFrontResults {
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        clients: cfg.clients,
+        workers: exec.worker_count(),
+        rounds: cfg.rounds,
+        group: cfg.group,
+        elapsed_secs: elapsed,
+        ops,
+        ops_per_sec: ops as f64 / elapsed,
+        peak_resident_tasks: exec.peak_live_tasks(),
+        process_threads_after_run: current_threads(),
+        async_waits: stats.async_waits,
+        waker_wakes: stats.waker_wakes,
+        fastpath_skips: stats.fastpath_skips,
+        checks: stats.checks,
+        thread_frontend_max_tasks: cfg.thread_probe_cap.map(thread_frontend_probe),
+        thread_frontend_os_ceiling: cfg.thread_probe_cap.and_then(|_| os_thread_ceiling()),
+    };
+    rt.verifier().shutdown();
+    results
+}
+
+/// `Threads:` from `/proc/self/status` (Linux; `None` elsewhere).
+fn current_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|l| l.strip_prefix("Threads:"))?.trim().parse().ok()
+}
+
+/// A kernel limit as a number (`None` off Linux / unreadable).
+fn kernel_limit(path: &str) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+/// Hard OS ceiling on thread-per-task: `min(pid_max, threads-max)`.
+pub fn os_thread_ceiling() -> Option<u64> {
+    let pid_max = kernel_limit("/proc/sys/kernel/pid_max")?;
+    let threads_max = kernel_limit("/proc/sys/kernel/threads-max")?;
+    Some(pid_max.min(threads_max))
+}
+
+/// How many *parked* OS threads the host sustains — the thread-per-task
+/// front-end's ceiling on simultaneously blocked tasks. Spawns minimal
+/// (64 KiB stack) threads that park on a condvar until `cap`, a safety
+/// margin under the OS limits, or thread-creation failure — whichever
+/// comes first — then releases and joins them all.
+///
+/// The margin matters: right at the wall, `Builder::spawn` succeeds but
+/// the nascent thread aborts the whole process when *its* startup
+/// allocations (sigaltstack, guard pages) fail, so probing to the exact
+/// failure point is not survivable. Each thread costs ~3 VM mappings and
+/// one pid; the probe stays under 90% of both budgets. The unprobed
+/// remainder is bounded above by [`os_thread_ceiling`], which is what the
+/// thread-per-task comparison should quote.
+pub fn thread_frontend_probe(cap: u64) -> u64 {
+    let mut cap = cap;
+    if let Some(ceiling) = os_thread_ceiling() {
+        cap = cap.min(ceiling.saturating_mul(9) / 10);
+    }
+    if let Some(map_count) = kernel_limit("/proc/sys/vm/max_map_count") {
+        cap = cap.min((map_count / 3).saturating_mul(9) / 10);
+    }
+    type Gate = (Mutex<bool>, Condvar);
+    let gate: Arc<Gate> = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut joins = Vec::new();
+    let mut count = 0;
+    while count < cap {
+        let gate2 = Arc::clone(&gate);
+        let spawned = std::thread::Builder::new()
+            .stack_size(64 * 1024)
+            .name("thread-probe".into())
+            .spawn(move || {
+                let (lock, cvar) = &*gate2;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+            });
+        match spawned {
+            Ok(handle) => {
+                joins.push(handle);
+                count += 1;
+            }
+            Err(_) => break, // EAGAIN: the OS is out of threads — the ceiling.
+        }
+    }
+    let (lock, cvar) = &*gate;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+    for handle in joins {
+        let _ = handle.join();
+    }
+    count
+}
+
+/// Human-readable summary on stdout.
+pub fn print_summary(r: &AsyncFrontResults) {
+    println!(
+        "async_front: {} clients in groups of {} × {} rounds on {} workers ({} host cores)",
+        r.clients, r.group, r.rounds, r.workers, r.host_cores
+    );
+    println!(
+        "  {:.2}s, {} verified blocking ops, {:.0} ops/s",
+        r.elapsed_secs, r.ops, r.ops_per_sec
+    );
+    println!(
+        "  peak resident tasks {}, process threads after run {:?}",
+        r.peak_resident_tasks, r.process_threads_after_run
+    );
+    println!(
+        "  async_waits {}, waker_wakes {}, fastpath_skips {}, engine checks {}",
+        r.async_waits, r.waker_wakes, r.fastpath_skips, r.checks
+    );
+    match (r.thread_frontend_max_tasks, r.thread_frontend_os_ceiling) {
+        (Some(max), ceiling) => {
+            let bound = ceiling.unwrap_or(max).max(1);
+            println!(
+                "  thread-per-task front-end: {} parked threads probed, OS ceiling {:?} \
+                 ({}x fewer than async)",
+                max,
+                ceiling,
+                r.clients / bound
+            );
+        }
+        _ => println!("  thread-front-end probe skipped"),
+    }
+}

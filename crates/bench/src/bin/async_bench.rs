@@ -1,0 +1,56 @@
+//! `async_bench` — measures how many simultaneously blocked tasks the
+//! async front-end puts under avoidance verification on a bounded worker
+//! pool, versus the thread-per-task front-end's OS-thread ceiling (see
+//! `armus_bench::async_front`).
+//!
+//! ```text
+//! cargo run --release -p armus-bench --bin async_bench -- [options]
+//!
+//! options:
+//!   --clients N           simulated clients (default: 100000)
+//!   --workers N           executor worker threads (default: host cores)
+//!   --rounds N            barrier rounds per client (default: 2)
+//!   --group N             clients per phaser group (default: 32)
+//!   --thread-probe-cap N  cap on the thread-front-end probe
+//!                         (default: 10000)
+//!   --skip-thread-probe   skip the thread-front-end probe
+//!   --json PATH           dump the results as JSON (e.g. BENCH_async.json)
+//! ```
+
+use armus_bench::async_front::{self, AsyncFrontConfig};
+
+fn main() {
+    let mut cfg = AsyncFrontConfig::default();
+    let mut json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next().unwrap_or_else(|| panic!("{name} N")).parse().unwrap_or_else(|_| {
+                eprintln!("{name} takes a number");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--clients" => cfg.clients = num("--clients"),
+            "--workers" => cfg.workers = num("--workers") as usize,
+            "--rounds" => cfg.rounds = num("--rounds"),
+            "--group" => cfg.group = num("--group"),
+            "--thread-probe-cap" => cfg.thread_probe_cap = Some(num("--thread-probe-cap")),
+            "--skip-thread-probe" => cfg.thread_probe_cap = None,
+            "--json" => json = args.next(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = async_front::run(&cfg);
+    async_front::print_summary(&results);
+    if let Some(path) = json {
+        std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

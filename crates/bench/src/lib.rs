@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_front;
 pub mod concurrent;
 pub mod experiments;
 pub mod incremental;

@@ -12,6 +12,9 @@
 //!   selection, verifier);
 //! * [`sync`] — the barrier runtime (phasers, clocks, cyclic barriers,
 //!   latches, finish blocks, clocked variables);
+//! * [`asynch`] — the async front-end: `Future`-returning ops over the
+//!   same verifier, plus a bounded-pool executor (a parked waker per
+//!   blocked task instead of a parked thread);
 //! * [`pl`] — the paper's core language as an executable formal model;
 //! * [`dist`] — distributed detection over a fault-tolerant store;
 //! * [`workloads`] — the full §6 benchmark suite.
@@ -39,6 +42,7 @@
 //! assert!(!rt.verifier().found_deadlock());
 //! ```
 
+pub use armus_async as asynch;
 pub use armus_core as core;
 pub use armus_dist as dist;
 pub use armus_pl as pl;
