@@ -4,7 +4,7 @@
 //! *average number of edges used in verification*; this collector gathers
 //! exactly that, lock-free, so the workloads can report it.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +18,7 @@ pub struct StatsCollector {
     checks_wfg: AtomicU64,
     checks_sg: AtomicU64,
     edges_sum: AtomicU64,
-    edges_max: AtomicUsize,
+    edges_max: AtomicU64,
     nodes_sum: AtomicU64,
     deadlocks: AtomicU64,
     sg_aborts: AtomicU64,
@@ -51,7 +51,7 @@ impl StatsCollector {
         };
         self.edges_sum.fetch_add(stats.edges as u64, Ordering::Relaxed);
         self.nodes_sum.fetch_add(stats.nodes as u64, Ordering::Relaxed);
-        self.edges_max.fetch_max(stats.edges, Ordering::Relaxed);
+        self.edges_max.fetch_max(stats.edges as u64, Ordering::Relaxed);
         if stats.sg_aborted {
             self.sg_aborts.fetch_add(1, Ordering::Relaxed);
         }
@@ -170,8 +170,10 @@ pub struct StatsSnapshot {
     pub checks_sg: u64,
     /// Sum of analysed edge counts (for the Table 3 average).
     pub edges_sum: u64,
-    /// Largest graph analysed.
-    pub edges_max: usize,
+    /// Largest graph analysed. `u64` like every sibling counter — the
+    /// snapshot crosses the wire in the store server's metrics endpoint,
+    /// so its layout must not depend on the host's pointer width.
+    pub edges_max: u64,
     /// Sum of analysed node counts.
     pub nodes_sum: u64,
     /// Deadlocks reported.
@@ -256,7 +258,10 @@ mod tests {
         assert_eq!(s.checks_wfg, 2);
         assert_eq!(s.checks_sg, 1);
         assert!((s.avg_edges() - 14.0).abs() < 1e-9);
-        assert_eq!(s.edges_max, 30);
+        // Fixed-width on every host: the snapshot is serialised across
+        // the wire by the store server's metrics endpoint.
+        let edges_max: u64 = s.edges_max;
+        assert_eq!(edges_max, 30);
         assert_eq!(s.sg_aborts, 1);
     }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! armus-stored [--listen ADDR] [--lease-ms N | --no-lease]
 //!              [--read-timeout-ms N] [--write-timeout-ms N]
+//!              [--check-period-ms N] [--metrics-period-ms N]
 //!
 //!   --listen ADDR          bind address (default 127.0.0.1:7007; use
 //!                          port 0 for an ephemeral port)
@@ -12,6 +13,10 @@
 //!   --no-lease             disable partition expiry
 //!   --read-timeout-ms N    reap connections idle for N ms (default 30000)
 //!   --write-timeout-ms N   bound on writing one response (default 5000)
+//!   --check-period-ms N    server-side checker cadence for subscribers
+//!                          (default 100)
+//!   --metrics-period-ms N  log a metrics line to stderr every N ms
+//!                          (default off)
 //! ```
 //!
 //! The server speaks wire protocol v1 (legacy ping-pong) and v2 (flat
@@ -36,7 +41,8 @@ fn usage(err: &str) -> ! {
     eprintln!("armus-stored: {err}");
     eprintln!(
         "usage: armus-stored [--listen ADDR] [--lease-ms N | --no-lease] \
-         [--read-timeout-ms N] [--write-timeout-ms N]"
+         [--read-timeout-ms N] [--write-timeout-ms N] \
+         [--check-period-ms N] [--metrics-period-ms N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +57,7 @@ fn millis(args: &mut impl Iterator<Item = String>, flag: &str) -> Duration {
 fn main() {
     let mut listen = "127.0.0.1:7007".to_string();
     let mut cfg = StoredConfig::default();
+    let mut metrics_period: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +70,10 @@ fn main() {
             "--no-lease" => cfg.lease = None,
             "--read-timeout-ms" => cfg.read_timeout = millis(&mut args, "--read-timeout-ms"),
             "--write-timeout-ms" => cfg.write_timeout = millis(&mut args, "--write-timeout-ms"),
+            "--check-period-ms" => cfg.check_period = millis(&mut args, "--check-period-ms"),
+            "--metrics-period-ms" => {
+                metrics_period = Some(millis(&mut args, "--metrics-period-ms"));
+            }
             other => usage(&format!("unknown option {other}")),
         }
     }
@@ -83,6 +94,46 @@ fn main() {
         cfg.lease,
         cfg.read_timeout
     );
+    if let Some(period) = metrics_period {
+        // In-process sampling (no wire round trip), so the scrape itself
+        // does not inflate the served-request counters it reports.
+        let handle = server.metrics_handle();
+        std::thread::Builder::new()
+            .name("armus-stored-metrics".into())
+            .spawn(move || {
+                while !handle.is_shutdown() {
+                    std::thread::sleep(period);
+                    let m = handle.sample();
+                    let tenants: Vec<String> = m
+                        .tenants
+                        .iter()
+                        .map(|t| {
+                            format!(
+                                "{}: {} partitions, {} expiries, {} subscribers",
+                                t.tenant, t.partitions, t.lease_expiries, t.subscribers
+                            )
+                        })
+                        .collect();
+                    eprintln!(
+                        "armus-stored: metrics served={} errors={} conns={} subs={} \
+                         publishes={}+{}Δ fetches={} removes={} streamed={} \
+                         reply-queue-max={} [{}]",
+                        m.served,
+                        m.protocol_errors,
+                        m.live_connections,
+                        m.subscribers,
+                        m.publishes,
+                        m.delta_publishes,
+                        m.fetches,
+                        m.removes,
+                        m.reports_streamed,
+                        m.reply_queue_max,
+                        tenants.join("; ")
+                    );
+                }
+            })
+            .expect("spawn metrics logger");
+    }
     server.wait();
     eprintln!("armus-stored: drained, exiting");
 }

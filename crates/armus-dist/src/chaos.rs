@@ -194,6 +194,15 @@ impl<S: Store> Store for ChaosStore<S> {
         Ok(ack)
     }
 
+    fn publish_stats(
+        &self,
+        site: SiteId,
+        stats: crate::store::SiteStats,
+    ) -> Result<(), StoreError> {
+        // Observability traffic is not part of the chaos model: forward.
+        self.inner.publish_stats(site, stats)
+    }
+
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
         self.inner.fetch_all()
     }

@@ -62,7 +62,8 @@ pub use detector::{
     check_store, merge, DistCheck, DistCheckerStats, IncrementalDistChecker, ReportDedup,
     DEFAULT_DEDUP_CAPACITY,
 };
-pub use server::{StoredConfig, StoredProcess, StoredServer};
+pub use server::{StoredConfig, StoredProcess, StoredServer, DEFAULT_CHECK_PERIOD};
 pub use site::{Site, SiteConfig};
-pub use store::{DeltaAck, FaultyStore, MemStore, SiteId, Store, StoreError};
-pub use tcp::{TcpStore, TcpStoreConfig};
+pub use store::{DeltaAck, FaultyStore, MemStore, SiteId, SiteStats, Store, StoreError, TenantId};
+pub use tcp::{Subscription, TcpStore, TcpStoreConfig};
+pub use wire::{ServerMetrics, TenantMetrics};

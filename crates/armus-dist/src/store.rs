@@ -19,6 +19,16 @@
 //! recovery — a fresh site, a store that lost the partition, or a
 //! publisher whose journal truncated past its cursor.
 //!
+//! A long-lived shared store serves many independent *applications*, not
+//! just many sites of one: partitions are keyed `(tenant, site)` — a
+//! [`TenantId`] generalising the site-namespacing of task ids one level
+//! up — and fetches are tenant-scoped, so two applications using the same
+//! `SiteId`s never see (or confirm deadlocks against) each other's
+//! blocked sets. The [`Store`] trait itself stays tenant-agnostic: a
+//! handle is bound to one tenant (the networked
+//! [`crate::tcp::TcpStore`] stamps its tenant on every request; the plain
+//! [`MemStore`] methods operate on [`TenantId::DEFAULT`]).
+//!
 //! Implementations are `Send + Sync` and are routinely **shared** across
 //! sites and threads behind one `Arc` — the networked
 //! [`crate::tcp::TcpStore`] multiplexes every sharer over a single
@@ -40,6 +50,31 @@ pub struct SiteId(pub u32);
 impl std::fmt::Display for SiteId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "site{}", self.0)
+    }
+}
+
+/// A tenant (application namespace) identifier: the isolation tag that
+/// lets many independent applications share one store server. Partitions
+/// are keyed `(tenant, site)`, and fetches/subscriptions are scoped to one
+/// tenant, so colliding `SiteId`s across applications never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The namespace used by handles that never picked one — single-tenant
+    /// deployments and the in-process [`Store`] impls.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl Default for TenantId {
+    fn default() -> TenantId {
+        TenantId::DEFAULT
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
     }
 }
 
@@ -69,8 +104,35 @@ pub enum DeltaAck {
     NeedSnapshot,
 }
 
+/// A site's front-end/checker counters as published to the store — the
+/// fixed-width observability record behind the server's metrics endpoint
+/// (`fastpath_skips`, `resyncs`, `async_waits`, `waker_wakes` and friends,
+/// aggregated per `(tenant, site)` by `armus-stored`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Blocked-status publications on the site's local verifier.
+    pub blocks: u64,
+    /// Unblocks on the site's local verifier.
+    pub unblocks: u64,
+    /// Avoidance checks answered by the resource-cardinality fast path.
+    pub fastpath_skips: u64,
+    /// Full-snapshot publishes by the site's publisher (join + recovery).
+    pub publish_resyncs: u64,
+    /// Async-front-end waits that parked a waker instead of a thread.
+    pub async_waits: u64,
+    /// Parked wakers woken by fate-resolving events.
+    pub waker_wakes: u64,
+    /// Check rounds completed by the site's distributed checker.
+    pub checker_rounds: u64,
+    /// Rounds answered entirely from the maintained topological order.
+    pub incremental_detections: u64,
+    /// Deadlock reports evicted from the site's bounded report ring.
+    pub reports_dropped: u64,
+}
+
 /// The store interface used by sites: publish-partition (full or
-/// delta-based) and fetch-all.
+/// delta-based) and fetch-all. Tenant-agnostic by design — a handle is
+/// bound to one tenant namespace (see the module docs).
 pub trait Store: Send + Sync {
     /// Replaces `site`'s partition of the global resource-dependency
     /// (unversioned legacy path; a partition published this way always
@@ -104,6 +166,15 @@ pub trait Store: Send + Sync {
     ) -> Result<DeltaAck, StoreError> {
         let _ = (site, base, deltas, next);
         Ok(DeltaAck::NeedSnapshot)
+    }
+
+    /// Publishes the site's observability counters ([`SiteStats`]) so the
+    /// store's metrics surface can aggregate them. Best-effort and
+    /// side-channel: the default discards (a store without a metrics
+    /// surface has nowhere to put them), and publishers ignore failures.
+    fn publish_stats(&self, site: SiteId, stats: SiteStats) -> Result<(), StoreError> {
+        let _ = (site, stats);
+        Ok(())
     }
 
     /// Fetches every partition (the checker's global view).
@@ -145,8 +216,17 @@ impl Partition {
 /// without removing its partition therefore stops contributing to the
 /// merged view after one TTL, instead of its last blocked statuses
 /// lingering forever and confirming deadlocks that no longer exist.
+///
+/// Partitions are keyed `(tenant, site)`. The plain [`Store`] impl
+/// operates on [`TenantId::DEFAULT`]; the `*_in` methods take an explicit
+/// tenant — that is what `armus-stored` dispatches per-request tenants
+/// through.
 pub struct MemStore {
-    partitions: Mutex<BTreeMap<SiteId, Partition>>,
+    partitions: Mutex<BTreeMap<(TenantId, SiteId), Partition>>,
+    /// Latest published observability counters per `(tenant, site)`.
+    stats: Mutex<BTreeMap<(TenantId, SiteId), SiteStats>>,
+    /// Partitions dropped by lease expiry, per tenant.
+    expiries: Mutex<BTreeMap<TenantId, u64>>,
     lease: Option<Duration>,
 }
 
@@ -159,14 +239,23 @@ impl Default for MemStore {
 impl MemStore {
     /// An empty store without lease expiry (partitions live until removed).
     pub fn new() -> MemStore {
-        MemStore { partitions: Mutex::new(BTreeMap::new()), lease: None }
+        MemStore::with_optional_lease(None)
     }
 
     /// An empty store whose partitions expire `ttl` after their last
     /// publish. The TTL must comfortably exceed the sites' publish period
     /// (every publisher round — even an empty heartbeat — refreshes).
     pub fn with_lease(ttl: Duration) -> MemStore {
-        MemStore { partitions: Mutex::new(BTreeMap::new()), lease: Some(ttl) }
+        MemStore::with_optional_lease(Some(ttl))
+    }
+
+    fn with_optional_lease(lease: Option<Duration>) -> MemStore {
+        MemStore {
+            partitions: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+            expiries: Mutex::new(BTreeMap::new()),
+            lease,
+        }
     }
 
     /// The configured lease TTL, if any.
@@ -174,39 +263,66 @@ impl MemStore {
         self.lease
     }
 
-    /// Purges partitions whose lease has lapsed (no-op without a lease).
-    fn expire(&self, partitions: &mut BTreeMap<SiteId, Partition>) {
-        if let Some(ttl) = self.lease {
-            partitions.retain(|_, p| p.refreshed.elapsed() <= ttl);
+    /// Purges partitions whose lease has lapsed (no-op without a lease),
+    /// counting the drops per tenant, and drops the stale stats records of
+    /// the expired sites.
+    fn expire(&self, partitions: &mut BTreeMap<(TenantId, SiteId), Partition>) {
+        let Some(ttl) = self.lease else { return };
+        let mut expired: Vec<(TenantId, SiteId)> = Vec::new();
+        partitions.retain(|&key, p| {
+            let live = p.refreshed.elapsed() <= ttl;
+            if !live {
+                expired.push(key);
+            }
+            live
+        });
+        if expired.is_empty() {
+            return;
+        }
+        let mut expiries = self.expiries.lock();
+        let mut stats = self.stats.lock();
+        for key in expired {
+            *expiries.entry(key.0).or_insert(0) += 1;
+            stats.remove(&key);
         }
     }
-}
 
-impl Store for MemStore {
-    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
-        self.partitions.lock().insert(site, Partition::from_snapshot(partition, None));
+    /// Tenant-scoped [`Store::publish`].
+    pub fn publish_in(
+        &self,
+        tenant: TenantId,
+        site: SiteId,
+        partition: Snapshot,
+    ) -> Result<(), StoreError> {
+        self.partitions.lock().insert((tenant, site), Partition::from_snapshot(partition, None));
         Ok(())
     }
 
-    fn publish_full(
+    /// Tenant-scoped [`Store::publish_full`].
+    pub fn publish_full_in(
         &self,
+        tenant: TenantId,
         site: SiteId,
         partition: Snapshot,
         version: u64,
     ) -> Result<(), StoreError> {
-        self.partitions.lock().insert(site, Partition::from_snapshot(partition, Some(version)));
+        self.partitions
+            .lock()
+            .insert((tenant, site), Partition::from_snapshot(partition, Some(version)));
         Ok(())
     }
 
-    fn publish_deltas(
+    /// Tenant-scoped [`Store::publish_deltas`].
+    pub fn publish_deltas_in(
         &self,
+        tenant: TenantId,
         site: SiteId,
         base: u64,
         deltas: &[Delta],
         next: u64,
     ) -> Result<DeltaAck, StoreError> {
         let mut partitions = self.partitions.lock();
-        let Some(partition) = partitions.get_mut(&site) else {
+        let Some(partition) = partitions.get_mut(&(tenant, site)) else {
             return Ok(DeltaAck::NeedSnapshot);
         };
         if partition.version != Some(base) {
@@ -227,15 +343,96 @@ impl Store for MemStore {
         Ok(DeltaAck::Applied)
     }
 
-    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+    /// Tenant-scoped [`Store::publish_stats`].
+    pub fn publish_stats_in(
+        &self,
+        tenant: TenantId,
+        site: SiteId,
+        stats: SiteStats,
+    ) -> Result<(), StoreError> {
+        self.stats.lock().insert((tenant, site), stats);
+        Ok(())
+    }
+
+    /// Tenant-scoped [`Store::fetch_all`]: only `tenant`'s live partitions.
+    pub fn fetch_all_in(&self, tenant: TenantId) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
         let mut partitions = self.partitions.lock();
         self.expire(&mut partitions);
-        Ok(partitions.iter().map(|(&s, p)| (s, p.materialize())).collect())
+        Ok(partitions
+            .range((tenant, SiteId(0))..=(tenant, SiteId(u32::MAX)))
+            .map(|(&(_, s), p)| (s, p.materialize()))
+            .collect())
+    }
+
+    /// Tenant-scoped [`Store::remove`].
+    pub fn remove_in(&self, tenant: TenantId, site: SiteId) -> Result<(), StoreError> {
+        self.partitions.lock().remove(&(tenant, site));
+        self.stats.lock().remove(&(tenant, site));
+        Ok(())
+    }
+
+    /// Live partition counts per tenant (after an expiry sweep) — the
+    /// per-tenant gauge of the metrics endpoint.
+    pub fn tenant_partitions(&self) -> Vec<(TenantId, u64)> {
+        let mut partitions = self.partitions.lock();
+        self.expire(&mut partitions);
+        let mut counts: BTreeMap<TenantId, u64> = BTreeMap::new();
+        for &(tenant, _) in partitions.keys() {
+            *counts.entry(tenant).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Lease expiries so far, per tenant.
+    pub fn tenant_expiries(&self) -> Vec<(TenantId, u64)> {
+        self.expiries.lock().iter().map(|(&t, &n)| (t, n)).collect()
+    }
+
+    /// Total lease expiries so far (across all tenants).
+    pub fn lease_expiries(&self) -> u64 {
+        self.expiries.lock().values().sum()
+    }
+
+    /// The latest observability counters each site published, per tenant.
+    pub fn site_stats(&self) -> Vec<(TenantId, SiteId, SiteStats)> {
+        self.stats.lock().iter().map(|(&(t, s), &stats)| (t, s, stats)).collect()
+    }
+}
+
+impl Store for MemStore {
+    fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
+        self.publish_in(TenantId::DEFAULT, site, partition)
+    }
+
+    fn publish_full(
+        &self,
+        site: SiteId,
+        partition: Snapshot,
+        version: u64,
+    ) -> Result<(), StoreError> {
+        self.publish_full_in(TenantId::DEFAULT, site, partition, version)
+    }
+
+    fn publish_deltas(
+        &self,
+        site: SiteId,
+        base: u64,
+        deltas: &[Delta],
+        next: u64,
+    ) -> Result<DeltaAck, StoreError> {
+        self.publish_deltas_in(TenantId::DEFAULT, site, base, deltas, next)
+    }
+
+    fn publish_stats(&self, site: SiteId, stats: SiteStats) -> Result<(), StoreError> {
+        self.publish_stats_in(TenantId::DEFAULT, site, stats)
+    }
+
+    fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
+        self.fetch_all_in(TenantId::DEFAULT)
     }
 
     fn remove(&self, site: SiteId) -> Result<(), StoreError> {
-        self.partitions.lock().remove(&site);
-        Ok(())
+        self.remove_in(TenantId::DEFAULT, site)
     }
 }
 
@@ -339,6 +536,13 @@ impl<S: Store> Store for FaultyStore<S> {
         self.inner.publish_deltas(site, base, deltas, next)
     }
 
+    fn publish_stats(&self, site: SiteId, stats: SiteStats) -> Result<(), StoreError> {
+        // Observability bypasses the outage gate: stats are a best-effort
+        // side channel, and counting their rejections would skew the
+        // data-path outage counters the fault-tolerance tests assert on.
+        self.inner.publish_stats(site, stats)
+    }
+
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
         self.gate()?;
         self.fetches.fetch_add(1, Ordering::Relaxed);
@@ -385,6 +589,58 @@ mod tests {
     }
 
     #[test]
+    fn tenants_are_disjoint_namespaces() {
+        let store = MemStore::new();
+        let (a, b) = (TenantId(1), TenantId(2));
+        // The same SiteId in two tenants: no aliasing in either direction.
+        store.publish_full_in(a, SiteId(0), snap(1), 1).unwrap();
+        store.publish_full_in(b, SiteId(0), snap(2), 1).unwrap();
+        let view_a = store.fetch_all_in(a).unwrap();
+        let view_b = store.fetch_all_in(b).unwrap();
+        assert_eq!(view_a.len(), 1);
+        assert_eq!(view_b.len(), 1);
+        assert_eq!(view_a[0].1.tasks[0].task, TaskId(1));
+        assert_eq!(view_b[0].1.tasks[0].task, TaskId(2));
+        // The delta stream is tenant-scoped too.
+        assert_eq!(
+            store.publish_deltas_in(a, SiteId(0), 1, &[Delta::Unblock(TaskId(1))], 2).unwrap(),
+            DeltaAck::Applied
+        );
+        assert_eq!(store.fetch_all_in(b).unwrap()[0].1.len(), 1, "tenant b untouched");
+        // Removing in one tenant leaves the other's partition alone.
+        store.remove_in(a, SiteId(0)).unwrap();
+        assert!(store.fetch_all_in(a).unwrap().is_empty());
+        assert_eq!(store.fetch_all_in(b).unwrap().len(), 1);
+        // The default-tenant Store impl never saw any of it.
+        assert!(store.fetch_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tenant_partition_counts_and_expiries() {
+        let store = MemStore::with_lease(Duration::from_millis(40));
+        store.publish_full_in(TenantId(1), SiteId(0), snap(1), 1).unwrap();
+        store.publish_full_in(TenantId(1), SiteId(1), snap(2), 1).unwrap();
+        store.publish_full_in(TenantId(2), SiteId(0), snap(3), 1).unwrap();
+        assert_eq!(store.tenant_partitions(), vec![(TenantId(1), 2), (TenantId(2), 1)]);
+        std::thread::sleep(Duration::from_millis(80));
+        // Keep tenant 2 alive across the TTL; tenant 1 lapses.
+        store.publish_full_in(TenantId(2), SiteId(0), snap(3), 2).unwrap();
+        assert_eq!(store.tenant_partitions(), vec![(TenantId(2), 1)]);
+        assert_eq!(store.tenant_expiries(), vec![(TenantId(1), 2)]);
+        assert_eq!(store.lease_expiries(), 2);
+    }
+
+    #[test]
+    fn site_stats_are_recorded_and_dropped_with_the_site() {
+        let store = MemStore::new();
+        let stats = SiteStats { blocks: 7, fastpath_skips: 3, ..SiteStats::default() };
+        store.publish_stats_in(TenantId(1), SiteId(4), stats).unwrap();
+        assert_eq!(store.site_stats(), vec![(TenantId(1), SiteId(4), stats)]);
+        store.remove_in(TenantId(1), SiteId(4)).unwrap();
+        assert!(store.site_stats().is_empty(), "removed sites take their stats along");
+    }
+
+    #[test]
     fn faulty_store_rejects_during_outage() {
         let store = FaultyStore::new(MemStore::new());
         store.publish(SiteId(0), snap(1)).unwrap();
@@ -398,6 +654,14 @@ mod tests {
         let all = store.fetch_all().unwrap();
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].1.tasks[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn stats_publishes_bypass_the_outage_gate() {
+        let store = FaultyStore::new(MemStore::new());
+        store.set_available(false);
+        store.publish_stats(SiteId(0), SiteStats::default()).unwrap();
+        assert_eq!(store.rejected_count(), 0, "observability must not skew outage counters");
     }
 
     #[test]
@@ -460,6 +724,8 @@ mod tests {
         let store = SnapshotOnly(MemStore::new());
         store.publish_full(SiteId(0), snap(1), 7).unwrap();
         assert_eq!(store.publish_deltas(SiteId(0), 7, &[], 7).unwrap(), DeltaAck::NeedSnapshot);
+        // The default stats sink is a discard, not an error.
+        store.publish_stats(SiteId(0), SiteStats::default()).unwrap();
     }
 
     #[test]
@@ -469,6 +735,7 @@ mod tests {
         assert_eq!(store.fetch_all().unwrap().len(), 1);
         std::thread::sleep(Duration::from_millis(80));
         assert!(store.fetch_all().unwrap().is_empty(), "lapsed lease must drop the partition");
+        assert_eq!(store.lease_expiries(), 1, "the expiry must be counted");
         // After expiry the delta stream is gone too: publishers must
         // rejoin with a full snapshot.
         assert_eq!(
@@ -489,6 +756,7 @@ mod tests {
             assert_eq!(store.publish_deltas(SiteId(0), 1, &[], 1).unwrap(), DeltaAck::Applied);
         }
         assert_eq!(store.fetch_all().unwrap().len(), 1, "heartbeats must refresh the lease");
+        assert_eq!(store.lease_expiries(), 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! backoff window is open, operations fail fast instead of hammering a
 //! dead server with connect attempts every publish period.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,11 +40,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use armus_core::{Delta, Snapshot};
+use armus_core::{DeadlockReport, Delta, Snapshot};
 use parking_lot::{Condvar, Mutex};
 
-use crate::store::{DeltaAck, SiteId, Store, StoreError};
-use crate::wire::{self, Request, Response};
+use crate::store::{DeltaAck, SiteId, SiteStats, Store, StoreError, TenantId};
+use crate::wire::{self, Request, Response, ServerMetrics};
 
 /// Tuning of a [`TcpStore`].
 #[derive(Clone, Copy, Debug)]
@@ -127,6 +127,57 @@ impl ResponseSlot {
     }
 }
 
+/// Where pushed frames of one long-lived stream (a [`Subscription`])
+/// land: the demux reader appends, the subscriber drains in order. Unlike
+/// a [`ResponseSlot`] the entry stays registered across any number of
+/// frames — a push channel, not a one-shot exchange.
+#[derive(Default)]
+struct StreamSlot {
+    state: Mutex<StreamState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct StreamState {
+    queue: VecDeque<Response>,
+    dead: bool,
+}
+
+impl StreamSlot {
+    fn push(&self, response: Response) {
+        self.state.lock().queue.push_back(response);
+    }
+
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    fn fail(&self) {
+        self.state.lock().dead = true;
+        self.cv.notify_all();
+    }
+
+    /// Next pushed frame, in arrival order; `None` on timeout or
+    /// connection death (queued frames drain before death surfaces).
+    fn recv(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if let Some(response) = state.queue.pop_front() {
+                return Some(response);
+            }
+            if state.dead {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut state, deadline - now);
+        }
+    }
+}
+
 /// Write-side coalescer: frames accumulate in `buf`; `spare` is the
 /// recycled second buffer the flusher swaps in, so steady state allocates
 /// nothing. `flushing` elects exactly one flusher at a time.
@@ -150,6 +201,10 @@ struct MuxShared {
     stream: TcpStream,
     outbox: Mutex<Outbox>,
     pending: Mutex<HashMap<u64, Arc<ResponseSlot>>>,
+    /// Long-lived demux routes: correlation ids claimed by subscriptions.
+    /// Checked before `pending` so a pushed frame can never complete a
+    /// one-shot slot.
+    streams: Mutex<HashMap<u64, Arc<StreamSlot>>>,
     next_corr: AtomicU64,
     dead: AtomicBool,
     stats: Arc<WireStats>,
@@ -185,6 +240,39 @@ impl MuxShared {
             Some(response) => Ok(response),
             None => {
                 self.pending.lock().remove(&corr);
+                Err(StoreError::Unavailable)
+            }
+        }
+    }
+
+    /// Opens a long-lived push stream: registers a [`StreamSlot`] route
+    /// **before** the request goes out (so no pushed frame can race past
+    /// the registration and be dropped), then requires the first frame on
+    /// the route to be the server's [`Response::Subscribed`] ack.
+    fn open_stream(
+        &self,
+        request: &Request,
+        io_timeout: Duration,
+    ) -> Result<(u64, Arc<StreamSlot>), StoreError> {
+        if self.is_dead() {
+            return Err(StoreError::Unavailable);
+        }
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(StreamSlot::default());
+        self.streams.lock().insert(corr, Arc::clone(&slot));
+        if self.is_dead() {
+            self.streams.lock().remove(&corr);
+            return Err(StoreError::Unavailable);
+        }
+        if self.submit(corr, request).is_err() {
+            self.fail_all();
+            self.streams.lock().remove(&corr);
+            return Err(StoreError::Unavailable);
+        }
+        match slot.recv(io_timeout) {
+            Some(Response::Subscribed) => Ok((corr, slot)),
+            _ => {
+                self.streams.lock().remove(&corr);
                 Err(StoreError::Unavailable)
             }
         }
@@ -247,6 +335,12 @@ impl MuxShared {
         for slot in drained {
             slot.fail();
         }
+        // Streams are failed but not drained: subscribers consume any
+        // frames queued before the death, then observe `None`.
+        let streams: Vec<Arc<StreamSlot>> = self.streams.lock().values().map(Arc::clone).collect();
+        for stream in streams {
+            stream.fail();
+        }
     }
 
     /// `fail_all` plus a socket shutdown so the demux reader unblocks
@@ -282,7 +376,11 @@ fn demux_loop(shared: Arc<MuxShared>) {
                 loop {
                     match frames.next_frame::<Response>() {
                         Ok(Some(frame)) => {
-                            if let Some(slot) = shared.pending.lock().remove(&frame.corr) {
+                            let stream = shared.streams.lock().get(&frame.corr).map(Arc::clone);
+                            if let Some(stream) = stream {
+                                stream.push(frame.msg);
+                                stream.notify();
+                            } else if let Some(slot) = shared.pending.lock().remove(&frame.corr) {
                                 slot.fill(frame.msg);
                                 woken.push(slot);
                             }
@@ -328,6 +426,7 @@ impl MuxConn {
             stream,
             outbox: Mutex::new(Outbox::default()),
             pending: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
             next_corr: AtomicU64::new(1),
             dead: AtomicBool::new(false),
             stats,
@@ -352,6 +451,46 @@ impl Drop for MuxConn {
     }
 }
 
+/// A live report stream from the server: the server-side checker pushes
+/// a [`DeadlockReport`] frame whenever it finds a *new* deadlock in the
+/// subscriber's tenant — no polling, no [`Store::fetch_all`] round trips.
+///
+/// The handle pins its connection alive (it holds the `Arc<MuxConn>`),
+/// and dropping it unregisters the demux route. Subscriptions do **not**
+/// survive reconnects: when the connection dies, [`Subscription::recv`]
+/// drains any already-received reports and then returns `None` forever —
+/// re-subscribe via [`TcpStore::subscribe`] to resume.
+pub struct Subscription {
+    conn: Arc<MuxConn>,
+    corr: u64,
+    slot: Arc<StreamSlot>,
+}
+
+impl Subscription {
+    /// The next pushed report, in arrival order; `None` on timeout or
+    /// after the connection died and the queue drained.
+    pub fn recv(&self, timeout: Duration) -> Option<DeadlockReport> {
+        match self.slot.recv(timeout)? {
+            Response::Report(report) => Some(report),
+            // Anything but a report on a subscribed stream is protocol
+            // desync: stop trusting the stream.
+            _ => None,
+        }
+    }
+
+    /// Whether the underlying connection is still alive. A dead
+    /// subscription never yields new reports (queued ones still drain).
+    pub fn is_live(&self) -> bool {
+        !self.conn.shared.is_dead()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.conn.shared.streams.lock().remove(&self.corr);
+    }
+}
+
 /// The client's connection state: a live multiplexed connection, or the
 /// backoff schedule for the next dial.
 struct ClientState {
@@ -367,6 +506,7 @@ struct ClientState {
 pub struct TcpStore {
     addr: String,
     cfg: TcpStoreConfig,
+    tenant: TenantId,
     state: Mutex<ClientState>,
     reconnects: AtomicU64,
     failures: AtomicU64,
@@ -385,6 +525,7 @@ impl TcpStore {
         TcpStore {
             addr: addr.into(),
             cfg,
+            tenant: TenantId::DEFAULT,
             state: Mutex::new(ClientState {
                 conn: None,
                 backoff: cfg.backoff_initial,
@@ -394,6 +535,21 @@ impl TcpStore {
             failures: AtomicU64::new(0),
             stats: Arc::new(WireStats::default()),
         }
+    }
+
+    /// Scopes every operation of this client to `tenant`. Tenants are
+    /// disjoint namespaces on the server: publishes land in the tenant's
+    /// partition space, `fetch_all` sees only that tenant's partitions,
+    /// and subscriptions stream only that tenant's reports. Two clients
+    /// with different tenants can reuse the same [`SiteId`]s freely.
+    pub fn for_tenant(mut self, tenant: TenantId) -> TcpStore {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The tenant namespace this client operates in.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The server address this client dials.
@@ -431,6 +587,35 @@ impl TcpStore {
         match self.call(&Request::Shutdown)? {
             Response::Ok => Ok(()),
             _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Scrapes the server's live [`ServerMetrics`] counters — the
+    /// observability endpoint for service deployments.
+    pub fn metrics(&self) -> Result<ServerMetrics, StoreError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(metrics) => Ok(metrics),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
+    /// Subscribes to streamed deadlock reports for this client's tenant.
+    /// The server pushes each newly detected (deduplicated) report to the
+    /// returned handle; see [`Subscription`] for the delivery and
+    /// reconnect semantics.
+    pub fn subscribe(&self) -> Result<Subscription, StoreError> {
+        let conn = self.connection()?;
+        let request = Request::Subscribe { tenant: self.tenant };
+        match conn.shared.open_stream(&request, self.cfg.io_timeout) {
+            Ok((corr, slot)) => Ok(Subscription { conn, corr, slot }),
+            Err(e) => {
+                // Same contract as try_call: a failed exchange means the
+                // pipelined stream can no longer be trusted.
+                conn.shared.kill();
+                self.retire(&conn);
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
         }
     }
 
@@ -555,7 +740,8 @@ impl Drop for TcpStore {
 
 impl Store for TcpStore {
     fn publish(&self, site: SiteId, partition: Snapshot) -> Result<(), StoreError> {
-        match self.call(&Request::Publish { site, snapshot: partition })? {
+        let request = Request::Publish { site, tenant: self.tenant, snapshot: partition };
+        match self.call(&request)? {
             Response::Ok => Ok(()),
             _ => Err(StoreError::Unavailable),
         }
@@ -567,7 +753,9 @@ impl Store for TcpStore {
         partition: Snapshot,
         version: u64,
     ) -> Result<(), StoreError> {
-        match self.call(&Request::PublishFull { site, snapshot: partition, version })? {
+        let request =
+            Request::PublishFull { site, tenant: self.tenant, snapshot: partition, version };
+        match self.call(&request)? {
             Response::Ok => Ok(()),
             _ => Err(StoreError::Unavailable),
         }
@@ -580,7 +768,13 @@ impl Store for TcpStore {
         deltas: &[Delta],
         next: u64,
     ) -> Result<DeltaAck, StoreError> {
-        let request = Request::PublishDeltas { site, base, deltas: deltas.to_vec(), next };
+        let request = Request::PublishDeltas {
+            site,
+            tenant: self.tenant,
+            base,
+            deltas: deltas.to_vec(),
+            next,
+        };
         match self.call(&request)? {
             Response::Applied => Ok(DeltaAck::Applied),
             Response::NeedSnapshot => Ok(DeltaAck::NeedSnapshot),
@@ -588,15 +782,22 @@ impl Store for TcpStore {
         }
     }
 
+    fn publish_stats(&self, site: SiteId, stats: SiteStats) -> Result<(), StoreError> {
+        match self.call(&Request::PublishStats { site, tenant: self.tenant, stats })? {
+            Response::Ok => Ok(()),
+            _ => Err(StoreError::Unavailable),
+        }
+    }
+
     fn fetch_all(&self) -> Result<Vec<(SiteId, Snapshot)>, StoreError> {
-        match self.call(&Request::FetchAll)? {
+        match self.call(&Request::FetchAll { tenant: self.tenant })? {
             Response::View(view) => Ok(view),
             _ => Err(StoreError::Unavailable),
         }
     }
 
     fn remove(&self, site: SiteId) -> Result<(), StoreError> {
-        match self.call(&Request::Remove { site })? {
+        match self.call(&Request::Remove { site, tenant: self.tenant })? {
             Response::Ok => Ok(()),
             _ => Err(StoreError::Unavailable),
         }

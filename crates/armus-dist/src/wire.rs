@@ -32,10 +32,13 @@
 
 use std::io::{self, Read, Write};
 
-use armus_core::{BlockedInfo, Delta, Snapshot, TaskId};
+use armus_core::{
+    BlockedInfo, CycleWitness, DeadlockReport, Delta, GraphModel, PhaserId, Resource, Snapshot,
+    TaskId,
+};
 use serde::{Deserialize, Serialize, Value};
 
-use crate::store::SiteId;
+use crate::store::{SiteId, SiteStats, TenantId};
 
 /// The legacy serde-Value-tree payload version (strict ping-pong, no
 /// correlation ids). Still accepted on decode; see the module docs.
@@ -107,14 +110,17 @@ fn malformed(msg: impl Into<String>) -> WireError {
 
 // --- requests and responses ------------------------------------------------
 
-/// A client → server message: the [`crate::store::Store`] operations plus
-/// the administrative drain command.
+/// A client → server message: the [`crate::store::Store`] operations —
+/// every data-path op tagged with the caller's [`TenantId`] namespace —
+/// plus the observability ops and the administrative drain command.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// [`crate::store::Store::publish`] (legacy unversioned replace).
     Publish {
         /// Publishing site.
         site: SiteId,
+        /// The caller's namespace.
+        tenant: TenantId,
         /// Replacement partition.
         snapshot: Snapshot,
     },
@@ -122,6 +128,8 @@ pub enum Request {
     PublishFull {
         /// Publishing site.
         site: SiteId,
+        /// The caller's namespace.
+        tenant: TenantId,
         /// Replacement partition.
         snapshot: Snapshot,
         /// The publisher's journal cursor the partition is at.
@@ -131,6 +139,8 @@ pub enum Request {
     PublishDeltas {
         /// Publishing site.
         site: SiteId,
+        /// The caller's namespace.
+        tenant: TenantId,
         /// Journal version the deltas start from.
         base: u64,
         /// The delta interval `[base, next)`.
@@ -138,17 +148,47 @@ pub enum Request {
         /// Journal version after the interval.
         next: u64,
     },
-    /// [`crate::store::Store::fetch_all`].
-    FetchAll,
+    /// [`crate::store::Store::fetch_all`], scoped to one tenant's
+    /// partitions.
+    FetchAll {
+        /// The caller's namespace.
+        tenant: TenantId,
+    },
     /// [`crate::store::Store::remove`].
     Remove {
         /// Site whose partition is dropped.
         site: SiteId,
+        /// The caller's namespace.
+        tenant: TenantId,
     },
     /// Administrative graceful drain: the server stops accepting, finishes
     /// in-flight requests, and exits — the SIGTERM equivalent of a
     /// containerised deployment, delivered in-band.
     Shutdown,
+    /// Observability scrape: answered with [`Response::Metrics`]. Not
+    /// tenant-scoped — the metrics surface is operator-facing and reports
+    /// on every tenant.
+    Metrics,
+    /// Turns this connection into a push channel for `tenant`'s deadlock
+    /// reports: the server acks with [`Response::Subscribed`] (echoing this
+    /// request's correlation id), then streams a [`Response::Report`]
+    /// frame carrying the *same* correlation id for every fresh deadlock
+    /// its checker confirms in the tenant's merged view. The subscription
+    /// lives until the connection closes.
+    Subscribe {
+        /// The namespace whose reports are streamed.
+        tenant: TenantId,
+    },
+    /// [`crate::store::Store::publish_stats`]: a site's observability
+    /// counters, folded into the server's metrics surface.
+    PublishStats {
+        /// Publishing site.
+        site: SiteId,
+        /// The caller's namespace.
+        tenant: TenantId,
+        /// The counters.
+        stats: SiteStats,
+    },
 }
 
 /// A server → client message.
@@ -165,6 +205,64 @@ pub enum Response {
     View(Vec<(SiteId, Snapshot)>),
     /// The server could not serve the request.
     Error(String),
+    /// The metrics scrape answering [`Request::Metrics`].
+    Metrics(ServerMetrics),
+    /// Acknowledges [`Request::Subscribe`]: reports will now stream on
+    /// this correlation id.
+    Subscribed,
+    /// A pushed deadlock report on a subscribed correlation id.
+    Report(DeadlockReport),
+}
+
+/// Per-tenant slice of the server's metrics surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// The namespace.
+    pub tenant: TenantId,
+    /// Live (lease-respecting) partitions.
+    pub partitions: u64,
+    /// Partitions dropped by lease expiry since the server started.
+    pub lease_expiries: u64,
+    /// Connections currently subscribed to this tenant's reports.
+    pub subscribers: u64,
+}
+
+impl TenantMetrics {
+    /// A zeroed slice for `tenant`.
+    pub fn new(tenant: TenantId) -> TenantMetrics {
+        TenantMetrics { tenant, ..TenantMetrics::default() }
+    }
+}
+
+/// The server's observability snapshot, answered to [`Request::Metrics`]
+/// over either wire version.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Requests served since the server started.
+    pub served: u64,
+    /// Connections dropped for undecodable traffic.
+    pub protocol_errors: u64,
+    /// Connections currently open.
+    pub live_connections: u64,
+    /// Subscriptions currently live (across all tenants).
+    pub subscribers: u64,
+    /// Full-snapshot publishes served (legacy + versioned).
+    pub publishes: u64,
+    /// Delta publishes served.
+    pub delta_publishes: u64,
+    /// `FetchAll` requests served.
+    pub fetches: u64,
+    /// `Remove` requests served.
+    pub removes: u64,
+    /// Deadlock reports pushed to subscribers.
+    pub reports_streamed: u64,
+    /// High-water mark of any connection's reply queue within a burst.
+    pub reply_queue_max: u64,
+    /// Per-tenant gauges, sorted by tenant.
+    pub tenants: Vec<TenantMetrics>,
+    /// The latest [`SiteStats`] each site published, keyed
+    /// `(tenant, site)`.
+    pub sites: Vec<(TenantId, SiteId, SiteStats)>,
 }
 
 // --- varints ---------------------------------------------------------------
@@ -563,12 +661,206 @@ const REQ_PUBLISH_DELTAS: u8 = 2;
 const REQ_FETCH_ALL: u8 = 3;
 const REQ_REMOVE: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_METRICS: u8 = 6;
+const REQ_SUBSCRIBE: u8 = 7;
+const REQ_PUBLISH_STATS: u8 = 8;
 
 const RESP_OK: u8 = 0;
 const RESP_APPLIED: u8 = 1;
 const RESP_NEED_SNAPSHOT: u8 = 2;
 const RESP_VIEW: u8 = 3;
 const RESP_ERROR: u8 = 4;
+const RESP_METRICS: u8 = 5;
+const RESP_SUBSCRIBED: u8 = 6;
+const RESP_REPORT: u8 = 7;
+
+/// Flat size of a [`SiteStats`] record: nine `u64` counters.
+const FLAT_SITE_STATS: usize = 9 * 8;
+/// Flat size of a [`TenantMetrics`] entry: tenant + three `u64` gauges.
+const FLAT_TENANT_METRICS: usize = 4 + 3 * 8;
+/// Flat size of a `sites` entry: tenant + site + the stats record.
+const FLAT_SITE_ENTRY: usize = 4 + 4 + FLAT_SITE_STATS;
+/// Witness graph-model tags.
+const MODEL_WFG: u8 = 0;
+const MODEL_SG: u8 = 1;
+/// Witness shape tags.
+const WITNESS_TASKS: u8 = 0;
+const WITNESS_RESOURCES: u8 = 1;
+
+fn put_site_stats(stats: &SiteStats, out: &mut Vec<u8>) {
+    for n in [
+        stats.blocks,
+        stats.unblocks,
+        stats.fastpath_skips,
+        stats.publish_resyncs,
+        stats.async_waits,
+        stats.waker_wakes,
+        stats.checker_rounds,
+        stats.incremental_detections,
+        stats.reports_dropped,
+    ] {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+}
+
+fn take_site_stats(buf: &mut &[u8]) -> Result<SiteStats, WireError> {
+    Ok(SiteStats {
+        blocks: take_u64(buf)?,
+        unblocks: take_u64(buf)?,
+        fastpath_skips: take_u64(buf)?,
+        publish_resyncs: take_u64(buf)?,
+        async_waits: take_u64(buf)?,
+        waker_wakes: take_u64(buf)?,
+        checker_rounds: take_u64(buf)?,
+        incremental_detections: take_u64(buf)?,
+        reports_dropped: take_u64(buf)?,
+    })
+}
+
+fn put_metrics(metrics: &ServerMetrics, out: &mut Vec<u8>) {
+    for n in [
+        metrics.served,
+        metrics.protocol_errors,
+        metrics.live_connections,
+        metrics.subscribers,
+        metrics.publishes,
+        metrics.delta_publishes,
+        metrics.fetches,
+        metrics.removes,
+        metrics.reports_streamed,
+        metrics.reply_queue_max,
+    ] {
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+    out.extend_from_slice(&(metrics.tenants.len() as u32).to_le_bytes());
+    for t in &metrics.tenants {
+        out.extend_from_slice(&t.tenant.0.to_le_bytes());
+        out.extend_from_slice(&t.partitions.to_le_bytes());
+        out.extend_from_slice(&t.lease_expiries.to_le_bytes());
+        out.extend_from_slice(&t.subscribers.to_le_bytes());
+    }
+    out.extend_from_slice(&(metrics.sites.len() as u32).to_le_bytes());
+    for (tenant, site, stats) in &metrics.sites {
+        out.extend_from_slice(&tenant.0.to_le_bytes());
+        out.extend_from_slice(&site.0.to_le_bytes());
+        put_site_stats(stats, out);
+    }
+}
+
+fn take_metrics(buf: &mut &[u8]) -> Result<ServerMetrics, WireError> {
+    let mut metrics = ServerMetrics {
+        served: take_u64(buf)?,
+        protocol_errors: take_u64(buf)?,
+        live_connections: take_u64(buf)?,
+        subscribers: take_u64(buf)?,
+        publishes: take_u64(buf)?,
+        delta_publishes: take_u64(buf)?,
+        fetches: take_u64(buf)?,
+        removes: take_u64(buf)?,
+        reports_streamed: take_u64(buf)?,
+        reply_queue_max: take_u64(buf)?,
+        ..ServerMetrics::default()
+    };
+    let n_tenants = take_flat_count(buf, FLAT_TENANT_METRICS, "tenant metrics")?;
+    metrics.tenants.reserve(n_tenants.min(PREALLOC_CAP));
+    for _ in 0..n_tenants {
+        metrics.tenants.push(TenantMetrics {
+            tenant: TenantId(take_u32(buf)?),
+            partitions: take_u64(buf)?,
+            lease_expiries: take_u64(buf)?,
+            subscribers: take_u64(buf)?,
+        });
+    }
+    let n_sites = take_flat_count(buf, FLAT_SITE_ENTRY, "site stats")?;
+    metrics.sites.reserve(n_sites.min(PREALLOC_CAP));
+    for _ in 0..n_sites {
+        let tenant = TenantId(take_u32(buf)?);
+        let site = SiteId(take_u32(buf)?);
+        metrics.sites.push((tenant, site, take_site_stats(buf)?));
+    }
+    Ok(metrics)
+}
+
+fn put_report(report: &DeadlockReport, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(report.tasks.len() as u32).to_le_bytes());
+    for t in &report.tasks {
+        out.extend_from_slice(&t.0.to_le_bytes());
+    }
+    out.extend_from_slice(&(report.resources.len() as u32).to_le_bytes());
+    for r in &report.resources {
+        out.extend_from_slice(&r.phaser.0.to_le_bytes());
+        out.extend_from_slice(&r.phase.to_le_bytes());
+    }
+    out.push(match report.model {
+        GraphModel::Wfg => MODEL_WFG,
+        GraphModel::Sg => MODEL_SG,
+    });
+    match &report.witness {
+        CycleWitness::Tasks(tasks) => {
+            out.push(WITNESS_TASKS);
+            out.extend_from_slice(&(tasks.len() as u32).to_le_bytes());
+            for t in tasks {
+                out.extend_from_slice(&t.0.to_le_bytes());
+            }
+        }
+        CycleWitness::Resources(resources) => {
+            out.push(WITNESS_RESOURCES);
+            out.extend_from_slice(&(resources.len() as u32).to_le_bytes());
+            for r in resources {
+                out.extend_from_slice(&r.phaser.0.to_le_bytes());
+                out.extend_from_slice(&r.phase.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(report.task_epochs.len() as u32).to_le_bytes());
+    for (task, epoch) in &report.task_epochs {
+        out.extend_from_slice(&task.0.to_le_bytes());
+        out.extend_from_slice(&epoch.to_le_bytes());
+    }
+}
+
+fn take_report(buf: &mut &[u8]) -> Result<DeadlockReport, WireError> {
+    let n_tasks = take_flat_count(buf, 8, "report tasks")?;
+    let mut tasks = Vec::with_capacity(n_tasks.min(PREALLOC_CAP));
+    for _ in 0..n_tasks {
+        tasks.push(TaskId(take_u64(buf)?));
+    }
+    let n_resources = take_flat_count(buf, FLAT_PAIR, "report resources")?;
+    let mut resources = Vec::with_capacity(n_resources.min(PREALLOC_CAP));
+    for _ in 0..n_resources {
+        resources.push(Resource::new(PhaserId(take_u64(buf)?), take_u64(buf)?));
+    }
+    let model = match take_u8(buf)? {
+        MODEL_WFG => GraphModel::Wfg,
+        MODEL_SG => GraphModel::Sg,
+        other => return Err(malformed(format!("unknown graph model tag {other}"))),
+    };
+    let witness = match take_u8(buf)? {
+        WITNESS_TASKS => {
+            let n = take_flat_count(buf, 8, "witness tasks")?;
+            let mut cycle = Vec::with_capacity(n.min(PREALLOC_CAP));
+            for _ in 0..n {
+                cycle.push(TaskId(take_u64(buf)?));
+            }
+            CycleWitness::Tasks(cycle)
+        }
+        WITNESS_RESOURCES => {
+            let n = take_flat_count(buf, FLAT_PAIR, "witness resources")?;
+            let mut cycle = Vec::with_capacity(n.min(PREALLOC_CAP));
+            for _ in 0..n {
+                cycle.push(Resource::new(PhaserId(take_u64(buf)?), take_u64(buf)?));
+            }
+            CycleWitness::Resources(cycle)
+        }
+        other => return Err(malformed(format!("unknown witness tag {other}"))),
+    };
+    let n_epochs = take_flat_count(buf, FLAT_PAIR, "task epochs")?;
+    let mut task_epochs = Vec::with_capacity(n_epochs.min(PREALLOC_CAP));
+    for _ in 0..n_epochs {
+        task_epochs.push((TaskId(take_u64(buf)?), take_u64(buf)?));
+    }
+    Ok(DeadlockReport { tasks, resources, model, witness, task_epochs })
+}
 
 /// A message with a hand-rolled flat v2 body: one kind byte followed by
 /// fixed-width little-endian fields and contiguous arrays. Implemented by
@@ -583,30 +875,48 @@ pub trait FlatMessage: Sized {
 impl FlatMessage for Request {
     fn encode_flat(&self, out: &mut Vec<u8>) {
         match self {
-            Request::Publish { site, snapshot } => {
+            Request::Publish { site, tenant, snapshot } => {
                 out.push(REQ_PUBLISH);
                 out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&tenant.0.to_le_bytes());
                 put_snapshot(snapshot, out);
             }
-            Request::PublishFull { site, snapshot, version } => {
+            Request::PublishFull { site, tenant, snapshot, version } => {
                 out.push(REQ_PUBLISH_FULL);
                 out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&tenant.0.to_le_bytes());
                 out.extend_from_slice(&version.to_le_bytes());
                 put_snapshot(snapshot, out);
             }
-            Request::PublishDeltas { site, base, deltas, next } => {
+            Request::PublishDeltas { site, tenant, base, deltas, next } => {
                 out.push(REQ_PUBLISH_DELTAS);
                 out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&tenant.0.to_le_bytes());
                 out.extend_from_slice(&base.to_le_bytes());
                 out.extend_from_slice(&next.to_le_bytes());
                 put_deltas(deltas, out);
             }
-            Request::FetchAll => out.push(REQ_FETCH_ALL),
-            Request::Remove { site } => {
+            Request::FetchAll { tenant } => {
+                out.push(REQ_FETCH_ALL);
+                out.extend_from_slice(&tenant.0.to_le_bytes());
+            }
+            Request::Remove { site, tenant } => {
                 out.push(REQ_REMOVE);
                 out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&tenant.0.to_le_bytes());
             }
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Metrics => out.push(REQ_METRICS),
+            Request::Subscribe { tenant } => {
+                out.push(REQ_SUBSCRIBE);
+                out.extend_from_slice(&tenant.0.to_le_bytes());
+            }
+            Request::PublishStats { site, tenant, stats } => {
+                out.push(REQ_PUBLISH_STATS);
+                out.extend_from_slice(&site.0.to_le_bytes());
+                out.extend_from_slice(&tenant.0.to_le_bytes());
+                put_site_stats(stats, out);
+            }
         }
     }
 
@@ -614,22 +924,36 @@ impl FlatMessage for Request {
         Ok(match take_u8(buf)? {
             REQ_PUBLISH => {
                 let site = SiteId(take_u32(buf)?);
-                Request::Publish { site, snapshot: take_snapshot(buf)? }
+                let tenant = TenantId(take_u32(buf)?);
+                Request::Publish { site, tenant, snapshot: take_snapshot(buf)? }
             }
             REQ_PUBLISH_FULL => {
                 let site = SiteId(take_u32(buf)?);
+                let tenant = TenantId(take_u32(buf)?);
                 let version = take_u64(buf)?;
-                Request::PublishFull { site, snapshot: take_snapshot(buf)?, version }
+                Request::PublishFull { site, tenant, snapshot: take_snapshot(buf)?, version }
             }
             REQ_PUBLISH_DELTAS => {
                 let site = SiteId(take_u32(buf)?);
+                let tenant = TenantId(take_u32(buf)?);
                 let base = take_u64(buf)?;
                 let next = take_u64(buf)?;
-                Request::PublishDeltas { site, base, deltas: take_deltas(buf)?, next }
+                Request::PublishDeltas { site, tenant, base, deltas: take_deltas(buf)?, next }
             }
-            REQ_FETCH_ALL => Request::FetchAll,
-            REQ_REMOVE => Request::Remove { site: SiteId(take_u32(buf)?) },
+            REQ_FETCH_ALL => Request::FetchAll { tenant: TenantId(take_u32(buf)?) },
+            REQ_REMOVE => {
+                let site = SiteId(take_u32(buf)?);
+                let tenant = TenantId(take_u32(buf)?);
+                Request::Remove { site, tenant }
+            }
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_METRICS => Request::Metrics,
+            REQ_SUBSCRIBE => Request::Subscribe { tenant: TenantId(take_u32(buf)?) },
+            REQ_PUBLISH_STATS => {
+                let site = SiteId(take_u32(buf)?);
+                let tenant = TenantId(take_u32(buf)?);
+                Request::PublishStats { site, tenant, stats: take_site_stats(buf)? }
+            }
             other => return Err(malformed(format!("unknown request kind {other}"))),
         })
     }
@@ -653,6 +977,15 @@ impl FlatMessage for Response {
                 out.push(RESP_ERROR);
                 put_flat_str(message, out);
             }
+            Response::Metrics(metrics) => {
+                out.push(RESP_METRICS);
+                put_metrics(metrics, out);
+            }
+            Response::Subscribed => out.push(RESP_SUBSCRIBED),
+            Response::Report(report) => {
+                out.push(RESP_REPORT);
+                put_report(report, out);
+            }
         }
     }
 
@@ -671,6 +1004,9 @@ impl FlatMessage for Response {
                 Response::View(view)
             }
             RESP_ERROR => Response::Error(take_flat_str(buf, "error message")?),
+            RESP_METRICS => Response::Metrics(take_metrics(buf)?),
+            RESP_SUBSCRIBED => Response::Subscribed,
+            RESP_REPORT => Response::Report(take_report(buf)?),
             other => return Err(malformed(format!("unknown response kind {other}"))),
         })
     }
@@ -819,6 +1155,60 @@ mod tests {
         )])
     }
 
+    fn stats() -> SiteStats {
+        SiteStats {
+            blocks: 10,
+            unblocks: 9,
+            fastpath_skips: 8,
+            publish_resyncs: 7,
+            async_waits: 6,
+            waker_wakes: 5,
+            checker_rounds: 4,
+            incremental_detections: 3,
+            reports_dropped: 2,
+        }
+    }
+
+    fn metrics() -> ServerMetrics {
+        ServerMetrics {
+            served: 100,
+            protocol_errors: 1,
+            live_connections: 4,
+            subscribers: 2,
+            publishes: 40,
+            delta_publishes: 50,
+            fetches: 9,
+            removes: 3,
+            reports_streamed: 6,
+            reply_queue_max: 12,
+            tenants: vec![
+                TenantMetrics {
+                    tenant: TenantId(1),
+                    partitions: 2,
+                    lease_expiries: 1,
+                    subscribers: 1,
+                },
+                TenantMetrics::new(TenantId(9)),
+            ],
+            sites: vec![(TenantId(1), SiteId(0), stats()), (TenantId(9), SiteId(4), stats())],
+        }
+    }
+
+    fn report(witness: CycleWitness) -> DeadlockReport {
+        let model = if matches!(witness, CycleWitness::Tasks(_)) {
+            GraphModel::Wfg
+        } else {
+            GraphModel::Sg
+        };
+        DeadlockReport {
+            tasks: vec![TaskId(1), TaskId(2)],
+            resources: vec![Resource::new(PhaserId(1), 1), Resource::new(PhaserId(2), 0)],
+            model,
+            witness,
+            task_epochs: vec![(TaskId(1), 3), (TaskId(2), 0)],
+        }
+    }
+
     fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(msg: &T) {
         let frame = encode_frame(msg).expect("bounded test message");
         let mut cursor = io::Cursor::new(frame);
@@ -828,17 +1218,26 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        roundtrip(&Request::Publish { site: SiteId(0), snapshot: snap() });
-        roundtrip(&Request::PublishFull { site: SiteId(7), snapshot: snap(), version: 42 });
+        roundtrip(&Request::Publish { site: SiteId(0), tenant: TenantId(2), snapshot: snap() });
+        roundtrip(&Request::PublishFull {
+            site: SiteId(7),
+            tenant: TenantId::DEFAULT,
+            snapshot: snap(),
+            version: 42,
+        });
         roundtrip(&Request::PublishDeltas {
             site: SiteId(1),
+            tenant: TenantId(3),
             base: 5,
             deltas: vec![Delta::Block(snap().tasks[0].clone()), Delta::Unblock(TaskId(9))],
             next: 7,
         });
-        roundtrip(&Request::FetchAll);
-        roundtrip(&Request::Remove { site: SiteId(3) });
+        roundtrip(&Request::FetchAll { tenant: TenantId(4) });
+        roundtrip(&Request::Remove { site: SiteId(3), tenant: TenantId(1) });
         roundtrip(&Request::Shutdown);
+        roundtrip(&Request::Metrics);
+        roundtrip(&Request::Subscribe { tenant: TenantId(5) });
+        roundtrip(&Request::PublishStats { site: SiteId(2), tenant: TenantId(1), stats: stats() });
     }
 
     #[test]
@@ -848,6 +1247,18 @@ mod tests {
         roundtrip(&Response::NeedSnapshot);
         roundtrip(&Response::View(vec![(SiteId(0), snap()), (SiteId(1), Snapshot::empty())]));
         roundtrip(&Response::Error("partition store on fire".into()));
+        roundtrip(&Response::Metrics(metrics()));
+        roundtrip(&Response::Metrics(ServerMetrics::default()));
+        roundtrip(&Response::Subscribed);
+        roundtrip(&Response::Report(report(CycleWitness::Tasks(vec![
+            TaskId(1),
+            TaskId(2),
+            TaskId(1),
+        ]))));
+        roundtrip(&Response::Report(report(CycleWitness::Resources(vec![Resource::new(
+            PhaserId(1),
+            1,
+        )]))));
     }
 
     #[test]
@@ -872,7 +1283,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_an_io_error() {
-        let mut frame = encode_frame(&Request::FetchAll).unwrap();
+        let mut frame = encode_frame(&Request::FetchAll { tenant: TenantId::DEFAULT }).unwrap();
         frame.truncate(frame.len() - 1);
         let mut cursor = io::Cursor::new(frame);
         assert!(matches!(read_message::<_, Request>(&mut cursor), Err(WireError::Io(_))));
@@ -888,7 +1299,7 @@ mod tests {
 
     #[test]
     fn future_versions_are_rejected_cleanly() {
-        let mut frame = encode_frame(&Request::FetchAll).unwrap();
+        let mut frame = encode_frame(&Request::FetchAll { tenant: TenantId::DEFAULT }).unwrap();
         frame[4] = WIRE_VERSION + 1; // the version byte follows the length
         let mut cursor = io::Cursor::new(frame);
         assert!(matches!(
@@ -929,34 +1340,108 @@ mod tests {
 
     #[test]
     fn flat_frames_round_trip_with_correlation_ids() {
-        v2_roundtrip(0, &Request::Publish { site: SiteId(0), snapshot: snap() });
-        v2_roundtrip(1, &Request::PublishFull { site: SiteId(7), snapshot: snap(), version: 42 });
+        v2_roundtrip(
+            0,
+            &Request::Publish { site: SiteId(0), tenant: TenantId(6), snapshot: snap() },
+        );
+        v2_roundtrip(
+            1,
+            &Request::PublishFull {
+                site: SiteId(7),
+                tenant: TenantId::DEFAULT,
+                snapshot: snap(),
+                version: 42,
+            },
+        );
         v2_roundtrip(
             u64::MAX,
             &Request::PublishDeltas {
                 site: SiteId(1),
+                tenant: TenantId(2),
                 base: 5,
                 deltas: vec![Delta::Block(snap().tasks[0].clone()), Delta::Unblock(TaskId(9))],
                 next: 7,
             },
         );
-        v2_roundtrip(3, &Request::FetchAll);
-        v2_roundtrip(4, &Request::Remove { site: SiteId(3) });
+        v2_roundtrip(3, &Request::FetchAll { tenant: TenantId(1) });
+        v2_roundtrip(4, &Request::Remove { site: SiteId(3), tenant: TenantId(8) });
         v2_roundtrip(5, &Request::Shutdown);
+        v2_roundtrip(51, &Request::Metrics);
+        v2_roundtrip(52, &Request::Subscribe { tenant: TenantId(7) });
+        v2_roundtrip(
+            53,
+            &Request::PublishStats { site: SiteId(1), tenant: TenantId(7), stats: stats() },
+        );
         v2_roundtrip(6, &Response::Ok);
         v2_roundtrip(7, &Response::Applied);
         v2_roundtrip(8, &Response::NeedSnapshot);
         v2_roundtrip(9, &Response::View(vec![(SiteId(0), snap()), (SiteId(1), Snapshot::empty())]));
         v2_roundtrip(10, &Response::Error("partition store on fire".into()));
+        v2_roundtrip(11, &Response::Metrics(metrics()));
+        v2_roundtrip(12, &Response::Metrics(ServerMetrics::default()));
+        v2_roundtrip(13, &Response::Subscribed);
+        v2_roundtrip(
+            14,
+            &Response::Report(report(CycleWitness::Tasks(vec![TaskId(1), TaskId(2), TaskId(1)]))),
+        );
+        v2_roundtrip(
+            15,
+            &Response::Report(report(CycleWitness::Resources(vec![
+                Resource::new(PhaserId(1), 1),
+                Resource::new(PhaserId(2), 0),
+                Resource::new(PhaserId(1), 1),
+            ]))),
+        );
+    }
+
+    #[test]
+    fn hostile_metrics_counts_do_not_allocate() {
+        // A v2 Metrics response claiming u32::MAX tenant entries in a
+        // body that only holds the fixed counters.
+        let mut payload = vec![WIRE_V2];
+        payload.extend_from_slice(&0u64.to_le_bytes()); // corr
+        payload.push(RESP_METRICS);
+        for _ in 0..10 {
+            payload.extend_from_slice(&0u64.to_le_bytes()); // fixed counters
+        }
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // tenant count
+        assert!(matches!(decode_frame_payload::<Response>(&payload), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_witness_tags_are_malformed_not_panics() {
+        let mut out = Vec::new();
+        encode_frame_v2_into(
+            &mut out,
+            1,
+            &Response::Report(report(CycleWitness::Tasks(vec![TaskId(1)]))),
+        )
+        .unwrap();
+        // Corrupt the witness tag, whose offset is fixed by the flat
+        // layout: prefix+version+corr+kind, then 2 tasks, 2 resources,
+        // and the model byte.
+        let witness_tag_at = (4 + 1 + 8 + 1) + (4 + 2 * 8) + (4 + 2 * 16) + 1;
+        assert_eq!(out[witness_tag_at], WITNESS_TASKS);
+        out[witness_tag_at] = 0x7F;
+        assert!(matches!(
+            decode_frame_payload::<Response>(&out[4..]),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]
     fn flat_encoding_appends_and_restores_on_overflow() {
         // Appending leaves earlier frames in the buffer intact…
         let mut out = Vec::new();
-        encode_frame_v2_into(&mut out, 1, &Request::FetchAll).unwrap();
+        encode_frame_v2_into(&mut out, 1, &Request::FetchAll { tenant: TenantId::DEFAULT })
+            .unwrap();
         let first = out.clone();
-        encode_frame_v2_into(&mut out, 2, &Request::Remove { site: SiteId(9) }).unwrap();
+        encode_frame_v2_into(
+            &mut out,
+            2,
+            &Request::Remove { site: SiteId(9), tenant: TenantId::DEFAULT },
+        )
+        .unwrap();
         assert_eq!(&out[..first.len()], &first[..], "first frame untouched");
         // …and an oversized message truncates back to the prior frames.
         let huge = Response::Error("x".repeat(MAX_FRAME_LEN as usize + 1));
@@ -968,8 +1453,14 @@ mod tests {
     #[test]
     fn frame_buffer_extracts_bursts_and_waits_on_partials() {
         let mut wire_bytes = Vec::new();
-        encode_frame_v2_into(&mut wire_bytes, 11, &Request::FetchAll).unwrap();
-        encode_frame_v2_into(&mut wire_bytes, 12, &Request::Remove { site: SiteId(2) }).unwrap();
+        encode_frame_v2_into(&mut wire_bytes, 11, &Request::FetchAll { tenant: TenantId(4) })
+            .unwrap();
+        encode_frame_v2_into(
+            &mut wire_bytes,
+            12,
+            &Request::Remove { site: SiteId(2), tenant: TenantId(4) },
+        )
+        .unwrap();
         let mut tail = encode_frame(&Request::Shutdown).unwrap(); // a v1 straggler
         wire_bytes.append(&mut tail);
 
@@ -986,11 +1477,11 @@ mod tests {
         assert_eq!(got.len(), 3);
         assert_eq!(
             (got[0].version, got[0].corr, got[0].msg.clone()),
-            (WIRE_V2, 11, Request::FetchAll)
+            (WIRE_V2, 11, Request::FetchAll { tenant: TenantId(4) })
         );
         assert_eq!(
             (got[1].version, got[1].corr, got[1].msg.clone()),
-            (WIRE_V2, 12, Request::Remove { site: SiteId(2) })
+            (WIRE_V2, 12, Request::Remove { site: SiteId(2), tenant: TenantId(4) })
         );
         assert_eq!(
             (got[2].version, got[2].corr, got[2].msg.clone()),
@@ -1008,7 +1499,8 @@ mod tests {
     #[test]
     fn flat_trailing_bytes_are_rejected() {
         let mut out = Vec::new();
-        encode_frame_v2_into(&mut out, 1, &Request::FetchAll).unwrap();
+        encode_frame_v2_into(&mut out, 1, &Request::FetchAll { tenant: TenantId::DEFAULT })
+            .unwrap();
         out.push(0xEE); // a trailing byte inside the *payload* …
         let len = (out.len() - 4) as u32;
         out[..4].copy_from_slice(&len.to_le_bytes()); // … the prefix covers
@@ -1022,6 +1514,7 @@ mod tests {
         payload.extend_from_slice(&0u64.to_le_bytes()); // corr
         payload.push(REQ_PUBLISH_DELTAS);
         payload.extend_from_slice(&3u32.to_le_bytes()); // site
+        payload.extend_from_slice(&0u32.to_le_bytes()); // tenant
         payload.extend_from_slice(&0u64.to_le_bytes()); // base
         payload.extend_from_slice(&1u64.to_le_bytes()); // next
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // delta count

@@ -228,6 +228,26 @@ fn stop_is_interruptible_not_a_sum_of_periods() {
 }
 
 #[test]
+fn stop_against_a_dead_store_is_bounded_not_an_endless_retry() {
+    // The store never recovers. Stop must give up on the remove within
+    // its bounded budget instead of spinning forever — a service being
+    // restarted can't wait on a dead backend.
+    let cluster = Cluster::start(1, fast_cfg());
+    let store = Arc::clone(cluster.store());
+    assert!(eventually(Duration::from_secs(5), || {
+        store.fetch_all().map(|v| !v.is_empty()).unwrap_or(false)
+    }));
+    store.set_available(false);
+    let start = Instant::now();
+    cluster.stop();
+    let elapsed = start.elapsed();
+    assert!(elapsed < Duration::from_millis(100), "stop took {elapsed:?} against a dead store");
+    // The partition genuinely could not be removed; that is the trade.
+    store.set_available(true);
+    assert!(!store.fetch_all().unwrap().is_empty());
+}
+
+#[test]
 fn stop_retries_the_remove_through_a_brief_outage() {
     // The store is down at the instant of stop; it recovers 40 ms later —
     // inside the bounded retry window — so the partition must still be

@@ -13,7 +13,7 @@ use armus_core::{
 use armus_dist::server::{StoredConfig, StoredServer};
 use armus_dist::{
     ChaosConfig, ChaosStore, DeltaAck, Site, SiteConfig, SiteId, Store, StoreError, TcpStore,
-    TcpStoreConfig,
+    TcpStoreConfig, TenantId,
 };
 
 fn fast_cfg() -> SiteConfig {
@@ -294,14 +294,19 @@ fn v1_client_against_v2_server_still_round_trips() {
         vec![Resource::new(PhaserId(1), 1)],
         vec![Registration::new(PhaserId(1), 1)],
     )]);
-    let publish = armus_dist::wire::Request::PublishFull { site: SiteId(0), snapshot, version: 1 };
+    let publish = armus_dist::wire::Request::PublishFull {
+        site: SiteId(0),
+        tenant: TenantId::DEFAULT,
+        snapshot,
+        version: 1,
+    };
     conn.write_all(&armus_dist::wire::encode_frame(&publish).unwrap()).unwrap();
     let ack: armus_dist::wire::Response = armus_dist::wire::read_message(&mut conn)
         .expect("v1 response")
         .expect("server must answer a v1 frame in v1");
     assert_eq!(ack, armus_dist::wire::Response::Ok);
-    conn.write_all(&armus_dist::wire::encode_frame(&armus_dist::wire::Request::FetchAll).unwrap())
-        .unwrap();
+    let fetch = armus_dist::wire::Request::FetchAll { tenant: TenantId::DEFAULT };
+    conn.write_all(&armus_dist::wire::encode_frame(&fetch).unwrap()).unwrap();
     let view: armus_dist::wire::Response =
         armus_dist::wire::read_message(&mut conn).expect("v1 response").expect("one frame");
     match view {
@@ -429,6 +434,157 @@ fn chaos_over_tcp_survives_a_server_restart() {
     assert!(store.inner().failures() > 0, "the severed batch must have failed ops loudly");
     assert!(store.inner().reconnects() >= 2, "the client must have redialed the new server");
     server.take().unwrap().shutdown();
+}
+
+/// The workers half of the running example as a raw partition: tasks
+/// 1..=3 blocked on phaser 1, a phase behind on phaser 2.
+fn workers_snapshot() -> Snapshot {
+    Snapshot::from_tasks(
+        (1..=3u64)
+            .map(|i| {
+                BlockedInfo::new(
+                    TaskId(i),
+                    vec![Resource::new(PhaserId(1), 1)],
+                    vec![Registration::new(PhaserId(1), 1), Registration::new(PhaserId(2), 0)],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The driver half: blocked on phaser 2, a phase behind on phaser 1 —
+/// published from another site it closes the cross-site cycle.
+fn driver_snapshot() -> Snapshot {
+    Snapshot::from_tasks(vec![BlockedInfo::new(
+        TaskId(1),
+        vec![Resource::new(PhaserId(2), 1)],
+        vec![Registration::new(PhaserId(1), 0), Registration::new(PhaserId(2), 1)],
+    )])
+}
+
+#[test]
+fn tenants_with_colliding_sites_are_isolated_over_tcp() {
+    // Two tenants reuse SiteId(0) against one server; neither may ever
+    // observe the other's partitions, and removes stay scoped.
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let a = TcpStore::new(addr.clone()).for_tenant(TenantId(1));
+    let b = TcpStore::new(addr).for_tenant(TenantId(2));
+    a.publish_full(SiteId(0), workers_snapshot(), 1).unwrap();
+    b.publish_full(SiteId(0), driver_snapshot(), 1).unwrap();
+    let view_a = a.fetch_all().unwrap();
+    assert_eq!(view_a.len(), 1);
+    assert_eq!(view_a[0].1.tasks.len(), 3, "tenant 1 must see only its own partition");
+    let view_b = b.fetch_all().unwrap();
+    assert_eq!(view_b.len(), 1);
+    assert_eq!(view_b[0].1.tasks.len(), 1, "tenant 2 must see only its own partition");
+    a.remove(SiteId(0)).unwrap();
+    assert!(a.fetch_all().unwrap().is_empty());
+    assert_eq!(b.fetch_all().unwrap().len(), 1, "tenant 1's remove must not touch tenant 2");
+    server.shutdown();
+}
+
+#[test]
+fn subscribers_get_streamed_reports_without_polling() {
+    let server = StoredServer::bind(
+        "127.0.0.1:0",
+        StoredConfig { check_period: Duration::from_millis(20), ..Default::default() },
+    )
+    .unwrap();
+    let store = TcpStore::new(server.local_addr().to_string()).for_tenant(TenantId(7));
+    let sub = store.subscribe().expect("subscribe");
+    store.publish_full(SiteId(0), workers_snapshot(), 1).unwrap();
+    store.publish_full(SiteId(1), driver_snapshot(), 1).unwrap();
+    let report = sub.recv(Duration::from_secs(10)).expect("a pushed report");
+    assert!(report.tasks.contains(&TaskId(1).with_site(0)));
+    assert!(report.tasks.contains(&TaskId(1).with_site(1)));
+    assert_eq!(report.tasks.len(), 4, "3 workers + driver");
+    // The gate for the push channel: detection reached the client with
+    // zero fetch_all polls (the server-side checker reads the store
+    // in-process, below the request counters).
+    let metrics = store.metrics().unwrap();
+    assert_eq!(metrics.fetches, 0, "a subscriber must never need to poll");
+    assert_eq!(metrics.subscribers, 1);
+    assert!(metrics.reports_streamed >= 1);
+    // The same deadlock is found every round; dedup pushes it once.
+    assert!(
+        sub.recv(Duration::from_millis(200)).is_none(),
+        "an unchanged deadlock must not be streamed twice"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn subscriptions_are_tenant_scoped() {
+    let server = StoredServer::bind(
+        "127.0.0.1:0",
+        StoredConfig { check_period: Duration::from_millis(20), ..Default::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let deadlocked = TcpStore::new(addr.clone()).for_tenant(TenantId(1));
+    let bystander = TcpStore::new(addr).for_tenant(TenantId(2));
+    let sub_own = deadlocked.subscribe().unwrap();
+    let sub_other = bystander.subscribe().unwrap();
+    deadlocked.publish_full(SiteId(0), workers_snapshot(), 1).unwrap();
+    deadlocked.publish_full(SiteId(1), driver_snapshot(), 1).unwrap();
+    assert!(sub_own.recv(Duration::from_secs(10)).is_some(), "own tenant streams the report");
+    assert!(
+        sub_other.recv(Duration::from_millis(300)).is_none(),
+        "tenant 2 must never see tenant 1's deadlock"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_are_served_over_both_wire_versions() {
+    let server = StoredServer::bind("127.0.0.1:0", StoredConfig::default()).unwrap();
+    let store = TcpStore::new(server.local_addr().to_string());
+    store.publish_full(SiteId(3), driver_snapshot(), 1).unwrap();
+    // v2: flat frames through the pipelined client.
+    let m2 = store.metrics().unwrap();
+    assert_eq!(m2.publishes, 1);
+    assert_eq!(m2.tenants.len(), 1);
+    assert_eq!(m2.tenants[0].partitions, 1);
+    // v1: the legacy ping-pong encoding over a raw socket.
+    let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    use std::io::Write;
+    conn.write_all(&armus_dist::wire::encode_frame(&armus_dist::wire::Request::Metrics).unwrap())
+        .unwrap();
+    let resp: armus_dist::wire::Response =
+        armus_dist::wire::read_message(&mut conn).expect("v1 response").expect("one frame");
+    match resp {
+        armus_dist::wire::Response::Metrics(m1) => {
+            assert_eq!(m1.publishes, 1);
+            assert!(m1.served > m2.served, "the v2 scrape itself was served in between");
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn cross_process_tenants_are_isolated_and_streamed() {
+    // The full service deployment: a real armus-stored child process,
+    // two tenants with colliding site ids, one subscriber.
+    let stored =
+        armus_dist::StoredProcess::spawn(stored_binary(), Some(Duration::from_secs(5)), None)
+            .expect("spawn armus-stored");
+    let a = TcpStore::new(stored.addr()).for_tenant(TenantId(1));
+    let b = TcpStore::new(stored.addr()).for_tenant(TenantId(2));
+    let sub = a.subscribe().expect("subscribe across the process boundary");
+    a.publish_full(SiteId(0), workers_snapshot(), 1).unwrap();
+    a.publish_full(SiteId(1), driver_snapshot(), 1).unwrap();
+    b.publish_full(SiteId(0), driver_snapshot(), 1).unwrap();
+    assert_eq!(a.fetch_all().unwrap().len(), 2);
+    assert_eq!(b.fetch_all().unwrap().len(), 1, "colliding site ids must stay namespaced");
+    let report =
+        sub.recv(Duration::from_secs(10)).expect("report streamed across the process boundary");
+    assert_eq!(report.tasks.len(), 4, "tenant 1's cycle only: 3 workers + driver");
+    let metrics = a.metrics().unwrap();
+    assert_eq!(metrics.tenants.len(), 2);
+    assert!(metrics.reports_streamed >= 1);
+    stored.stop().expect("drain armus-stored");
 }
 
 #[test]

@@ -6,7 +6,7 @@
 
 use armus_core::{BlockedInfo, Delta, PhaserId, Registration, Resource, Snapshot, TaskId};
 use armus_dist::wire::{self, Request, Response, WireError};
-use armus_dist::SiteId;
+use armus_dist::{SiteId, TenantId};
 use proptest::prelude::*;
 
 fn arb_blocked() -> impl Strategy<Value = BlockedInfo> {
@@ -68,15 +68,21 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn snapshots_round_trip(snap in arb_snapshot()) {
+    fn snapshots_round_trip(snap in arb_snapshot(), tenant in 0u32..8) {
         let back = frame_roundtrip(&Request::PublishFull {
             site: SiteId(3),
+            tenant: TenantId(tenant),
             snapshot: snap.clone(),
             version: 17,
         });
         prop_assert_eq!(
             back,
-            Request::PublishFull { site: SiteId(3), snapshot: snap, version: 17 }
+            Request::PublishFull {
+                site: SiteId(3),
+                tenant: TenantId(tenant),
+                snapshot: snap,
+                version: 17,
+            }
         );
     }
 
@@ -85,9 +91,11 @@ proptest! {
         deltas in proptest::collection::vec(arb_delta(), 0..10),
         base in 0u64..1000,
         span in 0u64..50,
+        tenant in 0u32..8,
     ) {
         let msg = Request::PublishDeltas {
             site: SiteId(1),
+            tenant: TenantId(tenant),
             base,
             deltas,
             next: base + span,
@@ -116,7 +124,12 @@ proptest! {
     /// is cut, so either the value or its trailing check breaks).
     #[test]
     fn truncated_payloads_are_rejected(snap in arb_snapshot(), cut in 1usize..32) {
-        let frame = wire::encode_frame(&Request::Publish { site: SiteId(0), snapshot: snap }).unwrap();
+        let frame = wire::encode_frame(&Request::Publish {
+            site: SiteId(0),
+            tenant: TenantId::DEFAULT,
+            snapshot: snap,
+        })
+        .unwrap();
         let payload = &frame[4..]; // strip the length prefix
         if cut < payload.len() {
             let truncated = &payload[..payload.len() - cut];
@@ -128,8 +141,17 @@ proptest! {
     }
 
     #[test]
-    fn flat_snapshots_round_trip_with_correlation(snap in arb_snapshot(), corr in any::<u64>()) {
-        let msg = Request::PublishFull { site: SiteId(3), snapshot: snap, version: 17 };
+    fn flat_snapshots_round_trip_with_correlation(
+        snap in arb_snapshot(),
+        corr in any::<u64>(),
+        tenant in any::<u32>(),
+    ) {
+        let msg = Request::PublishFull {
+            site: SiteId(3),
+            tenant: TenantId(tenant),
+            snapshot: snap,
+            version: 17,
+        };
         let frame = flat_roundtrip(&msg, corr);
         prop_assert_eq!(frame.version, wire::WIRE_V2);
         prop_assert_eq!(frame.corr, corr);
@@ -143,7 +165,13 @@ proptest! {
         span in 0u64..50,
         corr in any::<u64>(),
     ) {
-        let msg = Request::PublishDeltas { site: SiteId(1), base, deltas, next: base + span };
+        let msg = Request::PublishDeltas {
+            site: SiteId(1),
+            tenant: TenantId(2),
+            base,
+            deltas,
+            next: base + span,
+        };
         prop_assert_eq!(flat_roundtrip(&msg, corr).msg, msg);
     }
 
@@ -174,7 +202,12 @@ proptest! {
     /// correlation id 0 — old clients keep working against new servers.
     #[test]
     fn v1_payloads_negotiate_with_corr_zero(snap in arb_snapshot()) {
-        let msg = Request::PublishFull { site: SiteId(2), snapshot: snap, version: 9 };
+        let msg = Request::PublishFull {
+            site: SiteId(2),
+            tenant: TenantId(5),
+            snapshot: snap,
+            version: 9,
+        };
         let framed = wire::encode_frame(&msg).unwrap();
         let frame = wire::decode_frame_payload::<Request>(&framed[4..]).expect("v1 negotiates");
         prop_assert_eq!(frame.version, wire::WIRE_V1);
@@ -186,7 +219,12 @@ proptest! {
     /// fixed-width headers and count guards catch every cut.
     #[test]
     fn truncated_flat_payloads_are_rejected(snap in arb_snapshot(), corr in any::<u64>(), cut in 1usize..32) {
-        let msg = Request::PublishFull { site: SiteId(0), snapshot: snap, version: 4 };
+        let msg = Request::PublishFull {
+            site: SiteId(0),
+            tenant: TenantId::DEFAULT,
+            snapshot: snap,
+            version: 4,
+        };
         let mut out = Vec::new();
         wire::encode_frame_v2_into(&mut out, corr, &msg).unwrap();
         let payload = &out[4..];
@@ -200,7 +238,12 @@ proptest! {
     /// exact, so a desynchronised stream can never be misparsed.
     #[test]
     fn flat_trailing_garbage_is_rejected(snap in arb_snapshot(), junk in proptest::collection::vec(any::<u8>(), 1..8)) {
-        let msg = Request::PublishFull { site: SiteId(0), snapshot: snap, version: 4 };
+        let msg = Request::PublishFull {
+            site: SiteId(0),
+            tenant: TenantId::DEFAULT,
+            snapshot: snap,
+            version: 4,
+        };
         let mut out = Vec::new();
         wire::encode_frame_v2_into(&mut out, 7, &msg).unwrap();
         out.extend_from_slice(&junk);

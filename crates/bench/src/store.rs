@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use armus_core::{BlockedInfo, Delta, PhaserId, Registration, Resource, Snapshot, TaskId};
 use armus_dist::server::{StoredConfig, StoredServer};
-use armus_dist::{MemStore, SiteId, Store, TcpStore};
+use armus_dist::{MemStore, ServerMetrics, SiteId, Store, TcpStore};
 use serde::Serialize;
 
 /// Tasks per published partition (a mid-sized site).
@@ -57,6 +57,12 @@ pub struct StoreResults {
     pub host_cores: usize,
     /// One cell per (backend, operation, site count).
     pub cells: Vec<StoreCell>,
+    /// The TCP server's own counters after the run — what a
+    /// `Request::Metrics` scrape of a production `armus-stored` would
+    /// report. `served` vs `reply_queue_max` shows how deep the
+    /// pipelining ran; `publishes`/`delta_publishes`/`fetches` break the
+    /// wire traffic down per operation.
+    pub server: ServerMetrics,
 }
 
 fn blocked(task: u64) -> BlockedInfo {
@@ -224,12 +230,14 @@ pub fn run_with_sites(budget_per_cell: Duration, site_counts: &[u64]) -> StoreRe
     let tcp = TcpStore::new(server.local_addr().to_string());
     bench_backend("tcp", &tcp, budget_per_cell, &mut cells);
     bench_scaling("tcp", &tcp, &scaling, budget_per_cell, &mut cells);
+    let server_metrics = server.metrics();
     server.shutdown();
 
     StoreResults {
         partition_tasks: PARTITION_TASKS,
         host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         cells,
+        server: server_metrics,
     }
 }
 
@@ -268,4 +276,10 @@ pub fn print_table(results: &StoreResults) {
             println!("{:<16} {:>5} {:>16.0} {:>16.0} {:>8.3}", op, sites, mem, tcp, tcp / mem);
         }
     }
+    let m = &results.server;
+    println!(
+        "server metrics: served={} ({} full + {} delta publishes, {} fetches), \
+         reply-queue-max={}, protocol-errors={}",
+        m.served, m.publishes, m.delta_publishes, m.fetches, m.reply_queue_max, m.protocol_errors
+    );
 }
