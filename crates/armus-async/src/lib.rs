@@ -45,6 +45,7 @@
 //! assert!(!rt.verifier().found_deadlock());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod executor;

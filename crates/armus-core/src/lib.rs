@@ -54,6 +54,7 @@
 //! assert!(err.report.tasks.contains(&t2));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
@@ -85,7 +86,7 @@ pub use graph::TopoOrder;
 pub use ids::{Phase, PhaserId, TaskId, MAX_LOCAL_TASK, MAX_SITE_TAG, SITE_TAG_SHIFT};
 pub use resource::{Registration, Resource};
 pub use stats::{StatsCollector, StatsSnapshot};
-pub use verifier::{Verifier, VerifierConfig, VerifyMode};
+pub use verifier::{StaticHint, Verifier, VerifierConfig, VerifyMode};
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
@@ -95,5 +96,5 @@ pub mod prelude {
     pub use crate::error::DeadlockError;
     pub use crate::ids::{Phase, PhaserId, TaskId};
     pub use crate::resource::{Registration, Resource};
-    pub use crate::verifier::{Verifier, VerifierConfig, VerifyMode};
+    pub use crate::verifier::{StaticHint, Verifier, VerifierConfig, VerifyMode};
 }

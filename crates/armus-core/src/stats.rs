@@ -28,6 +28,7 @@ pub struct StatsCollector {
     full_rebuilds: AtomicU64,
     resyncs: AtomicU64,
     fastpath_skips: AtomicU64,
+    static_skips: AtomicU64,
     engine_lock_waits: AtomicU64,
     combined_checks: AtomicU64,
     incremental_detections: AtomicU64,
@@ -93,6 +94,13 @@ impl StatsCollector {
         self.fastpath_skips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an avoidance check skipped because the program carries a
+    /// `ProvedSafe` static-analysis hint (see `VerifierConfig::static_hint`):
+    /// the block was published but no deadlock check ran at all.
+    pub fn record_static_skip(&self) {
+        self.static_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a blocker finding the engine lock held (it enqueued its
     /// check with the combiner instead of convoying on the lock).
     pub fn record_engine_lock_wait(&self) {
@@ -149,6 +157,7 @@ impl StatsCollector {
             full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
             resyncs: self.resyncs.load(Ordering::Relaxed),
             fastpath_skips: self.fastpath_skips.load(Ordering::Relaxed),
+            static_skips: self.static_skips.load(Ordering::Relaxed),
             engine_lock_waits: self.engine_lock_waits.load(Ordering::Relaxed),
             combined_checks: self.combined_checks.load(Ordering::Relaxed),
             incremental_detections: self.incremental_detections.load(Ordering::Relaxed),
@@ -196,6 +205,11 @@ pub struct StatsSnapshot {
     /// (fewer than two distinct awaited resources ⇒ no cycle possible)
     /// without touching the engine lock.
     pub fastpath_skips: u64,
+    /// Avoidance checks skipped because a static analysis proved the whole
+    /// program deadlock-free up front (`VerifierConfig::static_hint`): the
+    /// block is still published and visible to peers, but no graph walk —
+    /// not even the cardinality fast path — runs for it.
+    pub static_skips: u64,
     /// Blockers that found the engine lock contended and enqueued their
     /// check with the combiner instead of convoying.
     pub engine_lock_waits: u64,
@@ -320,10 +334,12 @@ mod tests {
         let c = StatsCollector::new();
         c.record_fastpath_skip();
         c.record_fastpath_skip();
+        c.record_static_skip();
         c.record_engine_lock_wait();
         c.record_combined_check();
         let s = c.snapshot();
         assert_eq!(s.fastpath_skips, 2);
+        assert_eq!(s.static_skips, 1);
         assert_eq!(s.engine_lock_waits, 1);
         assert_eq!(s.combined_checks, 1);
     }

@@ -75,6 +75,23 @@ pub enum VerifyMode {
     PublishOnly,
 }
 
+/// A static-analysis verdict handed to the verifier ahead of execution.
+///
+/// Produced by a whole-program analysis (e.g. `armus_pl::analysis`) that
+/// ran *before* any task blocked. The verifier trusts the hint: a
+/// `ProvedSafe` program's avoidance blocks publish their status (peers and
+/// distributed checkers still see them) but skip the deadlock check
+/// entirely, counted in [`StatsSnapshot::static_skips`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StaticHint {
+    /// No static information: every check runs as usual.
+    #[default]
+    None,
+    /// The program was statically proved deadlock-free: avoidance checks
+    /// are pure overhead and are skipped.
+    ProvedSafe,
+}
+
 /// Verifier configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct VerifierConfig {
@@ -98,6 +115,10 @@ pub struct VerifierConfig {
     /// pass (defaults to [`crate::engine::PAR_NODE_THRESHOLD`]; a small
     /// value makes the parallel branch reachable on tiny graphs).
     pub par_threshold: usize,
+    /// Static-analysis verdict for the program this verifier will run
+    /// (see [`StaticHint`]). `ProvedSafe` turns every avoidance check into
+    /// a publish + counted skip.
+    pub static_hint: StaticHint,
 }
 
 impl VerifierConfig {
@@ -110,6 +131,7 @@ impl VerifierConfig {
             shards: crate::deps::DEFAULT_SHARDS,
             fastpath: true,
             par_threshold: crate::engine::PAR_NODE_THRESHOLD,
+            static_hint: StaticHint::None,
         }
     }
 
@@ -172,6 +194,12 @@ impl VerifierConfig {
     /// Overrides the parallel-existence node threshold of full checks.
     pub fn with_par_threshold(mut self, threshold: usize) -> Self {
         self.par_threshold = threshold;
+        self
+    }
+
+    /// Attaches a static-analysis verdict for the program about to run.
+    pub fn with_static_hint(mut self, hint: StaticHint) -> Self {
+        self.static_hint = hint;
         self
     }
 }
@@ -332,6 +360,13 @@ impl Verifier {
                 // distinct awaited resources to be in any cycle.
                 let self_impeding = info.waits.iter().any(|&w| info.impedes(w));
                 self.registry.block(info);
+                // A whole-program proof of deadlock-freedom makes every
+                // avoidance check pure overhead: publish (peers and
+                // distributed checkers still see the block) and return.
+                if self.cfg.static_hint == StaticHint::ProvedSafe {
+                    self.stats.record_static_skip();
+                    return Ok(());
+                }
                 // Resource-cardinality fast path: the distinct-awaited
                 // read happens *after* this task's own block (which
                 // counted its waits), so the member that completes a
@@ -818,7 +853,34 @@ mod tests {
         assert_eq!(s.blocks, 5);
         assert_eq!(s.fastpath_skips, 1);
         assert_eq!(s.checks, 4);
-        assert_eq!(s.checks + s.fastpath_skips, s.blocks, "every block is accounted");
+        assert_eq!(
+            s.checks + s.fastpath_skips + s.static_skips,
+            s.blocks,
+            "every block is accounted"
+        );
+        v.shutdown();
+    }
+
+    #[test]
+    fn proved_safe_hint_skips_every_avoidance_check() {
+        // The same distinct-phaser spread that forces engine checks above —
+        // but the program was statically proved safe, so every block is a
+        // publish + counted skip, even with the fast path disabled.
+        let v = Verifier::new(
+            VerifierConfig::avoidance()
+                .with_fastpath(false)
+                .with_static_hint(StaticHint::ProvedSafe),
+        );
+        for i in 0..5 {
+            v.block(t(i), vec![r(i + 1, 1)], vec![Registration::new(p(i + 1), 1)]).unwrap();
+        }
+        let s = v.stats();
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.static_skips, 5);
+        assert_eq!(s.checks, 0);
+        assert_eq!(s.fastpath_skips, 0);
+        // The blocks are still published: peers see the full registry.
+        assert_eq!(v.local_snapshot().len(), 5);
         v.shutdown();
     }
 

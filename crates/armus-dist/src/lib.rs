@@ -44,6 +44,7 @@
 //! cluster.stop();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;

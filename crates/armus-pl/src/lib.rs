@@ -85,7 +85,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod deadlock;
 pub mod gen;
 pub mod parser;
@@ -96,11 +98,15 @@ pub mod syntax;
 pub mod trace;
 pub mod wf;
 
+pub use analysis::{
+    analyse_program, analyse_program_spanned, analyse_state, analyse_state_with, AnalysisConfig,
+    AwaitSite, DeadlockWitness, StaticVerdict,
+};
 pub use deadlock::{deadlocked_tasks, is_deadlocked, is_totally_deadlocked};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_spanned, ParseError, Span, SpanTable};
 pub use phi::{phi, NameTable};
 pub use semantics::{apply, enabled, Outcome, RandomScheduler, Rule, Transition};
 pub use state::{PhaserState, State};
 pub use syntax::{free_vars, pretty, subst_seq, Instr, Seq, Var};
 pub use trace::{analyse, first_deadlock, StateVerdict};
-pub use wf::{check as check_wellformed, UnboundUse};
+pub use wf::{check as check_wellformed, check_spanned, UnboundUse};

@@ -12,9 +12,56 @@
 //! adv(pc); await(pc);   // comments run to end of line
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::syntax::{Instr, Seq};
+
+/// A 1-based source position (line and column of an instruction's first
+/// token), attached to diagnostics by [`parse_spanned`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source positions for every instruction of a parsed program, keyed by
+/// *path*: the instruction's index at each nesting level (through `fork`
+/// and `loop` bodies). The top-level third instruction is `[2]`; the first
+/// instruction of a `fork` body at top-level index 4 is `[4, 0]`.
+///
+/// Paths survive the operational semantics' head-popping and substitution
+/// (both preserve the indices of the instructions they keep), which is how
+/// [`crate::analysis`] maps residual program points back to source.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    map: HashMap<Vec<usize>, Span>,
+}
+
+impl SpanTable {
+    /// Looks up the span recorded for an instruction path.
+    pub fn get(&self, path: &[usize]) -> Option<Span> {
+        self.map.get(path).copied()
+    }
+
+    /// Number of instructions with recorded positions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// A parse error with 1-based line/column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -206,18 +253,30 @@ impl Parser {
         }
     }
 
-    /// seq := instr* ; stops at `}` or EOF.
-    fn seq(&mut self) -> Result<Seq, ParseError> {
+    /// seq := instr* ; stops at `}` or EOF. Records each instruction's
+    /// position under `path ++ [index]`.
+    fn seq(&mut self, path: &mut Vec<usize>, spans: &mut SpanTable) -> Result<Seq, ParseError> {
         let mut out = Vec::new();
         loop {
             match self.peek() {
                 None | Some(Tok::RBrace) => return Ok(out),
-                _ => out.push(self.instr()?),
+                _ => {
+                    let span = self
+                        .toks
+                        .get(self.pos)
+                        .map(|&(_, line, col)| Span { line, col })
+                        .expect("peeked a token");
+                    path.push(out.len());
+                    spans.map.insert(path.clone(), span);
+                    let instr = self.instr(path, spans);
+                    path.pop();
+                    out.push(instr?);
+                }
             }
         }
     }
 
-    fn instr(&mut self) -> Result<Instr, ParseError> {
+    fn instr(&mut self, path: &mut Vec<usize>, spans: &mut SpanTable) -> Result<Instr, ParseError> {
         let ident = self.expect_ident()?;
         match ident.as_str() {
             "fork" => {
@@ -225,13 +284,13 @@ impl Parser {
                 let t = self.expect_ident()?;
                 self.expect(Tok::RParen)?;
                 self.expect(Tok::LBrace)?;
-                let body = self.seq()?;
+                let body = self.seq(path, spans)?;
                 self.expect(Tok::RBrace)?;
                 Ok(Instr::Fork(t, body))
             }
             "loop" => {
                 self.expect(Tok::LBrace)?;
-                let body = self.seq()?;
+                let body = self.seq(path, spans)?;
                 self.expect(Tok::RBrace)?;
                 Ok(Instr::Loop(body))
             }
@@ -280,13 +339,22 @@ impl Parser {
 
 /// Parses a PL program.
 pub fn parse(src: &str) -> Result<Seq, ParseError> {
+    parse_spanned(src).map(|(seq, _)| seq)
+}
+
+/// Parses a PL program, also returning the source position of every
+/// instruction (keyed by instruction path — see [`SpanTable`]) so
+/// diagnostics from [`crate::wf`] and [`crate::analysis`] can point at the
+/// offending statement.
+pub fn parse_spanned(src: &str) -> Result<(Seq, SpanTable), ParseError> {
     let toks = Lexer::new(src).tokens()?;
     let mut parser = Parser { toks, pos: 0 };
-    let seq = parser.seq()?;
+    let mut spans = SpanTable::default();
+    let seq = parser.seq(&mut Vec::new(), &mut spans)?;
     if parser.pos != parser.toks.len() {
         return Err(parser.error_at("trailing input after program"));
     }
-    Ok(seq)
+    Ok((seq, spans))
 }
 
 #[cfg(test)]
@@ -378,5 +446,29 @@ mod tests {
     fn generated_names_parse() {
         let prog = parse("adv(#p0); await(#p0);").unwrap();
         assert_eq!(prog, vec![adv("#p0"), awaitp("#p0")]);
+    }
+
+    #[test]
+    fn spans_record_every_instruction_position() {
+        let src =
+            "p = newPhaser();\nt = newTid();\nreg(p, t);\nfork(t) {\n  adv(p); await(p);\n}\n";
+        let (prog, spans) = parse_spanned(src).unwrap();
+        assert_eq!(prog.len(), 4);
+        // 4 top-level instructions + 2 inside the fork body.
+        assert_eq!(spans.len(), 6);
+        assert_eq!(spans.get(&[0]), Some(Span { line: 1, col: 1 }));
+        assert_eq!(spans.get(&[2]), Some(Span { line: 3, col: 1 }));
+        assert_eq!(spans.get(&[3]), Some(Span { line: 4, col: 1 }));
+        // Nested paths index through the fork body.
+        assert_eq!(spans.get(&[3, 0]), Some(Span { line: 5, col: 3 }));
+        assert_eq!(spans.get(&[3, 1]), Some(Span { line: 5, col: 11 }));
+        assert_eq!(spans.get(&[4]), None);
+    }
+
+    #[test]
+    fn spanned_and_plain_parse_agree() {
+        let src = "p = newPhaser(); loop { adv(p); await(p); } dereg(p);";
+        let (spanned, _) = parse_spanned(src).unwrap();
+        assert_eq!(spanned, parse(src).unwrap());
     }
 }

@@ -6,6 +6,7 @@
 
 use std::collections::HashSet;
 
+use crate::parser::{Span, SpanTable};
 use crate::syntax::{Instr, Seq, Var};
 
 /// A diagnosed unbound use.
@@ -15,37 +16,74 @@ pub struct UnboundUse {
     pub var: Var,
     /// The instruction (pretty-printed) where it is used.
     pub instr: String,
+    /// Source position of the offending instruction, when the program was
+    /// parsed with [`crate::parser::parse_spanned`].
+    pub span: Option<Span>,
+}
+
+impl UnboundUse {
+    fn message(&self) -> String {
+        format!("unbound variable `{}` in `{}`", self.var, self.instr.trim_end())
+    }
+
+    /// Renders the diagnostic in compiler style: `file:line:col: message`.
+    /// Falls back to `file: message` when no span was recorded.
+    pub fn rendered(&self, file: &str) -> String {
+        match self.span {
+            Some(span) => format!("{file}:{span}: {}", self.message()),
+            None => format!("{file}: {}", self.message()),
+        }
+    }
 }
 
 impl std::fmt::Display for UnboundUse {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unbound variable `{}` in `{}`", self.var, self.instr.trim_end())
+        write!(f, "{}", self.message())?;
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        Ok(())
     }
 }
 
 /// Checks a whole program (no pre-bound names). Returns every unbound use.
 pub fn check(program: &Seq) -> Vec<UnboundUse> {
-    let mut bound: HashSet<Var> = HashSet::new();
-    let mut out = Vec::new();
-    check_seq(program, &mut bound, &mut out);
-    out
+    check_inner(program, &[], None)
+}
+
+/// As [`check`], but attaches source positions from a [`SpanTable`]
+/// (produced by [`crate::parser::parse_spanned`]) to every diagnostic.
+pub fn check_spanned(program: &Seq, spans: &SpanTable) -> Vec<UnboundUse> {
+    check_inner(program, &[], Some(spans))
 }
 
 /// As [`check`], but with names already in scope (e.g. the run-time names
 /// of a mid-execution state).
 pub fn check_with_scope(program: &Seq, scope: &[Var]) -> Vec<UnboundUse> {
+    check_inner(program, scope, None)
+}
+
+fn check_inner(program: &Seq, scope: &[Var], spans: Option<&SpanTable>) -> Vec<UnboundUse> {
     let mut bound: HashSet<Var> = scope.iter().cloned().collect();
     let mut out = Vec::new();
-    check_seq(program, &mut bound, &mut out);
+    check_seq(program, &mut bound, &mut Vec::new(), spans, &mut out);
     out
 }
 
-fn check_seq(seq: &[Instr], bound: &mut HashSet<Var>, out: &mut Vec<UnboundUse>) {
+fn check_seq(
+    seq: &[Instr],
+    bound: &mut HashSet<Var>,
+    path: &mut Vec<usize>,
+    spans: Option<&SpanTable>,
+    out: &mut Vec<UnboundUse>,
+) {
     let mut introduced: Vec<Var> = Vec::new();
-    for instr in seq {
+    for (i, instr) in seq.iter().enumerate() {
+        path.push(i);
+        let span = spans.and_then(|t| t.get(path));
         let used = |v: &Var, out: &mut Vec<UnboundUse>, bound: &HashSet<Var>| {
             if !bound.contains(v) {
-                out.push(UnboundUse { var: v.clone(), instr: instr.to_string() });
+                out.push(UnboundUse { var: v.clone(), instr: instr.to_string(), span });
             }
         };
         match instr {
@@ -57,16 +95,17 @@ fn check_seq(seq: &[Instr], bound: &mut HashSet<Var>, out: &mut Vec<UnboundUse>)
             Instr::Fork(t, body) => {
                 used(t, out, bound);
                 // The fork body runs as the new task, in the current scope.
-                check_seq(body, bound, out);
+                check_seq(body, bound, path, spans, out);
             }
             Instr::Reg(t, p) => {
                 used(t, out, bound);
                 used(p, out, bound);
             }
             Instr::Dereg(p) | Instr::Adv(p) | Instr::Await(p) => used(p, out, bound),
-            Instr::Loop(body) => check_seq(body, bound, out),
+            Instr::Loop(body) => check_seq(body, bound, path, spans, out),
             Instr::Skip => {}
         }
+        path.pop();
     }
     // Binders scope to the rest of *their own* sequence only.
     for v in introduced {
@@ -77,6 +116,7 @@ fn check_seq(seq: &[Instr], bound: &mut HashSet<Var>, out: &mut Vec<UnboundUse>)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parser::parse_spanned;
     use crate::syntax::build::*;
 
     #[test]
@@ -133,6 +173,26 @@ mod tests {
         let prog = vec![adv("#p0"), awaitp("#p0")];
         assert_eq!(check(&prog).len(), 2);
         assert!(check_with_scope(&prog, &["#p0".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn spanned_diagnostics_point_at_the_offending_statement() {
+        let src = "t = newTid();\nfork(t) {\n  adv(q);\n}\n";
+        let (prog, spans) = parse_spanned(src).unwrap();
+        let diags = check_spanned(&prog, &spans);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].var, "q");
+        assert_eq!(diags[0].span, Some(crate::parser::Span { line: 3, col: 3 }));
+        // The compiler-style rendering is exactly `file:line:col: message`.
+        assert_eq!(diags[0].rendered("prog.pl"), "prog.pl:3:3: unbound variable `q` in `adv(q);`");
+        assert!(diags[0].to_string().ends_with("at 3:3"));
+    }
+
+    #[test]
+    fn unspanned_diagnostics_render_without_position() {
+        let diags = check(&vec![adv("p")]);
+        assert_eq!(diags[0].span, None);
+        assert_eq!(diags[0].rendered("prog.pl"), "prog.pl: unbound variable `p` in `adv(p);`");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Error-path coverage for the armus-pl front end: parser rejections
+//! (with positions), well-formedness scoping corners, and the property
+//! that generated programs always pass both layers.
+
+use armus_pl::gen::{gen_program, ProgGenConfig};
+use armus_pl::syntax::build::*;
+use armus_pl::wf::{self, check_with_scope};
+use armus_pl::{parse, parse_spanned};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+// ---- parser rejections ---------------------------------------------------
+
+#[test]
+fn await_without_argument_is_rejected_with_a_position() {
+    let err = parse("p = newPhaser();\nawait();").unwrap_err();
+    assert!(err.message.contains("expected identifier"), "{err}");
+    assert_eq!((err.line, err.col), (2, 7));
+}
+
+#[test]
+fn await_missing_semicolon_is_rejected() {
+    let err = parse("p = newPhaser(); await(p)").unwrap_err();
+    assert!(err.message.contains("Semi"), "{err}");
+}
+
+#[test]
+fn await_with_two_arguments_is_rejected() {
+    let err = parse("p = newPhaser(); q = newPhaser(); await(p, q);").unwrap_err();
+    assert!(err.message.contains("RParen"), "{err}");
+}
+
+#[test]
+fn unclosed_fork_block_is_rejected_at_end_of_input() {
+    let err = parse("t = newTid();\nfork(t) {\n  skip;\n").unwrap_err();
+    assert!(err.message.contains("RBrace") || err.message.contains("end of input"), "{err}");
+}
+
+#[test]
+fn unclosed_loop_block_is_rejected() {
+    let err = parse("loop { skip;").unwrap_err();
+    assert!(err.message.contains("RBrace") || err.message.contains("end of input"), "{err}");
+}
+
+#[test]
+fn unopened_block_close_is_trailing_input() {
+    let err = parse("skip; }").unwrap_err();
+    assert!(err.message.contains("trailing input"), "{err}");
+}
+
+#[test]
+fn unknown_binding_function_is_rejected() {
+    let err = parse("x = newThing();").unwrap_err();
+    assert!(err.message.contains("newTid or newPhaser"), "{err}");
+}
+
+#[test]
+fn bare_identifier_statement_is_rejected() {
+    // Not a keyword and not a binding: the parser demands `=`.
+    let err = parse("frobnicate;").unwrap_err();
+    assert!(err.message.contains("Eq"), "{err}");
+}
+
+#[test]
+fn parse_error_display_carries_the_position() {
+    let err = parse("loop {").unwrap_err();
+    let shown = err.to_string();
+    assert!(shown.starts_with("parse error at "), "{shown}");
+    assert!(shown.contains(&format!("{}:{}", err.line, err.col)), "{shown}");
+}
+
+// ---- wf scoping corners --------------------------------------------------
+
+#[test]
+fn rebinding_an_existing_name_does_not_unbind_it_at_sequence_end() {
+    // `p` enters scope at the first binder; the *second* binder of the
+    // same name must not remove it early (insert-returned-false rollback
+    // tracking): the final use is still bound.
+    let prog = vec![new_phaser("p"), new_phaser("p"), adv("p")];
+    assert!(wf::check(&prog).is_empty());
+}
+
+#[test]
+fn shadowing_inside_a_loop_does_not_strip_the_outer_binding() {
+    // The loop body re-binds `p`; on exit the outer `p` must survive.
+    let prog = vec![new_phaser("p"), ploop(vec![new_phaser("p"), adv("p")]), adv("p")];
+    assert!(wf::check(&prog).is_empty());
+}
+
+#[test]
+fn sibling_forks_do_not_leak_bindings_to_each_other() {
+    // `q` is bound inside the first fork body only; the second fork body
+    // must not see it.
+    let prog =
+        vec![new_tid("t"), fork("t", vec![new_phaser("q"), adv("q")]), fork("t", vec![adv("q")])];
+    let diags = wf::check(&prog);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].var, "q");
+}
+
+#[test]
+fn scope_seeding_covers_only_the_seeded_names() {
+    let prog = vec![adv("#p0"), awaitp("#p1")];
+    let diags = check_with_scope(&prog, &["#p0".to_string()]);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].var, "#p1");
+}
+
+#[test]
+fn seeded_scope_can_still_be_shadowed_by_a_binder() {
+    // A program binder of a seeded name: legal, and uses stay bound even
+    // after the binder's own sequence ends (the seed keeps it in scope).
+    let prog = vec![ploop(vec![new_tid("#t0")]), fork("#t0", vec![skip()])];
+    assert!(check_with_scope(&prog, &["#t0".to_string()]).is_empty());
+}
+
+// ---- generated programs pass the whole front end -------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated program is well-formed and survives the
+    /// pretty-print → parse_spanned round trip with a span on every
+    /// top-level instruction.
+    #[test]
+    fn generated_programs_pass_the_front_end(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let prog = gen_program(&mut rng, &ProgGenConfig::default());
+        prop_assert!(wf::check(&prog).is_empty());
+        let printed = armus_pl::syntax::pretty(&prog);
+        let (reparsed, spans) = parse_spanned(&printed).unwrap();
+        prop_assert_eq!(&reparsed, &prog);
+        prop_assert!(wf::check_spanned(&reparsed, &spans).is_empty());
+        for i in 0..prog.len() {
+            prop_assert!(spans.get(&[i]).is_some(), "top-level instruction {} has no span", i);
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //! finish.wait().unwrap();                   // join barrier step
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod barrier;

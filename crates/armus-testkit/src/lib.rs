@@ -26,6 +26,9 @@
 //!   single-shard/low-par-threshold tunings) versus the PL semantics in
 //!   lockstep; soundness, completeness, alignment, and model-agreement
 //!   invariants per step.
+//! * [`replay`] — replays `armus_pl::analysis` deadlock witnesses through
+//!   a publish-only [`sim::Sim`] and demands the runtime checker report
+//!   the predicted deadlock (the `DefiniteDeadlock` soundness leg).
 //! * [`shrink`] — greedy failure minimisation plus the
 //!   `ARMUS_TESTKIT_SEED=… cargo test -p armus-testkit seeded` repro line.
 //!
@@ -44,10 +47,12 @@
 //! seed (generation, lowering, and every scheduling choice are pure
 //! functions of it).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lower;
 pub mod oracle;
+pub mod replay;
 pub mod scenario;
 pub mod sched;
 pub mod shrink;
@@ -58,6 +63,7 @@ pub use oracle::{
     oracle_configs, run_all, run_config, run_config_with_api, run_seeded, run_seeded_with_api,
     Failure, OracleConfig,
 };
+pub use replay::replay_witness;
 pub use scenario::{canonical_scenarios, Op, PhaserIx, Scenario, TaskDef};
 pub use sched::{explore_all, Chooser, Exploration, ScriptedChooser, SeededChooser};
 pub use shrink::{shrink, Repro};

@@ -1,0 +1,157 @@
+//! Replays a static-analysis [`DeadlockWitness`] through the *real*
+//! runtime: the witness schedule — produced by `armus_pl::analysis` purely
+//! from the formal model — is driven through a [`Sim`] over real phasers,
+//! and the run must end with the runtime verifier reporting the very
+//! deadlock the analysis predicted.
+//!
+//! This is the `DefiniteDeadlock` half of the static soundness contract:
+//! a witness is not just a claim about the PL semantics, it is a schedule
+//! the runtime reproduces, with a `ϕ`-checker report the trace oracle
+//! confirms.
+
+use armus_core::{DeadlockReport, VerifierConfig};
+use armus_pl::analysis::DeadlockWitness;
+use armus_pl::semantics::{apply, enabled, Rule};
+use armus_pl::Instr;
+
+use crate::scenario::Scenario;
+use crate::sim::{Sim, SimEvent, SimStep, StepKind};
+
+/// Replays `witness` (whose schedule must start from
+/// [`Scenario::initial_pl_state`] — i.e. it came from
+/// `armus_pl::analysis::analyse_state` on that state) through a
+/// publish-only [`Sim`], in lockstep with the PL semantics.
+///
+/// On success returns the runtime's deadlock report for the final state.
+/// Any divergence — a schedule step not enabled, a sim event that does not
+/// mirror the PL transition, a missing report, a report naming tasks
+/// outside the witness's deadlocked set, or the trace oracle disagreeing —
+/// is an `Err` describing the mismatch.
+pub fn replay_witness(
+    scenario: &Scenario,
+    witness: &DeadlockWitness,
+) -> Result<DeadlockReport, String> {
+    let mut sim = Sim::new(scenario, VerifierConfig::publish_only());
+    let mut pl = scenario.initial_pl_state();
+
+    // The witness was computed on `initial_pl_state()`, whose tasks carry
+    // the canonical `t{i}` names (not the display names of the task defs).
+    let task_index = |name: &str| -> Result<usize, String> {
+        (0..scenario.tasks.len())
+            .find(|&i| Scenario::task_name(i) == name)
+            .ok_or_else(|| format!("witness names unknown task {name}"))
+    };
+
+    for (step_no, transition) in witness.schedule.iter().enumerate() {
+        if !enabled(&pl).contains(transition) {
+            return Err(format!("schedule step {step_no} ({transition:?}) not enabled in PL"));
+        }
+        let i = task_index(&transition.task)?;
+        let kind = match transition.rule {
+            // A Sync on a task the sim already parked resolves the wait;
+            // otherwise the await is ready and executes directly.
+            Rule::Sync if sim.is_blocked(i) => StepKind::Resolve,
+            Rule::Sync | Rule::Skip | Rule::Adv | Rule::Dereg => StepKind::Exec,
+            ref other => {
+                return Err(format!(
+                    "schedule step {step_no}: rule {other:?} has no runtime counterpart \
+                     (lowered scenarios are straight-line)"
+                ))
+            }
+        };
+        match sim.step(SimStep { task: i, kind }) {
+            SimEvent::Completed(..) => {}
+            other => {
+                return Err(format!(
+                    "schedule step {step_no} ({transition:?}): sim diverged with {other:?}"
+                ))
+            }
+        }
+        pl = apply(&pl, transition);
+    }
+
+    // Park every witnessed-deadlocked task on its await so its blocked
+    // status is published — in the PL final state each has `await` at
+    // head and the await does not hold.
+    for name in &witness.deadlocked {
+        let i = task_index(name)?;
+        match pl.tasks.get(name).and_then(|s| s.first()) {
+            Some(Instr::Await(_)) => {}
+            other => {
+                return Err(format!(
+                    "deadlocked task {name} is not at an await in the PL final state ({other:?})"
+                ))
+            }
+        }
+        match sim.step(SimStep { task: i, kind: StepKind::Exec }) {
+            SimEvent::BlockedAt(..) => {}
+            other => return Err(format!("deadlocked task {name} did not park: {other:?}")),
+        }
+    }
+
+    // The runtime verifier must see the deadlock in the published
+    // registry…
+    let report = sim
+        .verifier()
+        .check_now()
+        .ok_or_else(|| "runtime checker found no deadlock in the witnessed state".to_string())?;
+    // …naming only tasks the witness declared deadlocked.
+    for &tid in &report.tasks {
+        let Some(i) = (0..scenario.tasks.len()).find(|&i| sim.task_id(i) == tid) else {
+            return Err(format!("report names a task id {tid:?} outside the scenario"));
+        };
+        let name = Scenario::task_name(i);
+        if !witness.deadlocked.contains(&name) {
+            return Err(format!(
+                "report names {name}, which the witness does not list as deadlocked"
+            ));
+        }
+    }
+    if report.tasks.is_empty() {
+        return Err("runtime report names no tasks".to_string());
+    }
+    // And the Φ/trace oracle must agree on the lockstep PL state.
+    let verdict = armus_pl::trace::analyse(&pl);
+    if !verdict.deadlocked() {
+        return Err("trace oracle says the final PL state is not deadlocked".to_string());
+    }
+    if !verdict.internally_consistent() {
+        return Err("trace oracle internally inconsistent on the final state".to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(all(test, not(feature = "verifier-mutation")))]
+mod tests {
+    use super::*;
+    use crate::scenario::canonical_scenarios;
+    use armus_pl::analysis::{analyse_state, StaticVerdict};
+
+    #[test]
+    fn crossed_wait_witness_replays_to_a_runtime_report() {
+        let scenario =
+            canonical_scenarios().into_iter().find(|(n, _)| *n == "crossed-wait").unwrap().1;
+        let StaticVerdict::DefiniteDeadlock { witness } =
+            analyse_state(&scenario.initial_pl_state())
+        else {
+            panic!("crossed-wait must be a definite deadlock");
+        };
+        let report = replay_witness(&scenario, &witness).expect("witness replays");
+        assert_eq!(report.tasks.len(), witness.deadlocked.len());
+    }
+
+    #[test]
+    fn a_corrupted_witness_is_rejected() {
+        let scenario =
+            canonical_scenarios().into_iter().find(|(n, _)| *n == "crossed-wait").unwrap().1;
+        let StaticVerdict::DefiniteDeadlock { mut witness } =
+            analyse_state(&scenario.initial_pl_state())
+        else {
+            panic!("crossed-wait must be a definite deadlock");
+        };
+        // Dropping the schedule leaves the deadlocked tasks unreachable
+        // (their awaits are still satisfiable or not yet at head).
+        witness.schedule.clear();
+        assert!(replay_witness(&scenario, &witness).is_err());
+    }
+}

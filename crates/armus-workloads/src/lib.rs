@@ -15,6 +15,7 @@
 //! * [`harness`] — sampling, confidence intervals and overhead arithmetic
 //!   following the paper's methodology (Georges et al.).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod course;

@@ -1,0 +1,39 @@
+//! `analysis` — measures the static deadlock analysis' verdict precision
+//! and per-program cost over seeded corpora (see `armus_bench::analysis`).
+//!
+//! ```text
+//! cargo run --release -p armus-bench --bin analysis_bench -- [options]
+//!
+//! options:
+//!   --programs N     programs per corpus (default: 2000)
+//!   --json PATH      dump the cells as JSON (e.g. BENCH_analysis.json)
+//! ```
+
+use armus_bench::analysis;
+
+fn main() {
+    let mut programs: usize = 2000;
+    let mut json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--programs" => {
+                programs = args.next().map(|v| v.parse().expect("--programs N")).unwrap();
+            }
+            "--json" => json = args.next(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = analysis::run(programs);
+    analysis::print_table(&results);
+    if let Some(path) = json {
+        std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialise"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

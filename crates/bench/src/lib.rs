@@ -10,10 +10,13 @@
 //! over the `armus-stored` wire protocol; the criterion benches under `benches/`
 //! micro-measure the verification layer itself (graph construction,
 //! cycle detection, registry throughput, and the adaptive-threshold
-//! ablation).
+//! ablation); the `analysis_bench` binary measures the static deadlock
+//! analysis' precision and per-program cost over seeded corpora.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod async_front;
 pub mod concurrent;
 pub mod experiments;

@@ -8,6 +8,7 @@
 //! outlier analysis, no HTML reports — enough to compare configurations
 //! by eye and to keep `cargo bench` runnable offline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use std::hint::black_box;

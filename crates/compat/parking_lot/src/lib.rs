@@ -10,6 +10,7 @@
 //! Armus runtime depends on: a worker that panics while holding a phaser
 //! lock must not wedge every later `lock()`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

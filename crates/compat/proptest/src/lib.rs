@@ -10,6 +10,7 @@
 //! prints the case number and seeds are deterministic per test name, so
 //! failures reproduce exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Test-execution plumbing: configuration, RNG and failure type.

@@ -9,6 +9,7 @@
 //! property tests require; no claim of statistical equivalence with the
 //! published crate is made.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

@@ -9,6 +9,7 @@
 //! serde with JSON: structs become maps, newtype structs are transparent,
 //! unit enum variants become strings.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};

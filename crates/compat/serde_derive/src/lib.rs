@@ -7,6 +7,8 @@
 //! struct variants). Generic items produce a `compile_error!` naming the
 //! limitation rather than silently wrong code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` by converting the item into a `serde::Value`

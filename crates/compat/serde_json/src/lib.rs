@@ -7,6 +7,7 @@
 //! `\u` surrogate pairs are parsed but unpaired surrogates are replaced,
 //! and NaN/infinity serialize as `null` (as in the published crate).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -42,6 +42,8 @@
 //! assert!(!rt.verifier().found_deadlock());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use armus_async as asynch;
 pub use armus_core as core;
 pub use armus_dist as dist;
